@@ -1,0 +1,276 @@
+// Package joss_test hosts the benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation (run them
+// with `go test -bench=. -benchmem`), plus ablation benches for the
+// design choices called out in DESIGN.md §5. Custom metrics attach the
+// headline quantity of each experiment (normalised energy, accuracy,
+// evaluation reduction) to the benchmark output, so a single bench run
+// regenerates the paper's numbers alongside the usual ns/op.
+package joss_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"joss/internal/exp"
+	"joss/internal/platform"
+	"joss/internal/sched"
+	"joss/internal/taskrt"
+	"joss/internal/workloads"
+)
+
+// benchScale keeps each bench iteration fast; experiments at paper
+// scale are run via cmd/jossbench.
+const benchScale = 0.01
+
+var (
+	envOnce sync.Once
+	envG    *exp.Env
+)
+
+func benchEnv(b *testing.B) *exp.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		e, err := exp.NewEnv(benchScale)
+		if err != nil {
+			panic(err)
+		}
+		envG = e
+	})
+	return envG
+}
+
+// BenchmarkTable1 regenerates the benchmark inventory.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(exp.Table1().Rows) != 10 {
+			b.Fatal("Table 1 incomplete")
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates the Figure 1 motivation study (four
+// configuration-selection scenarios for MM and MC).
+func BenchmarkFig1(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(e.Fig1().Rows) != 8 {
+			b.Fatal("Fig1 incomplete")
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the Figure 2 trade-off ladder.
+func BenchmarkFig2(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(e.Fig2().Rows) == 0 {
+			b.Fatal("Fig2 incomplete")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the Figure 5 synthetic power profile.
+func BenchmarkFig5(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(e.Fig5().Rows) != 15 {
+			b.Fatal("Fig5 incomplete")
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the headline Figure 8 sweep (21 benchmark
+// configurations x 6 schedulers) and reports the JOSS and STEER
+// geomean energies normalised to GRWS.
+func BenchmarkFig8(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	var res *exp.Fig8Result
+	for i := 0; i < b.N; i++ {
+		res = e.Fig8()
+	}
+	b.ReportMetric(res.GeoMean["JOSS"], "JOSS-vs-GRWS")
+	b.ReportMetric(res.GeoMean["STEER"], "STEER-vs-GRWS")
+	b.ReportMetric(res.GeoMean["JOSS_NoMemDVFS"], "NoMemDVFS-vs-GRWS")
+}
+
+// BenchmarkFig9 regenerates the Figure 9 performance-constraint sweep.
+func BenchmarkFig9(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	var res *exp.Fig9Result
+	for i := 0; i < b.N; i++ {
+		res = e.Fig9()
+	}
+	mean := 0.0
+	for _, m := range res.NormEnergy {
+		mean += m["JOSS+1.8X"]
+	}
+	b.ReportMetric(mean/float64(len(res.NormEnergy)), "E(1.8X)-vs-JOSS")
+}
+
+// BenchmarkFig10 regenerates the Figure 10 model-accuracy study and
+// reports the three mean accuracies (paper: 0.97 / 0.90 / 0.80).
+func BenchmarkFig10(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	var res *exp.Fig10Result
+	for i := 0; i < b.N; i++ {
+		res = e.Fig10()
+	}
+	b.ReportMetric(res.PerfMean, "perf-accuracy")
+	b.ReportMetric(res.CPUMean, "cpu-accuracy")
+	b.ReportMetric(res.MemMean, "mem-accuracy")
+}
+
+// BenchmarkOverhead regenerates the §7.4 search-overhead comparison
+// and reports the evaluation reduction (paper: ~70%).
+func BenchmarkOverhead(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	var res *exp.OverheadResult
+	for i := 0; i < b.N; i++ {
+		res = e.Overhead()
+	}
+	b.ReportMetric(res.MeanEvalReduction, "eval-reduction")
+	b.ReportMetric(res.MeanEnergyRatio, "exh/sd-energy")
+}
+
+// BenchmarkAblationCoordination compares the frequency-coordination
+// heuristics of §5.3 (the paper evaluated min, max, weighted average
+// and arithmetic mean, and found the mean best) on a high-concurrency
+// workload with conflicting per-kernel frequency targets.
+func BenchmarkAblationCoordination(b *testing.B) {
+	e := benchEnv(b)
+	modes := []struct {
+		name string
+		mode taskrt.CoordMode
+	}{
+		{"Mean", taskrt.CoordMean},
+		{"Min", taskrt.CoordMin},
+		{"Max", taskrt.CoordMax},
+		{"Override", taskrt.CoordOverride},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			var energy float64
+			for i := 0; i < b.N; i++ {
+				opt := taskrt.DefaultOptions()
+				opt.Coord = m.mode
+				rt := taskrt.New(e.Oracle, sched.NewJOSS(e.Set), opt)
+				rep := rt.Run(workloads.VG(benchScale * 4))
+				energy = exp.EnergyOf(rep).TotalJ()
+			}
+			b.ReportMetric(energy, "J")
+		})
+	}
+}
+
+// BenchmarkAblationCoarsening compares JOSS with and without the
+// fine-grained task coarsening of §5.3 on Fibonacci, the benchmark
+// whose tasks are microseconds long.
+func BenchmarkAblationCoarsening(b *testing.B) {
+	e := benchEnv(b)
+	cases := []struct {
+		name      string
+		threshold float64
+	}{
+		{"Coarsened", 200e-6},
+		// A one-nanosecond threshold effectively disables coarsening:
+		// every task issues its own DVFS request.
+		{"PerTaskDVFS", 1e-9},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var trans int
+			var energy float64
+			for i := 0; i < b.N; i++ {
+				s := sched.NewModelSched(e.Set, sched.Options{
+					Name: "JOSS", Goal: sched.GoalMinEnergy, MemDVFS: true,
+					CoarsenThresholdSec: c.threshold,
+				})
+				rep := e.RunSched(s, workloads.FB(benchScale*4))
+				trans = rep.Stats.TransitionsCPU + rep.Stats.TransitionsMem
+				energy = exp.EnergyOf(rep).TotalJ()
+			}
+			b.ReportMetric(float64(trans), "transitions")
+			b.ReportMetric(energy, "J")
+		})
+	}
+}
+
+// BenchmarkAblationObjective isolates the paper's central claim
+// (§2.1): the same machinery with a CPU-energy objective (STEER), a
+// total-energy objective without the memory knob (JOSS_NoMemDVFS) and
+// the full four-knob objective (JOSS), on the memory-heavy AL mesh.
+func BenchmarkAblationObjective(b *testing.B) {
+	e := benchEnv(b)
+	for _, name := range []string{"STEER", "JOSS_NoMemDVFS", "JOSS"} {
+		b.Run(name, func(b *testing.B) {
+			var energy float64
+			for i := 0; i < b.N; i++ {
+				rep := e.Run(name, workloads.AL(benchScale))
+				energy = exp.EnergyOf(rep).TotalJ()
+			}
+			b.ReportMetric(energy, "J")
+		})
+	}
+}
+
+// BenchmarkAblationSampling varies the second sampling frequency of
+// §5.1 (the models package defaults to 1.11 GHz, well separated from
+// the 2.04 GHz reference): a closer frequency pair degrades the MB
+// estimate of Eq. 3 and with it the selected configurations.
+func BenchmarkAblationSampling(b *testing.B) {
+	e := benchEnv(b)
+	// End-to-end proxy: accuracy of MB estimation for the ST kernel
+	// across alternate frequencies.
+	d := workloads.ST(2048, 4, benchScale).KernelByName("st_update").Demand
+	for _, alt := range []int{0, 1, 2, 3} {
+		name := fmt.Sprintf("alt=%.2fGHz", platform.CPUFreqsGHz[alt])
+		b.Run(name, func(b *testing.B) {
+			var mb float64
+			for i := 0; i < b.N; i++ {
+				pl := platform.Placement{TC: platform.A57, NC: 2}
+				ref := e.Oracle.Measure(d, platform.Config{TC: pl.TC, NC: pl.NC, FC: 4, FM: 2})
+				a := e.Oracle.Measure(d, platform.Config{TC: pl.TC, NC: pl.NC, FC: alt, FM: 2})
+				mb = estimateMB(ref.TimeSec, a.TimeSec, 4, alt)
+			}
+			b.ReportMetric(mb, "MB")
+		})
+	}
+}
+
+// BenchmarkRuntimeThroughput measures raw simulator throughput: tasks
+// executed per second of wall time under the cheapest scheduler.
+func BenchmarkRuntimeThroughput(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	tasks := 0
+	for i := 0; i < b.N; i++ {
+		rep := e.Run("GRWS", workloads.SLU(0.05))
+		tasks += rep.Stats.TasksExecuted
+	}
+	b.ReportMetric(float64(tasks)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+func estimateMB(tRef, tAlt float64, refIdx, altIdx int) float64 {
+	fRef := platform.CPUFreqsGHz[refIdx]
+	fAlt := platform.CPUFreqsGHz[altIdx]
+	r := fRef / fAlt
+	if r == 1 {
+		return 0
+	}
+	mb := (tAlt/tRef - r) / (1 - r)
+	if mb < 0 {
+		return 0
+	}
+	if mb > 1 {
+		return 1
+	}
+	return mb
+}

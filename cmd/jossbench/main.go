@@ -1,0 +1,100 @@
+// Command jossbench regenerates the paper's tables and figures on the
+// simulated TX2 platform.
+//
+// Usage:
+//
+//	jossbench [-scale F] [-parallel N] [-csv] fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|all
+//
+// Each subcommand prints the corresponding experiment's rows (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// vs paper numbers).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"joss/internal/exp"
+	"joss/internal/workloads"
+)
+
+func main() {
+	scale := flag.Float64("scale", workloads.DefaultScale,
+		"workload task-count scale (1 = paper-sized DAGs)")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	repeats := flag.Int("repeats", 1, "seeds per sweep cell, averaged (paper: 10)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: jossbench [flags] fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	e, err := exp.NewEnv(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jossbench:", err)
+		os.Exit(1)
+	}
+	if *parallel > 0 {
+		e.Parallel = *parallel
+	}
+	e.Repeats = *repeats
+
+	emit := func(t *exp.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "table1":
+			emit(exp.Table1())
+		case "fig1":
+			emit(e.Fig1())
+		case "fig2":
+			emit(e.Fig2())
+		case "fig5":
+			emit(e.Fig5())
+		case "fig8":
+			emit(e.Fig8().Table)
+		case "fig9":
+			emit(e.Fig9().Table)
+		case "fig10":
+			emit(e.Fig10().Table)
+		case "overhead":
+			emit(e.Overhead().Table)
+		case "extras":
+			emit(e.Extras().Table)
+		case "dopsweep":
+			emit(e.DopSweep())
+		case "slu":
+			emit(e.SLUAnalysis())
+		case "fig8split":
+			emit(e.Fig8Split())
+		default:
+			fmt.Fprintf(os.Stderr, "jossbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if !*csv {
+			fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	if flag.Arg(0) == "all" {
+		for _, name := range []string{"table1", "fig1", "fig2", "fig5", "fig8", "fig8split", "fig9", "fig10", "overhead", "extras", "dopsweep", "slu"} {
+			run(name)
+		}
+		return
+	}
+	run(flag.Arg(0))
+}

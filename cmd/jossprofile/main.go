@@ -1,0 +1,112 @@
+// Command jossprofile runs the offline platform-characterisation stage
+// of JOSS (paper §4, Figure 4): it executes the 41 synthetic
+// benchmarks at every <TC, NC, fC, fM> configuration on the simulated
+// TX2, fits the performance, CPU power and memory power models by
+// multivariate polynomial regression, and reports the per-placement
+// fit quality and idle-power characterisation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"joss/internal/models"
+	"joss/internal/platform"
+	"joss/internal/synth"
+	"joss/internal/xval"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also dump model coefficients")
+	out := flag.String("o", "", "write the trained model set as JSON to this file")
+	kfold := flag.Int("xval", 0, "also run k-fold cross-validation with this k (e.g. 5)")
+	flag.Parse()
+
+	o := platform.DefaultOracle()
+	fmt.Printf("profiling %d synthetic benchmarks x %d configurations...\n",
+		len(synth.Suite()), len(o.Spec.Configs()))
+	rows := synth.Profile(o)
+	fmt.Printf("collected %d profile rows\n\n", len(rows))
+
+	set, err := models.Train(o, rows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jossprofile:", err)
+		os.Exit(1)
+	}
+
+	var pls []platform.Placement
+	for pl := range set.ByPlacement {
+		pls = append(pls, pl)
+	}
+	sort.Slice(pls, func(i, j int) bool {
+		if pls[i].TC != pls[j].TC {
+			return pls[i].TC < pls[j].TC
+		}
+		return pls[i].NC < pls[j].NC
+	})
+
+	fmt.Println("model fit quality (R^2) per placement:")
+	fmt.Printf("%-14s %-12s %-12s %-12s\n", "placement", "performance", "CPU power", "mem power")
+	for _, pl := range pls {
+		pm := set.ByPlacement[pl]
+		fmt.Printf("%-14s %-12.4f %-12.4f %-12.4f\n",
+			pl.String(), pm.Perf.R2, pm.CPUPow.R2, pm.MemPow.R2)
+	}
+
+	fmt.Println("\nidle power characterisation:")
+	for tc := platform.CoreType(0); tc < platform.NumCoreTypes; tc++ {
+		fmt.Printf("  %s cluster:", tc)
+		for fc := range platform.CPUFreqsGHz {
+			fmt.Printf("  %.2fGHz=%.3fW", platform.CPUFreqsGHz[fc], set.IdleCPUW[tc][fc])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  memory:   ")
+	for fm := range platform.MemFreqsGHz {
+		fmt.Printf("  %.2fGHz=%.3fW", platform.MemFreqsGHz[fm], set.IdleMemW[fm])
+	}
+	fmt.Println()
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jossprofile:", err)
+			os.Exit(1)
+		}
+		if err := set.Save(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "jossprofile:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "jossprofile:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nmodel set written to %s\n", *out)
+	}
+
+	if *kfold > 1 {
+		fmt.Printf("\nrunning %d-fold cross-validation...\n", *kfold)
+		rep, err := xval.Run(o, *kfold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jossprofile:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-6s %-12s %-12s %-12s %s\n", "fold", "performance", "CPU power", "mem power", "examples")
+		for _, f := range rep.Folds {
+			fmt.Printf("%-6d %-12.4f %-12.4f %-12.4f %d\n", f.Fold, f.PerfAcc, f.CPUAcc, f.MemAcc, f.Examples)
+		}
+		fmt.Printf("%-6s %-12.4f %-12.4f %-12.4f\n", "mean", rep.PerfMean, rep.CPUMean, rep.MemMean)
+	}
+
+	if *verbose {
+		fmt.Println("\ncoefficients (intercept, linear, quadratic, interactions):")
+		for _, pl := range pls {
+			pm := set.ByPlacement[pl]
+			fmt.Printf("%s\n  perf: %v\n  cpu:  %v\n  mem:  %v\n",
+				pl.String(), pm.Perf.Coef, pm.CPUPow.Coef, pm.MemPow.Coef)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command jossrun executes one benchmark under one scheduler on the
+// simulated TX2 and prints the energy and time breakdown — the
+// single-run counterpart of jossbench's sweeps.
+//
+// Usage:
+//
+//	jossrun [-scale F] [-seed N] [-speedup S] -bench NAME -sched NAME
+//
+// Benchmarks: the 21 Figure 8 configurations (e.g. SLU, MM_256_dop4).
+// Schedulers: GRWS, ERASE, Aequitas, STEER, JOSS, JOSS_NoMemDVFS,
+// JOSS+MAXP, or JOSS with -speedup for a performance constraint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"joss/internal/exp"
+	"joss/internal/platform"
+	"joss/internal/sched"
+	"joss/internal/taskrt"
+	"joss/internal/trace"
+	"joss/internal/workloads"
+)
+
+func main() {
+	benchName := flag.String("bench", "SLU", "benchmark configuration name")
+	schedName := flag.String("sched", "JOSS", "scheduler name")
+	scale := flag.Float64("scale", workloads.DefaultScale, "task-count scale")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	speedup := flag.Float64("speedup", 0, "JOSS performance constraint (e.g. 1.4)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file")
+	gantt := flag.Bool("gantt", false, "print a text Gantt chart of the run")
+	dotOut := flag.String("dot", "", "write the task DAG in Graphviz DOT format (truncated to 400 tasks)")
+	flag.Parse()
+
+	var wl *workloads.Config
+	var names []string
+	for _, c := range workloads.Fig8Configs() {
+		c := c
+		names = append(names, c.Name)
+		if strings.EqualFold(c.Name, *benchName) {
+			wl = &c
+		}
+	}
+	if wl == nil {
+		fmt.Fprintf(os.Stderr, "jossrun: unknown benchmark %q; available: %s\n",
+			*benchName, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+
+	e, err := exp.NewEnv(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jossrun:", err)
+		os.Exit(1)
+	}
+	e.Seed = *seed
+
+	var s taskrt.Scheduler
+	switch {
+	case *speedup > 1:
+		s = sched.NewJOSSConstrained(e.Set, *speedup)
+	case strings.EqualFold(*schedName, "JOSS+MAXP"):
+		s = sched.NewJOSSMaxP(e.Set)
+	default:
+		s = e.NewScheduler(*schedName)
+	}
+
+	g := wl.Build(*scale)
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jossrun:", err)
+			os.Exit(1)
+		}
+		if err := g.WriteDOT(f, 400); err != nil {
+			fmt.Fprintln(os.Stderr, "jossrun:", err)
+		}
+		f.Close()
+	}
+	fmt.Printf("running %s (%d tasks, %d kernels, dop %.1f) under %s...\n",
+		g.Name, g.NumTasks(), len(g.Kernels), g.DOP(), s.Name())
+
+	var tr *trace.Trace
+	opt := taskrt.DefaultOptions()
+	opt.Seed = *seed
+	if *traceOut != "" || *gantt {
+		tr = &trace.Trace{}
+		opt.Trace = tr
+	}
+	rt := taskrt.New(e.Oracle, s, opt)
+	rep := rt.Run(g)
+
+	en := exp.EnergyOf(rep)
+	fmt.Printf("\nmakespan        %.4f s\n", rep.MakespanSec)
+	fmt.Printf("CPU energy      %.4f J\n", en.CPUJ)
+	fmt.Printf("memory energy   %.4f J\n", en.MemJ)
+	fmt.Printf("total energy    %.4f J  (avg %.3f W)\n",
+		en.TotalJ(), en.TotalJ()/rep.MakespanSec)
+	fmt.Printf("tasks executed  %d (steals %d, recruitments %d)\n",
+		rep.Stats.TasksExecuted, rep.Stats.Steals, rep.Stats.Recruitments)
+	fmt.Printf("DVFS            %d requests, %d CPU + %d memory transitions\n",
+		rep.Stats.FreqRequests, rep.Stats.TransitionsCPU, rep.Stats.TransitionsMem)
+
+	if tr != nil {
+		if *gantt {
+			fmt.Println()
+			fmt.Print(tr.Gantt(100))
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jossrun:", err)
+				os.Exit(1)
+			}
+			if err := tr.WriteChrome(f); err != nil {
+				fmt.Fprintln(os.Stderr, "jossrun:", err)
+			}
+			f.Close()
+			fmt.Printf("\ntrace written to %s\n", *traceOut)
+		}
+	}
+
+	fmt.Printf("\ntasks per core type:\n")
+	for tc := platform.CoreType(0); tc < platform.NumCoreTypes; tc++ {
+		fmt.Printf("  %-8s %d\n", tc.String(), rep.Stats.TasksByType[tc])
+	}
+	var kernels []string
+	for k := range rep.Stats.KernelType {
+		kernels = append(kernels, k)
+	}
+	sort.Strings(kernels)
+	fmt.Printf("\nper-kernel core-type split:\n")
+	for _, k := range kernels {
+		kt := rep.Stats.KernelType[k]
+		fmt.Printf("  %-14s Denver %-7d A57 %d\n", k, kt[platform.Denver], kt[platform.A57])
+	}
+}

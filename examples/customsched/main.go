@@ -1,0 +1,85 @@
+// Customsched: implement your own scheduler against the taskrt
+// runtime interface and race it against the built-in ones on a
+// user-defined workload. The custom policy here is "oracle-greedy":
+// an unrealistic scheduler that asks the hardware model directly for
+// each kernel's true minimum-energy configuration — an upper bound no
+// model-driven scheduler can beat, useful for judging how much of the
+// headroom JOSS captures.
+//
+// Run with:
+//
+//	go run ./examples/customsched
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"joss/internal/dag"
+	"joss/internal/models"
+	"joss/internal/platform"
+	"joss/internal/sched"
+	"joss/internal/taskrt"
+	"joss/internal/workloads"
+)
+
+// oracleGreedy picks, for every kernel, the configuration that
+// minimises the oracle's standalone task energy. It cheats: real
+// schedulers only see measurements, not the hardware model.
+type oracleGreedy struct {
+	o      *platform.Oracle
+	chosen map[*dag.Kernel]platform.Config
+}
+
+func (s *oracleGreedy) Name() string               { return "OracleGreedy" }
+func (s *oracleGreedy) Attach(rt *taskrt.Runtime)  {}
+func (s *oracleGreedy) Scope() taskrt.StealScope   { return taskrt.StealSameType }
+func (s *oracleGreedy) TaskDone(taskrt.ExecRecord) {}
+
+func (s *oracleGreedy) Decide(t *dag.Task) taskrt.Decision {
+	cfg, ok := s.chosen[t.Kernel]
+	if !ok {
+		best := math.Inf(1)
+		for _, c := range s.o.Spec.Configs() {
+			if e := s.o.Measure(t.Kernel.Demand, c).TotalEnergy(); e < best {
+				best, cfg = e, c
+			}
+		}
+		s.chosen[t.Kernel] = cfg
+	}
+	return taskrt.Decision{
+		Placement: platform.Placement{TC: cfg.TC, NC: cfg.NC},
+		SetFreq:   true, FC: cfg.FC, FM: cfg.FM,
+	}
+}
+
+func main() {
+	oracle := platform.DefaultOracle()
+	set, err := models.TrainDefault(oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	build := func() *dag.Graph { return workloads.ST(2048, 16, 0.02) }
+
+	contenders := []struct {
+		name string
+		mk   func() taskrt.Scheduler
+	}{
+		{"GRWS", func() taskrt.Scheduler { return sched.NewGRWS() }},
+		{"STEER", func() taskrt.Scheduler { return sched.NewSTEER(set) }},
+		{"JOSS", func() taskrt.Scheduler { return sched.NewJOSS(set) }},
+		{"OracleGreedy", func() taskrt.Scheduler {
+			return &oracleGreedy{o: oracle, chosen: make(map[*dag.Kernel]platform.Config)}
+		}},
+	}
+
+	fmt.Printf("%-14s %10s %12s\n", "scheduler", "time s", "energy J")
+	for _, c := range contenders {
+		rep := taskrt.New(oracle, c.mk(), taskrt.DefaultOptions()).Run(build())
+		fmt.Printf("%-14s %10.3f %12.3f\n", c.name, rep.MakespanSec, rep.Exact.TotalJ())
+	}
+	fmt.Println("\nOracleGreedy bounds what any per-task policy could achieve;")
+	fmt.Println("JOSS approaches it using only runtime samples and MPR models.")
+}

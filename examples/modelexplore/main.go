@@ -1,0 +1,94 @@
+// Modelexplore: the model-builder's view (paper §4). Train the three
+// JOSS models, then interrogate them for one kernel: estimate its
+// memory-boundness from two time samples (Eq. 3), print the predicted
+// execution-time / power / energy landscape across <fC, fM>, and
+// compare the steepest-descent pick (Figure 7) with the true optimum.
+//
+// Run with:
+//
+//	go run ./examples/modelexplore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"joss/internal/models"
+	"joss/internal/platform"
+	"joss/internal/search"
+)
+
+func main() {
+	oracle := platform.DefaultOracle()
+	set, err := models.TrainDefault(oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A moderately memory-bound kernel the models have never seen.
+	kernel := platform.TaskDemand{
+		Kernel: "explore", Ops: 6e6, Bytes: 4e6,
+		ParEff: 0.9, Activity: 0.7, RowHit: 0.6,
+	}
+
+	// Runtime sampling (§5.1): two execution-time samples per
+	// placement, at 2.04 GHz and 1.11 GHz, memory at maximum.
+	samples := make(map[platform.Placement]models.SamplePair)
+	for _, pl := range oracle.Spec.Placements() {
+		ref := oracle.Measure(kernel, platform.Config{TC: pl.TC, NC: pl.NC, FC: models.RefFC, FM: models.RefFM})
+		alt := oracle.Measure(kernel, platform.Config{TC: pl.TC, NC: pl.NC, FC: models.AltFC, FM: models.RefFM})
+		samples[pl] = models.SamplePair{TimeRef: ref.TimeSec, TimeAlt: alt.TimeSec}
+	}
+	kt := set.BuildTables("explore", samples)
+
+	fmt.Println("estimated memory-boundness (Eq. 3) per placement:")
+	for _, pl := range oracle.Spec.Placements() {
+		fmt.Printf("  %-14s MB = %.1f%%\n", pl.String(), 100*kt.MB[pl])
+	}
+
+	pl := platform.Placement{TC: platform.A57, NC: 2}
+	fmt.Printf("\npredicted landscape on %s (time ms / total power W / energy mJ):\n", pl)
+	fmt.Printf("%-12s", "fC \\ fM")
+	for fm := range platform.MemFreqsGHz {
+		fmt.Printf("  %14.2f GHz", platform.MemFreqsGHz[fm])
+	}
+	fmt.Println()
+	for fc := range platform.CPUFreqsGHz {
+		fmt.Printf("%-12.2f", platform.CPUFreqsGHz[fc])
+		for fm := range platform.MemFreqsGHz {
+			cfg := platform.Config{TC: pl.TC, NC: pl.NC, FC: fc, FM: fm}
+			p, _ := kt.At(cfg)
+			energy, _ := set.EnergyEstimate(kt, cfg, 1)
+			pw := p.CPUDynW + p.MemDynW + set.IdlePowerShare(cfg.TC, cfg.FC, cfg.FM, 1)
+			fmt.Printf("  %5.2f/%4.2f/%5.1f", p.TimeSec*1e3, pw, energy*1e3)
+		}
+		fmt.Println()
+	}
+
+	// Configuration selection (§5.2): steepest descent vs exhaustive.
+	energyFn := func(cfg platform.Config) (float64, bool) {
+		return set.EnergyEstimate(kt, cfg, 1)
+	}
+	sd := search.SteepestDescent(oracle.Spec, energyFn)
+	ex := search.Exhaustive(oracle.Spec, energyFn)
+	fmt.Printf("\nsteepest descent: %s  (%.3f mJ, %d evaluations)\n",
+		sd.Cfg, sd.Energy*1e3, sd.Evals)
+	fmt.Printf("exhaustive:       %s  (%.3f mJ, %d evaluations)\n",
+		ex.Cfg, ex.Energy*1e3, ex.Evals)
+	fmt.Printf("pruning saved %.0f%% of evaluations (paper §7.4: ~70%%)\n",
+		100*(1-float64(sd.Evals)/float64(ex.Evals)))
+
+	// How good are the predictions? Compare against ground truth.
+	var acc []float64
+	for _, cfg := range oracle.Spec.Configs() {
+		real := oracle.Measure(kernel, cfg)
+		pred, _ := kt.At(cfg)
+		acc = append(acc, models.Accuracy(real.TimeSec, pred.TimeSec))
+	}
+	mean := 0.0
+	for _, a := range acc {
+		mean += a
+	}
+	fmt.Printf("\nperformance-model accuracy on this kernel: %.1f%% (paper mean: 97%%)\n",
+		100*mean/float64(len(acc)))
+}

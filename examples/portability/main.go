@@ -1,0 +1,75 @@
+// Portability: the paper's models deliberately use no performance
+// counters so they can be retrained on any platform (§4, "Challenges").
+// This example demonstrates that claim end to end: it builds a second,
+// different board — slower LPDDR4 and a weaker big cluster — retrains
+// the models from the same synthetic suite, and shows JOSS adapting
+// its per-kernel configurations to the new silicon. It also shows the
+// install-time persistence workflow (train once, save, reload).
+//
+// Run with:
+//
+//	go run ./examples/portability
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"joss/internal/models"
+	"joss/internal/platform"
+	"joss/internal/sched"
+	"joss/internal/taskrt"
+	"joss/internal/workloads"
+)
+
+func main() {
+	// Board A: the default TX2-like platform.
+	boardA := platform.DefaultOracle()
+
+	// Board B: same socket layout, different silicon — the "big"
+	// cluster is barely faster than the little one but burns far more
+	// power (an inefficient big core), and the memory is slower and
+	// more expensive per byte. On such a board the energy-optimal
+	// placements move to the little cluster.
+	boardB := platform.DefaultOracle()
+	boardB.Core[platform.Denver].PerfGOPS = 1.2
+	boardB.Core[platform.Denver].CdynW = 0.9
+	boardB.Core[platform.Denver].LeakW = 0.25
+	boardB.Mem.LatFreqNs = 140
+	boardB.Mem.PeakBWGBs = 30
+	boardB.Mem.AccessWPerGBs = 0.14
+
+	run := func(name string, o *platform.Oracle) {
+		set, err := models.TrainDefault(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Install-time persistence: save and reload the trained set,
+		// as cmd/jossprofile -o would.
+		var buf bytes.Buffer
+		if err := set.Save(&buf); err != nil {
+			log.Fatal(err)
+		}
+		loaded, err := models.Load(&buf, o.Spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		joss := sched.NewJOSS(loaded)
+		g := workloads.SLU(0.03)
+		rep := taskrt.New(o, joss, taskrt.DefaultOptions()).Run(g)
+
+		fmt.Printf("%s: %.3fs, %.2f J\n", name, rep.MakespanSec, rep.Exact.TotalJ())
+		for _, kn := range []string{"BMOD", "FWD"} {
+			if cfg, ok := joss.SelectedConfig(g.KernelByName(kn)); ok {
+				fmt.Printf("  %-5s -> %s\n", kn, cfg)
+			}
+		}
+	}
+
+	run("board A (TX2-like)", boardA)
+	run("board B (weak big cluster, slow DRAM)", boardB)
+	fmt.Println("\nsame code, no PMCs, retrained models — different configurations per board")
+}

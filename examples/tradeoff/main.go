@@ -1,0 +1,54 @@
+// Tradeoff: explore the energy/performance trade-off space of §5.2.2 —
+// run the Sparse LU benchmark under plain JOSS (minimum energy), under
+// user-specified performance constraints (1.2x, 1.4x, 1.8x), and under
+// MAXP (maximum performance), reproducing the Figure 9 behaviour on a
+// single benchmark.
+//
+// Run with:
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"joss/internal/models"
+	"joss/internal/platform"
+	"joss/internal/sched"
+	"joss/internal/taskrt"
+	"joss/internal/workloads"
+)
+
+func main() {
+	oracle := platform.DefaultOracle()
+	set, err := models.TrainDefault(oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	variants := []struct {
+		name string
+		mk   func() taskrt.Scheduler
+	}{
+		{"JOSS (min energy)", func() taskrt.Scheduler { return sched.NewJOSS(set) }},
+		{"JOSS +1.2x", func() taskrt.Scheduler { return sched.NewJOSSConstrained(set, 1.2) }},
+		{"JOSS +1.4x", func() taskrt.Scheduler { return sched.NewJOSSConstrained(set, 1.4) }},
+		{"JOSS +1.8x", func() taskrt.Scheduler { return sched.NewJOSSConstrained(set, 1.8) }},
+		{"JOSS +MAXP", func() taskrt.Scheduler { return sched.NewJOSSMaxP(set) }},
+	}
+
+	fmt.Printf("%-18s %10s %10s %10s %10s\n", "variant", "time s", "energy J", "speedup", "E overhead")
+	var baseT, baseE float64
+	for i, v := range variants {
+		g := workloads.SLU(0.05)
+		rep := taskrt.New(oracle, v.mk(), taskrt.DefaultOptions()).Run(g)
+		e := rep.Exact.TotalJ()
+		if i == 0 {
+			baseT, baseE = rep.MakespanSec, e
+		}
+		fmt.Printf("%-18s %10.3f %10.3f %9.2fx %+9.1f%%\n",
+			v.name, rep.MakespanSec, e, baseT/rep.MakespanSec, 100*(e/baseE-1))
+	}
+	fmt.Println("\nhigher speedups cost energy — the knob the user controls (paper §7.2)")
+}

@@ -1,0 +1,44 @@
+package dag
+
+import "joss/internal/platform"
+
+// Chains builds a graph of `width` independent chains of `depth` tasks
+// of one kernel. The resulting DAG parallelism (dop) equals width,
+// which is how the paper's synthetic MM/MC/ST benchmarks configure
+// their task concurrency.
+func Chains(name string, d platform.TaskDemand, width, depth int) *Graph {
+	g := New(name)
+	k := g.AddKernel(name+".kernel", d)
+	for w := 0; w < width; w++ {
+		var prev *Task
+		for i := 0; i < depth; i++ {
+			if prev == nil {
+				prev = g.AddTask(k)
+			} else {
+				prev = g.AddTask(k, prev)
+			}
+		}
+	}
+	return g
+}
+
+// ForkJoin builds `iters` sequential phases, each forking `width`
+// tasks of kernel k that join into a barrier task of kernel join.
+func ForkJoin(name string, work, join platform.TaskDemand, width, iters int) *Graph {
+	g := New(name)
+	kw := g.AddKernel(name+".work", work)
+	kj := g.AddKernel(name+".join", join)
+	var barrier *Task
+	for it := 0; it < iters; it++ {
+		phase := make([]*Task, width)
+		for i := range phase {
+			if barrier == nil {
+				phase[i] = g.AddTask(kw)
+			} else {
+				phase[i] = g.AddTask(kw, barrier)
+			}
+		}
+		barrier = g.AddTask(kj, phase...)
+	}
+	return g
+}

@@ -1,0 +1,230 @@
+// Package dag represents task-based parallel applications as directed
+// acyclic graphs, the programming model JOSS schedules (paper §1): an
+// application is a DAG whose vertices are tasks and whose edges are
+// dependencies; tasks belong to kernels (task types) that are invoked
+// many times with identical routines, and tasks may be moldable
+// (executed by several cores of one cluster).
+package dag
+
+import (
+	"fmt"
+
+	"joss/internal/platform"
+)
+
+// Kernel is a task type. All tasks of one kernel execute the same
+// routine, so JOSS samples a kernel once and reuses the configuration
+// for every later invocation (paper §5.2).
+type Kernel struct {
+	Name string
+	// Demand is the per-task resource demand of this kernel.
+	Demand platform.TaskDemand
+	// Index is the kernel's position in its graph's kernel list.
+	Index int
+}
+
+// Task is one vertex of the application DAG.
+type Task struct {
+	ID     int
+	Kernel *Kernel
+	// Succs are the tasks that depend on this task.
+	Succs []*Task
+	// Preds are the tasks this task depends on (the reverse edges,
+	// kept for criticality analyses).
+	Preds []*Task
+	// npred is the number of uncompleted predecessors.
+	npred int
+	// Seq is the kernel-local invocation number (0-based), used by
+	// schedulers for online sampling.
+	Seq int
+	// Decision is runtime-owned scratch: the scheduler's decision for
+	// this task during the current execution.
+	Decision any
+	// DemandScale multiplies this task's ops and bytes relative to
+	// its kernel's base demand (0 means 1.0). It models benchmarks
+	// whose task sizes vary within a kernel (e.g. the Biomarker
+	// combinations); schedulers still treat the kernel as uniform,
+	// which is a realistic source of sampling noise.
+	DemandScale float64
+}
+
+// EffectiveDemand returns the kernel demand scaled by the task's
+// DemandScale.
+func (t *Task) EffectiveDemand() platform.TaskDemand {
+	d := t.Kernel.Demand
+	if t.DemandScale > 0 && t.DemandScale != 1 {
+		d = d.WithScale(t.DemandScale)
+	}
+	return d
+}
+
+// NumPred returns the task's current unfinished-predecessor count.
+func (t *Task) NumPred() int { return t.npred }
+
+// Graph is a task DAG under construction or execution.
+type Graph struct {
+	Name    string
+	Kernels []*Kernel
+	Tasks   []*Task
+
+	kernelByName map[string]*Kernel
+	kernelCount  map[*Kernel]int
+}
+
+// New creates an empty graph.
+func New(name string) *Graph {
+	return &Graph{
+		Name:         name,
+		kernelByName: make(map[string]*Kernel),
+		kernelCount:  make(map[*Kernel]int),
+	}
+}
+
+// AddKernel registers a kernel; the name must be unique in the graph.
+func (g *Graph) AddKernel(name string, d platform.TaskDemand) *Kernel {
+	if _, dup := g.kernelByName[name]; dup {
+		panic(fmt.Sprintf("dag: duplicate kernel %q", name))
+	}
+	d.Kernel = name
+	k := &Kernel{Name: name, Demand: d, Index: len(g.Kernels)}
+	g.Kernels = append(g.Kernels, k)
+	g.kernelByName[name] = k
+	return k
+}
+
+// KernelByName returns the registered kernel or nil.
+func (g *Graph) KernelByName(name string) *Kernel { return g.kernelByName[name] }
+
+// AddTask creates a task of kernel k with the given predecessor tasks.
+func (g *Graph) AddTask(k *Kernel, preds ...*Task) *Task {
+	t := &Task{ID: len(g.Tasks), Kernel: k, Seq: g.kernelCount[k]}
+	g.kernelCount[k]++
+	g.Tasks = append(g.Tasks, t)
+	for _, p := range preds {
+		g.AddDep(p, t)
+	}
+	return t
+}
+
+// AddDep records that succ depends on pred. Adding an edge from a
+// later-created task to an earlier one panics, which structurally
+// guarantees acyclicity (tasks are created in a topological order).
+func (g *Graph) AddDep(pred, succ *Task) {
+	if pred.ID >= succ.ID {
+		panic(fmt.Sprintf("dag: dependency %d -> %d violates creation order", pred.ID, succ.ID))
+	}
+	pred.Succs = append(pred.Succs, succ)
+	succ.Preds = append(succ.Preds, pred)
+	succ.npred++
+}
+
+// Roots returns tasks with no predecessors (the initially ready set).
+func (g *Graph) Roots() []*Task {
+	var out []*Task
+	for _, t := range g.Tasks {
+		if t.npred == 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// NumTasks returns the task count.
+func (g *Graph) NumTasks() int { return len(g.Tasks) }
+
+// KernelTaskCount returns the number of tasks of kernel k.
+func (g *Graph) KernelTaskCount(k *Kernel) int { return g.kernelCount[k] }
+
+// CriticalPathLen returns the number of tasks on the longest path.
+func (g *Graph) CriticalPathLen() int {
+	depth := make([]int, len(g.Tasks))
+	longest := 0
+	// Tasks are topologically ordered by construction.
+	for _, t := range g.Tasks {
+		if depth[t.ID] == 0 {
+			depth[t.ID] = 1
+		}
+		if depth[t.ID] > longest {
+			longest = depth[t.ID]
+		}
+		for _, s := range t.Succs {
+			if d := depth[t.ID] + 1; d > depth[s.ID] {
+				depth[s.ID] = d
+			}
+		}
+	}
+	return longest
+}
+
+// DOP returns the DAG parallelism: total tasks divided by the length
+// of the longest path (paper §2).
+func (g *Graph) DOP() float64 {
+	cp := g.CriticalPathLen()
+	if cp == 0 {
+		return 0
+	}
+	return float64(len(g.Tasks)) / float64(cp)
+}
+
+// Validate checks structural invariants: edges only go forward,
+// predecessor counts match incoming edges, and kernels belong to the
+// graph. It returns the first violation found.
+func (g *Graph) Validate() error {
+	inDeg := make([]int, len(g.Tasks))
+	for _, t := range g.Tasks {
+		if t.Kernel == nil {
+			return fmt.Errorf("task %d has no kernel", t.ID)
+		}
+		if g.kernelByName[t.Kernel.Name] != t.Kernel {
+			return fmt.Errorf("task %d kernel %q not registered", t.ID, t.Kernel.Name)
+		}
+		for _, s := range t.Succs {
+			if s.ID <= t.ID {
+				return fmt.Errorf("edge %d->%d not forward", t.ID, s.ID)
+			}
+			inDeg[s.ID]++
+		}
+	}
+	for _, t := range g.Tasks {
+		if t.npred != inDeg[t.ID] {
+			return fmt.Errorf("task %d npred=%d but in-degree=%d", t.ID, t.npred, inDeg[t.ID])
+		}
+	}
+	if len(g.Roots()) == 0 && len(g.Tasks) > 0 {
+		return fmt.Errorf("graph has tasks but no roots")
+	}
+	return nil
+}
+
+// ResetRuntimeState restores predecessor counters after an execution
+// consumed them, so the same graph can be run again.
+func (g *Graph) ResetRuntimeState() {
+	for _, t := range g.Tasks {
+		t.npred = 0
+		t.Decision = nil
+	}
+	for _, t := range g.Tasks {
+		for _, s := range t.Succs {
+			s.npred++
+		}
+	}
+}
+
+// DecrementPred atomically (single-threaded sim) consumes one
+// completed predecessor and reports whether the task became ready.
+func (t *Task) DecrementPred() bool {
+	if t.npred <= 0 {
+		panic(fmt.Sprintf("dag: task %d pred underflow", t.ID))
+	}
+	t.npred--
+	return t.npred == 0
+}
+
+// TotalWork sums ops and bytes over all tasks.
+func (g *Graph) TotalWork() (ops, bytes float64) {
+	for _, t := range g.Tasks {
+		ops += t.Kernel.Demand.Ops
+		bytes += t.Kernel.Demand.Bytes
+	}
+	return
+}

@@ -1,0 +1,262 @@
+package dag
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"joss/internal/platform"
+)
+
+func demand() platform.TaskDemand {
+	return platform.TaskDemand{Ops: 1e6, Bytes: 1e5, ParEff: 1, Activity: 1}
+}
+
+func TestBasicConstruction(t *testing.T) {
+	g := New("g")
+	k := g.AddKernel("k", demand())
+	a := g.AddTask(k)
+	b := g.AddTask(k, a)
+	c := g.AddTask(k, a, b)
+	if g.NumTasks() != 3 {
+		t.Fatalf("NumTasks = %d, want 3", g.NumTasks())
+	}
+	if a.NumPred() != 0 || b.NumPred() != 1 || c.NumPred() != 2 {
+		t.Fatalf("pred counts %d,%d,%d want 0,1,2", a.NumPred(), b.NumPred(), c.NumPred())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	roots := g.Roots()
+	if len(roots) != 1 || roots[0] != a {
+		t.Fatalf("Roots = %v", roots)
+	}
+}
+
+func TestKernelBookkeeping(t *testing.T) {
+	g := New("g")
+	k1 := g.AddKernel("k1", demand())
+	k2 := g.AddKernel("k2", demand())
+	g.AddTask(k1)
+	g.AddTask(k1)
+	g.AddTask(k2)
+	if g.KernelTaskCount(k1) != 2 || g.KernelTaskCount(k2) != 1 {
+		t.Fatal("kernel task counts wrong")
+	}
+	if g.KernelByName("k1") != k1 || g.KernelByName("nope") != nil {
+		t.Fatal("KernelByName wrong")
+	}
+	if g.Tasks[1].Seq != 1 || g.Tasks[2].Seq != 0 {
+		t.Fatalf("invocation sequence wrong: %d, %d", g.Tasks[1].Seq, g.Tasks[2].Seq)
+	}
+	// Demand inherits the kernel name for oracle jitter keying.
+	if k1.Demand.Kernel != "k1" {
+		t.Fatalf("demand kernel name = %q, want k1", k1.Demand.Kernel)
+	}
+}
+
+func TestDuplicateKernelPanics(t *testing.T) {
+	g := New("g")
+	g.AddKernel("k", demand())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate kernel did not panic")
+		}
+	}()
+	g.AddKernel("k", demand())
+}
+
+func TestBackwardEdgePanics(t *testing.T) {
+	g := New("g")
+	k := g.AddKernel("k", demand())
+	a := g.AddTask(k)
+	b := g.AddTask(k)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backward edge did not panic")
+		}
+	}()
+	g.AddDep(b, a)
+}
+
+func TestCriticalPathAndDOP(t *testing.T) {
+	g := Chains("c", demand(), 4, 25)
+	if cp := g.CriticalPathLen(); cp != 25 {
+		t.Fatalf("CriticalPathLen = %d, want 25", cp)
+	}
+	if dop := g.DOP(); dop != 4 {
+		t.Fatalf("DOP = %v, want 4", dop)
+	}
+}
+
+func TestForkJoinShape(t *testing.T) {
+	g := ForkJoin("fj", demand(), demand(), 8, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 3*(8+1) {
+		t.Fatalf("NumTasks = %d, want 27", g.NumTasks())
+	}
+	// Critical path: work, join, work, join, work, join = 6.
+	if cp := g.CriticalPathLen(); cp != 6 {
+		t.Fatalf("CriticalPathLen = %d, want 6", cp)
+	}
+	if len(g.Roots()) != 8 {
+		t.Fatalf("Roots = %d, want 8", len(g.Roots()))
+	}
+}
+
+func TestDecrementPredAndReset(t *testing.T) {
+	g := New("g")
+	k := g.AddKernel("k", demand())
+	a := g.AddTask(k)
+	b := g.AddTask(k, a)
+	c := g.AddTask(k, a, b)
+	if b.DecrementPred() != true {
+		t.Fatal("b should become ready after its single pred completes")
+	}
+	if c.DecrementPred() != false {
+		t.Fatal("c should not be ready after one of two preds")
+	}
+	if c.DecrementPred() != true {
+		t.Fatal("c should be ready after both preds")
+	}
+	g.ResetRuntimeState()
+	if b.NumPred() != 1 || c.NumPred() != 2 {
+		t.Fatal("ResetRuntimeState did not restore predecessor counts")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecrementUnderflowPanics(t *testing.T) {
+	g := New("g")
+	k := g.AddKernel("k", demand())
+	a := g.AddTask(k)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("underflow did not panic")
+		}
+	}()
+	a.DecrementPred()
+}
+
+func TestTotalWork(t *testing.T) {
+	g := Chains("c", demand(), 2, 3)
+	ops, bytes := g.TotalWork()
+	if ops != 6e6 || bytes != 6e5 {
+		t.Fatalf("TotalWork = %v, %v", ops, bytes)
+	}
+}
+
+// Property: randomly built layered DAGs always validate, and DOP is
+// within [1, width].
+func TestPropertyRandomLayeredDAGValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New("r")
+		k := g.AddKernel("k", demand())
+		layers := 2 + rng.Intn(8)
+		width := 1 + rng.Intn(8)
+		var prev []*Task
+		for l := 0; l < layers; l++ {
+			cur := make([]*Task, width)
+			for i := range cur {
+				var preds []*Task
+				for _, p := range prev {
+					if rng.Intn(2) == 0 {
+						preds = append(preds, p)
+					}
+				}
+				cur[i] = g.AddTask(k, preds...)
+			}
+			prev = cur
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		d := g.DOP()
+		return d >= 1 && d <= float64(g.NumTasks())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ResetRuntimeState is an involution with respect to a full
+// consume cycle — after consuming every edge and resetting, the
+// predecessor counts match a freshly validated graph.
+func TestPropertyResetRestores(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Chains("c", demand(), 1+rng.Intn(4), 1+rng.Intn(10))
+		want := make([]int, g.NumTasks())
+		for i, task := range g.Tasks {
+			want[i] = task.NumPred()
+		}
+		// Consume in topological (ID) order.
+		for _, task := range g.Tasks {
+			for _, s := range task.Succs {
+				s.DecrementPred()
+			}
+		}
+		g.ResetRuntimeState()
+		for i, task := range g.Tasks {
+			if task.NumPred() != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEffectiveDemand(t *testing.T) {
+	g := New("g")
+	k := g.AddKernel("k", demand())
+	a := g.AddTask(k)
+	b := g.AddTask(k)
+	b.DemandScale = 2.5
+	da := a.EffectiveDemand()
+	db := b.EffectiveDemand()
+	if da.Ops != k.Demand.Ops || da.Bytes != k.Demand.Bytes {
+		t.Fatal("unscaled task demand changed")
+	}
+	if db.Ops != 2.5*k.Demand.Ops || db.Bytes != 2.5*k.Demand.Bytes {
+		t.Fatalf("scaled demand = %v/%v", db.Ops, db.Bytes)
+	}
+	// Kernel base demand must not be mutated.
+	if k.Demand.Ops != 1e6 {
+		t.Fatal("kernel demand mutated by scaling")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := ForkJoin("fj", demand(), demand(), 3, 2)
+	var buf strings.Builder
+	if err := g.WriteDOT(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph \"fj\"") {
+		t.Fatalf("bad header: %s", out[:30])
+	}
+	if strings.Count(out, "->") == 0 {
+		t.Fatal("no edges in DOT output")
+	}
+	if !strings.Contains(out, "fj.work") || !strings.Contains(out, "fj.join") {
+		t.Fatal("kernel labels missing")
+	}
+	// Truncation.
+	var small strings.Builder
+	if err := g.WriteDOT(&small, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(small.String(), "more tasks") {
+		t.Fatal("truncation marker missing")
+	}
+}

@@ -1,0 +1,190 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation: the motivation studies (Figures 1 and 2), the synthetic
+// profiling view (Figure 5), the benchmark inventory (Table 1), the
+// headline energy comparison (Figure 8), the performance-constraint
+// study (Figure 9), model accuracy (Figure 10) and the §7.4 overhead
+// analysis. Each driver returns a renderable table whose rows mirror
+// what the paper reports; EXPERIMENTS.md records paper-vs-measured.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"joss/internal/dag"
+	"joss/internal/models"
+	"joss/internal/platform"
+	"joss/internal/sched"
+	"joss/internal/synth"
+	"joss/internal/taskrt"
+	"joss/internal/workloads"
+)
+
+// Env is a fully characterised experimental setup: the simulated TX2,
+// its synthetic-benchmark profiles and the trained JOSS models — the
+// once-per-platform offline stage of Figure 4.
+type Env struct {
+	Oracle *platform.Oracle
+	Rows   []synth.Row
+	Set    *models.Set
+	ERASE  sched.ERASETable
+	// Scale multiplies workload task counts (1 = paper-sized DAGs).
+	Scale float64
+	// Seed feeds every runtime's deterministic RNG.
+	Seed int64
+	// Repeats is the number of seeds each sweep cell is run with;
+	// reported energies are arithmetic means across repeats, as in
+	// the paper (§6.1: each experiment repeated 10 times, arithmetic
+	// average reported). 0 or 1 means a single run.
+	Repeats int
+	// Parallel bounds concurrent simulation runs in sweeps.
+	Parallel int
+}
+
+// NewEnv profiles and trains a fresh environment.
+func NewEnv(scale float64) (*Env, error) {
+	o := platform.DefaultOracle()
+	rows := synth.Profile(o)
+	set, err := models.Train(o, rows)
+	if err != nil {
+		return nil, fmt.Errorf("exp: training failed: %w", err)
+	}
+	return &Env{
+		Oracle:   o,
+		Rows:     rows,
+		Set:      set,
+		ERASE:    sched.BuildERASETable(rows),
+		Scale:    scale,
+		Seed:     1,
+		Parallel: runtime.GOMAXPROCS(0),
+	}, nil
+}
+
+// SchedulerNames lists the Figure 8 schedulers in the paper's order.
+var SchedulerNames = []string{"GRWS", "ERASE", "Aequitas", "STEER", "JOSS", "JOSS_NoMemDVFS"}
+
+// NewScheduler builds a fresh scheduler by name. Schedulers are
+// stateful and single-run, so sweeps construct one per run.
+func (e *Env) NewScheduler(name string) taskrt.Scheduler {
+	switch name {
+	case "GRWS":
+		return sched.NewGRWS()
+	case "ERASE":
+		return sched.NewERASE(e.ERASE, func(tc platform.CoreType) float64 {
+			return e.Set.IdleCPUW[tc][platform.MaxFC]
+		})
+	case "Aequitas":
+		return sched.NewAequitas()
+	case "STEER":
+		return sched.NewSTEER(e.Set)
+	case "JOSS":
+		return sched.NewJOSS(e.Set)
+	case "JOSS_NoMemDVFS":
+		return sched.NewJOSSNoMemDVFS(e.Set)
+	}
+	panic("exp: unknown scheduler " + name)
+}
+
+// Run executes one workload graph under the named scheduler.
+func (e *Env) Run(schedName string, g *dag.Graph) taskrt.Report {
+	opt := taskrt.DefaultOptions()
+	opt.Seed = e.Seed
+	rt := taskrt.New(e.Oracle, e.NewScheduler(schedName), opt)
+	return rt.Run(g)
+}
+
+// RunSched executes a workload under a caller-constructed scheduler.
+func (e *Env) RunSched(s taskrt.Scheduler, g *dag.Graph) taskrt.Report {
+	opt := taskrt.DefaultOptions()
+	opt.Seed = e.Seed
+	rt := taskrt.New(e.Oracle, s, opt)
+	return rt.Run(g)
+}
+
+// RunFixed executes a workload with every task pinned to cfg.
+func (e *Env) RunFixed(cfg platform.Config, g *dag.Graph) taskrt.Report {
+	return e.RunSched(sched.NewFixed(cfg), g)
+}
+
+// sweepJob is one (workload, scheduler-constructor) cell of a sweep.
+type sweepJob struct {
+	wl    workloads.Config
+	label string
+	mk    func() taskrt.Scheduler
+}
+
+// sweep runs jobs concurrently (each with its own graph and runtime —
+// simulations never share state) and returns reports keyed by
+// workload name then label. With Repeats > 1 each cell is run under
+// several seeds and the energies/makespans averaged.
+func (e *Env) sweep(jobs []sweepJob) map[string]map[string]taskrt.Report {
+	repeats := e.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	out := make(map[string]map[string]taskrt.Report)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(1, e.Parallel))
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var agg taskrt.Report
+			for r := 0; r < repeats; r++ {
+				g := j.wl.Build(e.Scale)
+				opt := taskrt.DefaultOptions()
+				opt.Seed = e.Seed + int64(r)
+				rt := taskrt.New(e.Oracle, j.mk(), opt)
+				rep := rt.Run(g)
+				if r == 0 {
+					agg = rep
+				} else {
+					agg.MakespanSec += rep.MakespanSec
+					agg.Sensor.CPUJ += rep.Sensor.CPUJ
+					agg.Sensor.MemJ += rep.Sensor.MemJ
+					agg.Exact.CPUJ += rep.Exact.CPUJ
+					agg.Exact.MemJ += rep.Exact.MemJ
+					agg.Samples += rep.Samples
+				}
+			}
+			if repeats > 1 {
+				n := float64(repeats)
+				agg.MakespanSec /= n
+				agg.Sensor.CPUJ /= n
+				agg.Sensor.MemJ /= n
+				agg.Exact.CPUJ /= n
+				agg.Exact.MemJ /= n
+				agg.Samples /= repeats
+			}
+			mu.Lock()
+			if out[j.wl.Name] == nil {
+				out[j.wl.Name] = make(map[string]taskrt.Report)
+			}
+			out[j.wl.Name][j.label] = agg
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EnergyOf returns the report's sensor-sampled energy, falling back to
+// the exact integral for runs too short to collect 5 ms samples.
+func EnergyOf(rep taskrt.Report) platform.Energy {
+	if rep.Samples == 0 {
+		return rep.Exact
+	}
+	return rep.Sensor
+}

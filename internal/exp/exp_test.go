@@ -1,0 +1,274 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"joss/internal/workloads"
+)
+
+var (
+	envOnce sync.Once
+	envG    *Env
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		e, err := NewEnv(0.01)
+		if err != nil {
+			panic(err)
+		}
+		envG = e
+	})
+	return envG
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "bb"}}
+	tb.AddRow("x", 1.23456)
+	tb.AddRow("longer", "v")
+	out := tb.Render()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "1.235") {
+		t.Fatalf("render:\n%s", out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+	tb.AddRow(`with,comma"q`, "y")
+	if !strings.Contains(tb.CSV(), `"with,comma""q"`) {
+		t.Fatalf("csv quoting wrong:\n%s", tb.CSV())
+	}
+}
+
+func TestFig1ShapesMatchPaper(t *testing.T) {
+	e := testEnv(t)
+	tab := e.Fig1()
+	if len(tab.Rows) != 8 {
+		t.Fatalf("Fig1 rows = %d, want 8 (2 benchmarks x 4 scenarios)", len(tab.Rows))
+	}
+	// Scenario energies must be non-increasing 1→2 and 3→4 for each
+	// benchmark (each later scenario optimises over a superset).
+	get := func(r []string) float64 {
+		var v float64
+		if _, err := sscan(r[5], &v); err != nil {
+			t.Fatalf("bad total %q", r[5])
+		}
+		return v
+	}
+	for b := 0; b < 2; b++ {
+		s1, s2 := get(tab.Rows[b*4+0]), get(tab.Rows[b*4+1])
+		s3, s4 := get(tab.Rows[b*4+2]), get(tab.Rows[b*4+3])
+		if s2 > s1*1.0001 {
+			t.Errorf("bench %d: scenario 2 (%.3g) worse than 1 (%.3g)", b, s2, s1)
+		}
+		if s4 > s3*1.0001 {
+			t.Errorf("bench %d: scenario 4 (%.3g) worse than 3 (%.3g)", b, s4, s3)
+		}
+		if s4 > s2*1.0001 {
+			t.Errorf("bench %d: scenario 4 (%.3g) worse than 2 (%.3g)", b, s4, s2)
+		}
+	}
+	// §2.1: for MC, scenarios 1 and 2 pick different configurations.
+	if tab.Rows[4][2] == tab.Rows[5][2] {
+		t.Errorf("MC scenarios 1 and 2 chose the same config %s — memory energy made no difference", tab.Rows[4][2])
+	}
+}
+
+func TestFig2LadderMonotone(t *testing.T) {
+	e := testEnv(t)
+	tab := e.Fig2()
+	if len(tab.Rows) < 6 {
+		t.Fatalf("Fig2 rows = %d, want ≥6", len(tab.Rows))
+	}
+	// Within each benchmark the ladder must speed up monotonically.
+	var lastBench string
+	var lastTime float64
+	for _, r := range tab.Rows {
+		var tt float64
+		if _, err := sscan(r[3], &tt); err != nil {
+			t.Fatalf("bad time %q", r[3])
+		}
+		if r[0] == lastBench && tt > lastTime*1.02 {
+			t.Errorf("%s: ladder rung %s slower than previous (%.4g > %.4g)", r[0], r[1], tt, lastTime)
+		}
+		lastBench, lastTime = r[0], tt
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	e := testEnv(t)
+	tab := e.Fig5()
+	if len(tab.Rows) != 15 {
+		t.Fatalf("Fig5 rows = %d, want 15 (5 fC x 3 fM)", len(tab.Rows))
+	}
+	if len(tab.Headers) != 7 {
+		t.Fatalf("Fig5 headers = %d, want 7", len(tab.Headers))
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 10 {
+		t.Fatalf("Table1 rows = %d, want 10", len(tab.Rows))
+	}
+}
+
+func TestFig10MatchesPaperBands(t *testing.T) {
+	e := testEnv(t)
+	res := e.Fig10()
+	if res.PerfMean < 0.90 {
+		t.Errorf("performance accuracy %.3f, want ≥0.90 (paper 0.97)", res.PerfMean)
+	}
+	if res.CPUMean < 0.80 {
+		t.Errorf("CPU power accuracy %.3f, want ≥0.80 (paper 0.90)", res.CPUMean)
+	}
+	if res.MemMean < 0.70 {
+		t.Errorf("memory power accuracy %.3f, want ≥0.70 (paper 0.80)", res.MemMean)
+	}
+	// The paper's ordering: performance > CPU power > memory power.
+	if !(res.PerfMean > res.CPUMean) {
+		t.Errorf("accuracy ordering broken: perf %.3f vs cpu %.3f", res.PerfMean, res.CPUMean)
+	}
+	t.Logf("accuracy: perf %.3f/%.3f cpu %.3f/%.3f mem %.3f/%.3f (mean/median)",
+		res.PerfMean, res.PerfMedian, res.CPUMean, res.CPUMedian, res.MemMean, res.MemMedian)
+}
+
+func TestFig8EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	e := testEnv(t)
+	res := e.Fig8()
+	if len(res.NormTotal) != 21 {
+		t.Fatalf("Fig8 covers %d benchmarks, want 21", len(res.NormTotal))
+	}
+	if res.GeoMean["GRWS"] != 1 {
+		t.Fatalf("GRWS norm = %v, want 1", res.GeoMean["GRWS"])
+	}
+	if res.GeoMean["JOSS"] >= 1 {
+		t.Errorf("JOSS geomean %.3f, want < 1", res.GeoMean["JOSS"])
+	}
+	if res.GeoMean["JOSS"] >= res.GeoMean["STEER"] {
+		t.Errorf("JOSS (%.3f) must beat STEER (%.3f)", res.GeoMean["JOSS"], res.GeoMean["STEER"])
+	}
+	if res.GeoMean["JOSS_NoMemDVFS"] >= res.GeoMean["STEER"] {
+		t.Errorf("JOSS_NoMemDVFS (%.3f) must beat STEER (%.3f)",
+			res.GeoMean["JOSS_NoMemDVFS"], res.GeoMean["STEER"])
+	}
+	t.Logf("geomeans: %v", res.GeoMean)
+}
+
+func TestFig9EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	e := testEnv(t)
+	res := e.Fig9()
+	if len(res.NormTime) != 21 {
+		t.Fatalf("Fig9 covers %d benchmarks, want 21", len(res.NormTime))
+	}
+	faster, total := 0, 0
+	for wl, m := range res.NormTime {
+		for _, v := range []string{"JOSS+1.4X", "JOSS+1.8X"} {
+			total++
+			if m[v] < 1 {
+				faster++
+			}
+		}
+		_ = wl
+	}
+	if faster*3 < total*2 {
+		t.Errorf("constraints sped up only %d/%d cases", faster, total)
+	}
+}
+
+func TestOverheadEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	e := testEnv(t)
+	res := e.Overhead()
+	if res.MeanEvalReduction < 0.4 {
+		t.Errorf("eval reduction %.2f, want ≥0.4 (paper ~0.70)", res.MeanEvalReduction)
+	}
+	if res.MeanEnergyRatio < 0.85 || res.MeanEnergyRatio > 1.15 {
+		t.Errorf("exhaustive/steepest energy %.3f, want ≈1 (paper: steepest ≈97%% as good)",
+			res.MeanEnergyRatio)
+	}
+	t.Logf("eval reduction %.0f%%, energy ratio %.3f",
+		res.MeanEvalReduction*100, res.MeanEnergyRatio)
+}
+
+// sscan parses a float rendered by Table.AddRow.
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}
+
+func TestExtrasEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	e := testEnv(t)
+	res := e.Extras()
+	if len(res.NormTotal) != 21 {
+		t.Fatalf("Extras covers %d benchmarks, want 21", len(res.NormTotal))
+	}
+	for _, gov := range ExtraSchedulerNames {
+		if res.GeoMean["JOSS"] >= res.GeoMean[gov] {
+			t.Errorf("JOSS (%.3f) must beat %s (%.3f)", res.GeoMean["JOSS"], gov, res.GeoMean[gov])
+		}
+	}
+}
+
+func TestDopSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	e := testEnv(t)
+	tab := e.DopSweep()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("DopSweep rows = %d, want 6", len(tab.Rows))
+	}
+	// JOSS never loses to GRWS for the paper's dop range (at very
+	// high dop with the tiny test-scale graphs, sampling dominates
+	// the whole run and the comparison degenerates).
+	for _, r := range tab.Rows {
+		var dop, joss float64
+		if _, err := sscan(r[0], &dop); err != nil {
+			t.Fatal(err)
+		}
+		if dop > 16 {
+			continue
+		}
+		if _, err := sscan(r[3], &joss); err != nil {
+			t.Fatal(err)
+		}
+		if joss > 1.001 {
+			t.Errorf("dop %s: JOSS/GRWS = %v > 1", r[0], joss)
+		}
+	}
+}
+
+// Full-pipeline determinism: two independently trained environments
+// must produce bit-identical results (training, sampling, selection,
+// stealing and energy accounting all flow from fixed seeds and
+// deterministic iteration orders).
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() (float64, float64) {
+		e, err := NewEnv(0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := e.Run("JOSS", workloads.SLU(0.02))
+		return rep.Exact.TotalJ(), rep.MakespanSec
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != e2 || t1 != t2 {
+		t.Fatalf("runs differ: %.12g/%.12g J, %.12g/%.12g s", e1, e2, t1, t2)
+	}
+}

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"joss/internal/models"
+	"joss/internal/platform"
+	"joss/internal/stats"
+	"joss/internal/workloads"
+)
+
+// Fig10Result carries the model-accuracy study.
+type Fig10Result struct {
+	Table *Table
+	// Mean and median accuracy per model.
+	PerfMean, PerfMedian float64
+	CPUMean, CPUMedian   float64
+	MemMean, MemMedian   float64
+}
+
+// Fig10 reproduces Figure 10 (§7.3): the prediction accuracy of the
+// performance, CPU power and memory power models across the evaluated
+// benchmarks. Real values come from running every benchmark kernel at
+// all 75 configurations on the (simulated) platform; predictions come
+// from the two-frequency runtime sampling plus the trained MPR models,
+// exactly the path the scheduler uses. The paper reports mean
+// accuracies of 97% (performance), 90% (CPU power) and 80% (memory
+// power). The accuracy metric is 1 − |real − predicted| / real.
+func (e *Env) Fig10() *Fig10Result {
+	var perfA, cpuA, memA []float64
+
+	// Collect every distinct kernel across the benchmark suite.
+	type kdemand struct {
+		name string
+		d    platform.TaskDemand
+	}
+	seen := make(map[string]bool)
+	var kernels []kdemand
+	for _, wl := range workloads.Fig8Configs() {
+		g := wl.Build(0.01)
+		for _, k := range g.Kernels {
+			if seen[k.Name] {
+				continue
+			}
+			seen[k.Name] = true
+			kernels = append(kernels, kdemand{k.Name, k.Demand})
+		}
+	}
+	sort.Slice(kernels, func(i, j int) bool { return kernels[i].name < kernels[j].name })
+
+	for _, k := range kernels {
+		samples := make(map[platform.Placement]models.SamplePair)
+		for _, pl := range e.Oracle.Spec.Placements() {
+			ref := e.Oracle.Measure(k.d, platform.Config{TC: pl.TC, NC: pl.NC, FC: models.RefFC, FM: models.RefFM})
+			alt := e.Oracle.Measure(k.d, platform.Config{TC: pl.TC, NC: pl.NC, FC: models.AltFC, FM: models.RefFM})
+			samples[pl] = models.SamplePair{TimeRef: ref.TimeSec, TimeAlt: alt.TimeSec}
+		}
+		kt := e.Set.BuildTables(k.name, samples)
+		for _, cfg := range e.Oracle.Spec.Configs() {
+			real := e.Oracle.Measure(k.d, cfg)
+			pred, ok := kt.At(cfg)
+			if !ok {
+				continue
+			}
+			perfA = append(perfA, models.Accuracy(real.TimeSec, pred.TimeSec))
+			cpuA = append(cpuA, models.Accuracy(real.CPUPowerW,
+				pred.CPUDynW+e.Set.IdleCPUW[cfg.TC][cfg.FC]))
+			memA = append(memA, models.Accuracy(real.MemPowerW,
+				pred.MemDynW+e.Set.IdleMemW[cfg.FM]))
+		}
+	}
+
+	res := &Fig10Result{
+		PerfMean: stats.Mean(perfA), PerfMedian: stats.Median(perfA),
+		CPUMean: stats.Mean(cpuA), CPUMedian: stats.Median(cpuA),
+		MemMean: stats.Mean(memA), MemMedian: stats.Median(memA),
+	}
+	t := &Table{
+		Title:   "Figure 10: model prediction accuracy across benchmarks (all 75 configs)",
+		Headers: []string{"model", "mean", "median", "p25", "p75", "paper mean"},
+	}
+	t.AddRow("Performance", res.PerfMean, res.PerfMedian,
+		stats.Percentile(perfA, 25), stats.Percentile(perfA, 75), "0.97")
+	t.AddRow("CPU Power", res.CPUMean, res.CPUMedian,
+		stats.Percentile(cpuA, 25), stats.Percentile(cpuA, 75), "0.90")
+	t.AddRow("Memory Power", res.MemMean, res.MemMedian,
+		stats.Percentile(memA, 25), stats.Percentile(memA, 75), "0.80")
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d kernels x %d configurations", len(kernels), len(e.Oracle.Spec.Configs())))
+	res.Table = t
+	return res
+}

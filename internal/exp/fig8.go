@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"fmt"
+
+	"joss/internal/sched"
+	"joss/internal/stats"
+	"joss/internal/taskrt"
+	"joss/internal/workloads"
+)
+
+// Fig8Result carries the Figure 8 sweep: per-benchmark energy for each
+// scheduler, plus the normalised table.
+type Fig8Result struct {
+	Table *Table
+	// NormTotal[wl][sched] is total energy normalised to GRWS.
+	NormTotal map[string]map[string]float64
+	// GeoMean[sched] is the geometric mean of NormTotal across
+	// benchmarks.
+	GeoMean map[string]float64
+	Reports map[string]map[string]taskrt.Report
+}
+
+// Fig8 reproduces Figure 8 (§7.1): total energy consumption of the 21
+// benchmark configurations under GRWS, ERASE, Aequitas, STEER, JOSS
+// and JOSS_NoMemDVFS, normalised to GRWS (lower is better). The
+// paper's headline: JOSS −40.7% vs GRWS on average (STEER −19.5%,
+// ERASE −16.3%, Aequitas −8.7%), i.e. −21.2% vs the best
+// state-of-the-art, and JOSS_NoMemDVFS still −5.2% vs STEER.
+func (e *Env) Fig8() *Fig8Result {
+	var jobs []sweepJob
+	for _, wl := range workloads.Fig8Configs() {
+		for _, sn := range SchedulerNames {
+			sn := sn
+			jobs = append(jobs, sweepJob{wl: wl, label: sn,
+				mk: func() taskrt.Scheduler { return e.NewScheduler(sn) }})
+		}
+	}
+	reports := e.sweep(jobs)
+
+	res := &Fig8Result{
+		NormTotal: make(map[string]map[string]float64),
+		GeoMean:   make(map[string]float64),
+		Reports:   reports,
+	}
+	t := &Table{
+		Title:   "Figure 8: total energy normalised to GRWS (lower is better)",
+		Headers: append([]string{"benchmark"}, SchedulerNames...),
+	}
+	norms := make(map[string][]float64)
+	for _, wl := range workloads.Fig8Configs() {
+		base := EnergyOf(reports[wl.Name]["GRWS"]).TotalJ()
+		row := []any{wl.Name}
+		res.NormTotal[wl.Name] = make(map[string]float64)
+		for _, sn := range SchedulerNames {
+			n := EnergyOf(reports[wl.Name][sn]).TotalJ() / base
+			res.NormTotal[wl.Name][sn] = n
+			norms[sn] = append(norms[sn], n)
+			row = append(row, fmt.Sprintf("%.3f", n))
+		}
+		t.AddRow(row...)
+	}
+	gm := []any{"Geo.Mean"}
+	for _, sn := range SchedulerNames {
+		g := stats.GeoMean(norms[sn])
+		res.GeoMean[sn] = g
+		gm = append(gm, fmt.Sprintf("%.3f", g))
+	}
+	t.AddRow(gm...)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("JOSS saves %.1f%% vs GRWS (paper: 40.7%%), %.1f%% vs STEER (paper: 21.2%%)",
+			100*(1-res.GeoMean["JOSS"]), 100*(1-res.GeoMean["JOSS"]/res.GeoMean["STEER"])),
+		fmt.Sprintf("JOSS_NoMemDVFS saves %.1f%% vs STEER (paper: 5.2%%)",
+			100*(1-res.GeoMean["JOSS_NoMemDVFS"]/res.GeoMean["STEER"])))
+	res.Table = t
+	return res
+}
+
+// Fig9Variants are the Figure 9 trade-off targets.
+var Fig9Variants = []string{"JOSS", "JOSS+1.2X", "JOSS+1.4X", "JOSS+1.8X", "JOSS+MAXP"}
+
+// Fig9Result carries the performance-constraint sweep.
+type Fig9Result struct {
+	Table *Table
+	// NormEnergy/NormTime[wl][variant], normalised to plain JOSS.
+	NormEnergy map[string]map[string]float64
+	NormTime   map[string]map[string]float64
+}
+
+// Fig9 reproduces Figure 9 (§7.2): energy and execution time when JOSS
+// targets energy reduction under user-specified performance
+// constraints (speedups of 1.2×, 1.4×, 1.8× over plain JOSS, plus
+// MAXP). The paper reports meeting the three targets at an average
+// +6%, +13% and +32% energy.
+func (e *Env) Fig9() *Fig9Result {
+	mk := func(variant string) func() taskrt.Scheduler {
+		return func() taskrt.Scheduler {
+			switch variant {
+			case "JOSS":
+				return sched.NewJOSS(e.Set)
+			case "JOSS+1.2X":
+				return sched.NewJOSSConstrained(e.Set, 1.2)
+			case "JOSS+1.4X":
+				return sched.NewJOSSConstrained(e.Set, 1.4)
+			case "JOSS+1.8X":
+				return sched.NewJOSSConstrained(e.Set, 1.8)
+			case "JOSS+MAXP":
+				return sched.NewJOSSMaxP(e.Set)
+			}
+			panic("unknown variant " + variant)
+		}
+	}
+	var jobs []sweepJob
+	for _, wl := range workloads.Fig8Configs() {
+		for _, v := range Fig9Variants {
+			jobs = append(jobs, sweepJob{wl: wl, label: v, mk: mk(v)})
+		}
+	}
+	reports := e.sweep(jobs)
+
+	res := &Fig9Result{
+		NormEnergy: make(map[string]map[string]float64),
+		NormTime:   make(map[string]map[string]float64),
+	}
+	t := &Table{
+		Title: "Figure 9: energy (E) and time (T) under performance constraints, normalised to JOSS",
+		Headers: []string{"benchmark",
+			"E 1.2X", "E 1.4X", "E 1.8X", "E MAXP",
+			"T 1.2X", "T 1.4X", "T 1.8X", "T MAXP"},
+	}
+	for _, wl := range workloads.Fig8Configs() {
+		base := reports[wl.Name]["JOSS"]
+		res.NormEnergy[wl.Name] = make(map[string]float64)
+		res.NormTime[wl.Name] = make(map[string]float64)
+		row := []any{wl.Name}
+		for _, v := range Fig9Variants {
+			r := reports[wl.Name][v]
+			res.NormEnergy[wl.Name][v] = EnergyOf(r).TotalJ() / EnergyOf(base).TotalJ()
+			res.NormTime[wl.Name][v] = r.MakespanSec / base.MakespanSec
+		}
+		for _, v := range Fig9Variants[1:] {
+			row = append(row, fmt.Sprintf("%.3f", res.NormEnergy[wl.Name][v]))
+		}
+		for _, v := range Fig9Variants[1:] {
+			row = append(row, fmt.Sprintf("%.3f", res.NormTime[wl.Name][v]))
+		}
+		t.AddRow(row...)
+	}
+	var e12, e14, e18 []float64
+	for _, wl := range workloads.Fig8Configs() {
+		e12 = append(e12, res.NormEnergy[wl.Name]["JOSS+1.2X"])
+		e14 = append(e14, res.NormEnergy[wl.Name]["JOSS+1.4X"])
+		e18 = append(e18, res.NormEnergy[wl.Name]["JOSS+1.8X"])
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"mean energy overhead: 1.2X %+.0f%%, 1.4X %+.0f%%, 1.8X %+.0f%% (paper: +6%%, +13%%, +32%%)",
+		100*(stats.Mean(e12)-1), 100*(stats.Mean(e14)-1), 100*(stats.Mean(e18)-1)))
+	res.Table = t
+	return res
+}

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"joss/internal/dag"
+	"joss/internal/platform"
+	"joss/internal/workloads"
+)
+
+// fig12Scale keeps the motivation sweeps (75 whole-application runs
+// per benchmark) quick while preserving per-task behaviour.
+const fig12Scale = 0.01
+
+// motivationBenchmarks are the two §2 benchmarks: compute-intensive
+// Matrix Multiplication and memory-intensive Matrix Copy, both with a
+// DAG parallelism of one.
+func motivationBenchmarks() []workloads.Config {
+	return []workloads.Config{
+		{Name: "MM", Build: func(s float64) *dag.Graph { return workloads.MM(256, 1, s) }},
+		{Name: "MC", Build: func(s float64) *dag.Graph { return workloads.MC(4096, 1, s) }},
+	}
+}
+
+// configSweep runs a whole benchmark at every configuration and
+// returns per-config CPU and memory energy.
+func (e *Env) configSweep(build func(float64) *dag.Graph) map[platform.Config]platform.Energy {
+	out := make(map[platform.Config]platform.Energy)
+	for _, cfg := range e.Oracle.Spec.Configs() {
+		rep := e.RunFixed(cfg, build(fig12Scale))
+		out[cfg] = rep.Exact
+	}
+	return out
+}
+
+func argmin(sweep map[platform.Config]platform.Energy,
+	admit func(platform.Config) bool, score func(platform.Energy) float64) platform.Config {
+
+	best := math.Inf(1)
+	var bestCfg platform.Config
+	for _, cfg := range platform.TX2().Configs() { // deterministic order
+		en, ok := sweep[cfg]
+		if !ok || !admit(cfg) {
+			continue
+		}
+		if s := score(en); s < best {
+			best, bestCfg = s, cfg
+		}
+	}
+	return bestCfg
+}
+
+// Fig1 reproduces Figure 1 (§2.1–2.2): total energy of MM and MC under
+// four configuration-selection scenarios —
+//
+//  1. least CPU energy over <TC, NC, fC>, fM fixed at max (the
+//     state-of-the-art, STEER-style objective);
+//  2. least total energy over <TC, NC, fC>, fM fixed at max;
+//  3. scenario 1's <TC, NC, fC> with fM then tuned independently
+//     (orthogonal scaling);
+//  4. least total energy over all four knobs in conjunction (JOSS).
+func (e *Env) Fig1() *Table {
+	t := &Table{
+		Title:   "Figure 1: total energy under four configuration-selection scenarios",
+		Headers: []string{"bench", "scenario", "config", "CPU J", "Mem J", "Total J"},
+	}
+	for _, wl := range motivationBenchmarks() {
+		sweep := e.configSweep(wl.Build)
+		fmMax := func(c platform.Config) bool { return c.FM == platform.MaxFM }
+		all := func(platform.Config) bool { return true }
+		cpu := func(en platform.Energy) float64 { return en.CPUJ }
+		tot := func(en platform.Energy) float64 { return en.TotalJ() }
+
+		cfg1 := argmin(sweep, fmMax, cpu)
+		cfg2 := argmin(sweep, fmMax, tot)
+		cfg3 := argmin(sweep, func(c platform.Config) bool {
+			return c.TC == cfg1.TC && c.NC == cfg1.NC && c.FC == cfg1.FC
+		}, tot)
+		cfg4 := argmin(sweep, all, tot)
+
+		for i, cfg := range []platform.Config{cfg1, cfg2, cfg3, cfg4} {
+			en := sweep[cfg]
+			t.AddRow(wl.Name, fmt.Sprintf("%d", i+1), cfg.String(), en.CPUJ, en.MemJ, en.TotalJ())
+		}
+	}
+	t.Notes = append(t.Notes,
+		"scenario 2 vs 1: including memory energy changes the chosen config even without a memory knob",
+		"scenario 4 vs 3: tuning the four knobs in conjunction beats orthogonal throttling")
+	return t
+}
+
+// Fig2 reproduces Figure 2 (§2.3): the energy/performance trade-off
+// ladder — starting from the least-total-energy configuration, raise
+// fC to the maximum, then fM, then the core count, reporting energy
+// and execution time at each rung.
+func (e *Env) Fig2() *Table {
+	t := &Table{
+		Title:   "Figure 2: energy / performance trade-off ladder",
+		Headers: []string{"bench", "config", "Energy J", "Time s", "speedup", "energy overhead %"},
+	}
+	for _, wl := range motivationBenchmarks() {
+		sweep := e.configSweep(wl.Build)
+		base := argmin(sweep, func(platform.Config) bool { return true },
+			func(en platform.Energy) float64 { return en.TotalJ() })
+
+		var ladder []platform.Config
+		cur := base
+		ladder = append(ladder, cur)
+		for cur.FC < platform.MaxFC {
+			cur.FC++
+			ladder = append(ladder, cur)
+		}
+		for cur.FM < platform.MaxFM {
+			cur.FM++
+			ladder = append(ladder, cur)
+		}
+		clusterSize := e.Oracle.Spec.Clusters[e.Oracle.Spec.ClusterOf(cur.TC)].NumCores
+		for cur.NC*2 <= clusterSize {
+			cur.NC *= 2
+			ladder = append(ladder, cur)
+		}
+
+		times := make(map[platform.Config]float64)
+		for _, cfg := range ladder {
+			rep := e.RunFixed(cfg, wl.Build(fig12Scale))
+			times[cfg] = rep.MakespanSec
+		}
+		baseT := times[base]
+		baseE := sweep[base].TotalJ()
+		for _, cfg := range ladder {
+			en := sweep[cfg].TotalJ()
+			t.AddRow(wl.Name, cfg.String(), en, times[cfg],
+				baseT/times[cfg], 100*(en/baseE-1))
+		}
+	}
+	return t
+}

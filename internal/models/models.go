@@ -1,0 +1,406 @@
+// Package models implements JOSS's three prediction models (paper §4):
+//
+//   - the performance model (Eq. 1–2): execution time under joint CPU
+//     and memory frequency scaling, split into compute time (scales
+//     linearly with core frequency) and stall time (an MPR over the
+//     task's memory-boundness MB and the two frequency ratios);
+//   - the CPU power model (Eq. 4): an MPR over {MB, fC};
+//   - the memory power model (Eq. 5): an MPR over {MB, fC, fM};
+//
+// plus memory-boundness estimation from two-frequency time samples
+// (Eq. 3) and idle-power characterisation with concurrency-
+// proportional attribution (§4.3.3).
+//
+// Models carry no performance-counter dependence whatsoever — the
+// paper's portability argument — and are trained once per platform
+// from synthetic-benchmark profiles (§4.1), one coefficient set per
+// <TC, NC> placement.
+package models
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"joss/internal/platform"
+	"joss/internal/regression"
+	"joss/internal/synth"
+)
+
+// RefFC is the CPU frequency index used as the sampling reference
+// (2.04 GHz); RefFM is the memory reference (1.87 GHz); AltFC is the
+// second sampling frequency for MB estimation (1.11 GHz, well
+// separated from the reference as in the paper's examples).
+const (
+	RefFC = 4
+	RefFM = 2
+	AltFC = 2
+)
+
+// EstimateMB implements Eq. 3: given a task's execution time at core
+// frequency fRef and at fAlt (same memory frequency), it returns the
+// memory-boundness, clamped to [0, 1].
+func EstimateMB(timeRef, timeAlt, fRefGHz, fAltGHz float64) float64 {
+	r := fRefGHz / fAltGHz
+	if r == 1 {
+		return 0
+	}
+	mb := (timeAlt/timeRef - r) / (1 - r)
+	if mb < 0 {
+		return 0
+	}
+	if mb > 1 {
+		return 1
+	}
+	return mb
+}
+
+// PlacementModels holds the fitted MPR models for one <TC, NC>.
+// Coefficients are distinct per placement because MB values and power
+// behaviour change with core type and core count (paper §4.3.3,
+// "Modeling for different core type and number of cores").
+type PlacementModels struct {
+	Placement platform.Placement
+	// Perf predicts Time'_stall / Time_ref from {MB, fC/f'C, fM/f'M}.
+	Perf *regression.Model
+	// CPUPow predicts dynamic CPU power (W) from {MB, f'C}.
+	CPUPow *regression.Model
+	// MemPow predicts dynamic memory power (W) from {MB, f'C, f'M}.
+	MemPow *regression.Model
+}
+
+// Set is a full trained model set for a platform.
+type Set struct {
+	Spec        platform.Spec
+	ByPlacement map[platform.Placement]*PlacementModels
+	// IdleCPUW[tc][fc] is the measured idle power of the whole tc
+	// cluster (cores online, not executing) at frequency index fc,
+	// including uncore.
+	IdleCPUW [platform.NumCoreTypes][]float64
+	// IdleMemW[fm] is the measured memory background power.
+	IdleMemW []float64
+}
+
+// Train fits the three models per placement from synthetic profiles
+// and characterises idle power, reproducing the offline stage of
+// Figure 4. The profiling and model building need to be done once per
+// platform (install/boot time) — they do not run inside applications.
+func Train(o *platform.Oracle, rows []synth.Row) (*Set, error) {
+	s := &Set{
+		Spec:        o.Spec,
+		ByPlacement: make(map[platform.Placement]*PlacementModels),
+	}
+
+	// Idle power characterisation ("measured" from the platform with
+	// cores switched on but idle — §4.3.3).
+	for tc := platform.CoreType(0); tc < platform.NumCoreTypes; tc++ {
+		ci := o.Spec.ClusterOf(tc)
+		if ci < 0 {
+			continue
+		}
+		size := o.Spec.Clusters[ci].NumCores
+		s.IdleCPUW[tc] = make([]float64, len(platform.CPUFreqsGHz))
+		for fc := range platform.CPUFreqsGHz {
+			s.IdleCPUW[tc][fc] = o.CPUIdlePower(tc, size, fc) + o.ClusterUncorePower(tc)
+		}
+	}
+	s.IdleMemW = make([]float64, len(platform.MemFreqsGHz))
+	for fm := range platform.MemFreqsGHz {
+		s.IdleMemW[fm] = o.MemBackgroundPower(fm)
+	}
+
+	// Group rows by placement and benchmark. All iteration below is in
+	// deterministic (sorted) order: training sums floating-point
+	// values, and a map-ordered accumulation would make coefficients
+	// — and therefore scheduling decisions — vary between runs.
+	type key struct {
+		pl platform.Placement
+		b  string
+	}
+	grid := make(map[key]map[[2]int]platform.Measurement)
+	for _, r := range rows {
+		k := key{platform.Placement{TC: r.Cfg.TC, NC: r.Cfg.NC}, r.Bench.Name}
+		if grid[k] == nil {
+			grid[k] = make(map[[2]int]platform.Measurement)
+		}
+		grid[k][[2]int{r.Cfg.FC, r.Cfg.FM}] = r.Meas
+	}
+
+	byPl := make(map[platform.Placement]map[string]map[[2]int]platform.Measurement)
+	for k, g := range grid {
+		if byPl[k.pl] == nil {
+			byPl[k.pl] = make(map[string]map[[2]int]platform.Measurement)
+		}
+		byPl[k.pl][k.b] = g
+	}
+
+	fRef := platform.CPUFreqsGHz[RefFC]
+	fAlt := platform.CPUFreqsGHz[AltFC]
+	fMRef := platform.MemFreqsGHz[RefFM]
+
+	var pls []platform.Placement
+	for pl := range byPl {
+		pls = append(pls, pl)
+	}
+	sort.Slice(pls, func(i, j int) bool {
+		if pls[i].TC != pls[j].TC {
+			return pls[i].TC < pls[j].TC
+		}
+		return pls[i].NC < pls[j].NC
+	})
+
+	for _, pl := range pls {
+		benches := byPl[pl]
+		var names []string
+		for b := range benches {
+			names = append(names, b)
+		}
+		sort.Strings(names)
+
+		var perfX, cpuX, memX [][]float64
+		var perfY, cpuY, memY []float64
+		tc := pl.TC
+		for _, bname := range names {
+			g := benches[bname]
+			ref, ok := g[[2]int{RefFC, RefFM}]
+			if !ok {
+				continue
+			}
+			alt, ok := g[[2]int{AltFC, RefFM}]
+			if !ok {
+				continue
+			}
+			// MB exactly as the runtime will estimate it (Eq. 3).
+			mb := EstimateMB(ref.TimeSec, alt.TimeSec, fRef, fAlt)
+
+			var cells [][2]int
+			for cell := range g {
+				cells = append(cells, cell)
+			}
+			sort.Slice(cells, func(i, j int) bool {
+				if cells[i][0] != cells[j][0] {
+					return cells[i][0] < cells[j][0]
+				}
+				return cells[i][1] < cells[j][1]
+			})
+			for _, cfgFreq := range cells {
+				meas := g[cfgFreq]
+				fc, fm := cfgFreq[0], cfgFreq[1]
+				fPc := platform.CPUFreqsGHz[fc]
+				fPm := platform.MemFreqsGHz[fm]
+
+				// Performance: observed stall time at the target is
+				// total minus the Eq. 1 compute extrapolation.
+				comp := ref.TimeSec * (1 - mb) * (fRef / fPc)
+				stall := meas.TimeSec - comp
+				perfX = append(perfX, []float64{mb, fRef / fPc, fMRef / fPm})
+				perfY = append(perfY, stall/ref.TimeSec)
+
+				// CPU power: dynamic part above the idle baseline.
+				cpuDyn := meas.CPUPowerW - s.IdleCPUW[tc][fc]
+				cpuX = append(cpuX, []float64{mb, fPc})
+				cpuY = append(cpuY, cpuDyn)
+
+				// Memory power: dynamic part above background.
+				memDyn := meas.MemPowerW - s.IdleMemW[fm]
+				memX = append(memX, []float64{mb, fPc, fPm})
+				memY = append(memY, memDyn)
+			}
+		}
+		if len(perfX) == 0 {
+			return nil, fmt.Errorf("models: no training rows for %v", pl)
+		}
+		perf, err := regression.Fit(perfX, perfY)
+		if err != nil {
+			return nil, fmt.Errorf("models: perf fit %v: %w", pl, err)
+		}
+		cpu, err := regression.Fit(cpuX, cpuY)
+		if err != nil {
+			return nil, fmt.Errorf("models: cpu power fit %v: %w", pl, err)
+		}
+		mem, err := regression.Fit(memX, memY)
+		if err != nil {
+			return nil, fmt.Errorf("models: mem power fit %v: %w", pl, err)
+		}
+		s.ByPlacement[pl] = &PlacementModels{Placement: pl, Perf: perf, CPUPow: cpu, MemPow: mem}
+	}
+	return s, nil
+}
+
+// TrainDefault profiles the oracle's platform with the synthetic suite
+// and trains a model set.
+func TrainDefault(o *platform.Oracle) (*Set, error) {
+	return Train(o, synth.Profile(o))
+}
+
+// PredictTime implements Eq. 1 + Eq. 2: execution time of a task at
+// <fc, fm> given its reference-time sample (at RefFC, RefFM on the
+// same placement) and its MB.
+func (s *Set) PredictTime(pl platform.Placement, mb, refTimeSec float64, fc, fm int) float64 {
+	pm := s.ByPlacement[pl]
+	fRef := platform.CPUFreqsGHz[RefFC]
+	fMRef := platform.MemFreqsGHz[RefFM]
+	fPc := platform.CPUFreqsGHz[fc]
+	fPm := platform.MemFreqsGHz[fm]
+	comp := refTimeSec * (1 - mb) * (fRef / fPc)
+	stall := refTimeSec * pm.Perf.Predict([]float64{mb, fRef / fPc, fMRef / fPm})
+	t := comp + stall
+	if t < 1e-12 {
+		t = 1e-12
+	}
+	return t
+}
+
+// PredictCPUDynPower implements Eq. 4 (dynamic CPU power in W).
+func (s *Set) PredictCPUDynPower(pl platform.Placement, mb float64, fc int) float64 {
+	p := s.ByPlacement[pl].CPUPow.Predict([]float64{mb, platform.CPUFreqsGHz[fc]})
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// PredictMemDynPower implements Eq. 5 (dynamic memory power in W).
+func (s *Set) PredictMemDynPower(pl platform.Placement, mb float64, fc, fm int) float64 {
+	p := s.ByPlacement[pl].MemPow.Predict([]float64{
+		mb, platform.CPUFreqsGHz[fc], platform.MemFreqsGHz[fm]})
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// IdlePowerShare returns the idle (CPU cluster + memory background)
+// power attributed to one task when `concurrency` tasks run at once
+// (§4.3.3: idle power is shared across all concurrently running
+// tasks and attributed proportionally).
+func (s *Set) IdlePowerShare(tc platform.CoreType, fc, fm, concurrency int) float64 {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	return (s.IdleCPUW[tc][fc] + s.IdleMemW[fm]) / float64(concurrency)
+}
+
+// Prediction is one entry of a kernel's look-up tables.
+type Prediction struct {
+	TimeSec   float64
+	CPUDynW   float64
+	MemDynW   float64
+	ValidTime bool
+}
+
+// KernelTables are the per-kernel look-up tables of §5.1: for every
+// placement, measured reference samples (execution time at the two
+// sampling frequencies), the derived MB, and predictions across the
+// whole <fC, fM> grid.
+type KernelTables struct {
+	Kernel string
+	// MB[pl] is the estimated memory-boundness at placement pl.
+	MB map[platform.Placement]float64
+	// RefTime[pl] is the sampled execution time at <RefFC, RefFM>.
+	RefTime map[platform.Placement]float64
+	// Pred[pl][fc][fm] are model predictions.
+	Pred map[platform.Placement][][]Prediction
+}
+
+// SamplePair is the pair of runtime time samples JOSS takes per
+// <TC, NC> (at RefFC and AltFC, memory at RefFM) — §5.1.
+type SamplePair struct {
+	TimeRef float64 // at RefFC
+	TimeAlt float64 // at AltFC
+}
+
+// BuildTables computes a kernel's look-up tables from its runtime
+// samples. Placements without samples are absent from the tables.
+func (s *Set) BuildTables(kernel string, samples map[platform.Placement]SamplePair) *KernelTables {
+	kt := &KernelTables{
+		Kernel:  kernel,
+		MB:      make(map[platform.Placement]float64),
+		RefTime: make(map[platform.Placement]float64),
+		Pred:    make(map[platform.Placement][][]Prediction),
+	}
+	fRef := platform.CPUFreqsGHz[RefFC]
+	fAlt := platform.CPUFreqsGHz[AltFC]
+	for pl, sp := range samples {
+		if _, ok := s.ByPlacement[pl]; !ok {
+			continue
+		}
+		mb := EstimateMB(sp.TimeRef, sp.TimeAlt, fRef, fAlt)
+		kt.MB[pl] = mb
+		kt.RefTime[pl] = sp.TimeRef
+		grid := make([][]Prediction, len(platform.CPUFreqsGHz))
+		for fc := range grid {
+			grid[fc] = make([]Prediction, len(platform.MemFreqsGHz))
+			for fm := range grid[fc] {
+				grid[fc][fm] = Prediction{
+					TimeSec:   s.PredictTime(pl, mb, sp.TimeRef, fc, fm),
+					CPUDynW:   s.PredictCPUDynPower(pl, mb, fc),
+					MemDynW:   s.PredictMemDynPower(pl, mb, fc, fm),
+					ValidTime: true,
+				}
+			}
+		}
+		kt.Pred[pl] = grid
+	}
+	return kt
+}
+
+// Placements returns the placements the tables cover.
+func (kt *KernelTables) Placements() []platform.Placement {
+	out := make([]platform.Placement, 0, len(kt.Pred))
+	for pl := range kt.Pred {
+		out = append(out, pl)
+	}
+	return out
+}
+
+// At returns the prediction for a full configuration; ok is false if
+// the placement was never sampled.
+func (kt *KernelTables) At(cfg platform.Config) (Prediction, bool) {
+	grid, ok := kt.Pred[platform.Placement{TC: cfg.TC, NC: cfg.NC}]
+	if !ok {
+		return Prediction{}, false
+	}
+	return grid[cfg.FC][cfg.FM], true
+}
+
+// EnergyEstimate returns the estimated total energy (J) of running the
+// kernel once at cfg with the given task concurrency: dynamic CPU +
+// dynamic memory power plus the concurrency-attributed idle share,
+// all multiplied by predicted time (§5.2).
+func (s *Set) EnergyEstimate(kt *KernelTables, cfg platform.Config, concurrency int) (float64, bool) {
+	p, ok := kt.At(cfg)
+	if !ok {
+		return 0, false
+	}
+	pw := p.CPUDynW + p.MemDynW + s.IdlePowerShare(cfg.TC, cfg.FC, cfg.FM, concurrency)
+	return pw * p.TimeSec, true
+}
+
+// CPUEnergyEstimate is the CPU-only counterpart used by STEER-style
+// objectives: dynamic CPU power plus the CPU idle share, times
+// predicted time.
+func (s *Set) CPUEnergyEstimate(kt *KernelTables, cfg platform.Config, concurrency int) (float64, bool) {
+	p, ok := kt.At(cfg)
+	if !ok {
+		return 0, false
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	pw := p.CPUDynW + s.IdleCPUW[cfg.TC][cfg.FC]/float64(concurrency)
+	return pw * p.TimeSec, true
+}
+
+// Accuracy computes the paper's §7.3 metric, 1 − |real−pred|/real,
+// clamped below at 0.
+func Accuracy(real, pred float64) float64 {
+	if real == 0 {
+		return 0
+	}
+	a := 1 - math.Abs(real-pred)/math.Abs(real)
+	if a < 0 {
+		a = 0
+	}
+	return a
+}

@@ -1,0 +1,243 @@
+package models
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"joss/internal/platform"
+	"joss/internal/stats"
+)
+
+func trainedSet(t *testing.T) (*platform.Oracle, *Set) {
+	t.Helper()
+	o := platform.DefaultOracle()
+	s, err := TrainDefault(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, s
+}
+
+func TestEstimateMB(t *testing.T) {
+	// Fully compute-bound: time scales exactly with 1/f.
+	tRef := 1.0
+	tAlt := tRef * (2.04 / 1.11)
+	if mb := EstimateMB(tRef, tAlt, 2.04, 1.11); mb > 1e-9 {
+		t.Fatalf("compute-bound MB = %v, want 0", mb)
+	}
+	// Fully memory-bound: time unchanged by core frequency.
+	if mb := EstimateMB(1.0, 1.0, 2.04, 1.11); math.Abs(mb-1) > 1e-9 {
+		t.Fatalf("memory-bound MB = %v, want 1", mb)
+	}
+	// Half-and-half.
+	tAlt = 0.5 + 0.5*(2.04/1.11)
+	if mb := EstimateMB(1.0, tAlt, 2.04, 1.11); math.Abs(mb-0.5) > 1e-9 {
+		t.Fatalf("mixed MB = %v, want 0.5", mb)
+	}
+	// Clamping: a slowdown beyond the frequency ratio is outside the
+	// model (clamps to 0); a speedup at lower frequency clamps to 1.
+	if mb := EstimateMB(1.0, 10.0, 2.04, 1.11); mb != 0 {
+		t.Fatalf("MB clamp (excess slowdown) = %v, want 0", mb)
+	}
+	if mb := EstimateMB(1.0, 0.5, 2.04, 1.11); mb != 1 {
+		t.Fatalf("MB clamp (speedup) = %v, want 1", mb)
+	}
+	if mb := EstimateMB(1.0, 1.0, 2.04, 2.04); mb != 0 {
+		t.Fatalf("equal-frequency MB = %v, want 0", mb)
+	}
+}
+
+func TestTrainCoversAllPlacements(t *testing.T) {
+	o, s := trainedSet(t)
+	if len(s.ByPlacement) != len(o.Spec.Placements()) {
+		t.Fatalf("trained %d placements, want %d", len(s.ByPlacement), len(o.Spec.Placements()))
+	}
+	for pl, pm := range s.ByPlacement {
+		if pm.Perf.R2 < 0.95 {
+			t.Errorf("%v perf R2 = %.4f, want > 0.95", pl, pm.Perf.R2)
+		}
+		if pm.CPUPow.R2 < 0.90 {
+			t.Errorf("%v CPU power R2 = %.4f, want > 0.90", pl, pm.CPUPow.R2)
+		}
+		if pm.MemPow.R2 < 0.70 {
+			t.Errorf("%v mem power R2 = %.4f, want > 0.70", pl, pm.MemPow.R2)
+		}
+	}
+}
+
+func TestIdleCharacterisation(t *testing.T) {
+	_, s := trainedSet(t)
+	for tc := platform.CoreType(0); tc < platform.NumCoreTypes; tc++ {
+		last := 0.0
+		for fc := range platform.CPUFreqsGHz {
+			if s.IdleCPUW[tc][fc] <= last {
+				t.Fatalf("idle CPU power not increasing with fc for %v", tc)
+			}
+			last = s.IdleCPUW[tc][fc]
+		}
+	}
+	if s.IdleMemW[0] >= s.IdleMemW[platform.MaxFM] {
+		t.Fatal("idle memory power not increasing with fm")
+	}
+}
+
+// The central accuracy check: predictions from two-frequency sampling
+// should track the oracle across the whole configuration grid within
+// the paper's reported bands (§7.3: perf ≈97%, CPU power ≈90%,
+// memory power ≈80% mean accuracy).
+func TestModelAccuracyBands(t *testing.T) {
+	o, s := trainedSet(t)
+	var perfAcc, cpuAcc, memAcc []float64
+	// Evaluate on kernels NOT in the training suite: a few synthetic
+	// mixes plus distinct activity/parallel-efficiency settings.
+	kernels := []platform.TaskDemand{
+		{Kernel: "evalA", Ops: 40e6, Bytes: 0.4e6, ParEff: 1, Activity: 1, RowHit: 0.9},
+		{Kernel: "evalB", Ops: 8e6, Bytes: 6e6, ParEff: 0.95, Activity: 0.75, RowHit: 0.85},
+		{Kernel: "evalC", Ops: 20e6, Bytes: 2e6, ParEff: 0.9, Activity: 0.85, RowHit: 0.45},
+		{Kernel: "evalD", Ops: 2e6, Bytes: 9e6, ParEff: 1, Activity: 0.7, RowHit: 0.35},
+		{Kernel: "evalE", Ops: 60e6, Bytes: 3e6, ParEff: 0.8, Activity: 0.9, RowHit: 0.6},
+	}
+	for _, d := range kernels {
+		samples := make(map[platform.Placement]SamplePair)
+		for _, pl := range o.Spec.Placements() {
+			ref := o.Measure(d, platform.Config{TC: pl.TC, NC: pl.NC, FC: RefFC, FM: RefFM})
+			alt := o.Measure(d, platform.Config{TC: pl.TC, NC: pl.NC, FC: AltFC, FM: RefFM})
+			samples[pl] = SamplePair{TimeRef: ref.TimeSec, TimeAlt: alt.TimeSec}
+		}
+		kt := s.BuildTables(d.Kernel, samples)
+		for _, cfg := range o.Spec.Configs() {
+			real := o.Measure(d, cfg)
+			pred, ok := kt.At(cfg)
+			if !ok {
+				t.Fatalf("no prediction for %v", cfg)
+			}
+			perfAcc = append(perfAcc, Accuracy(real.TimeSec, pred.TimeSec))
+			realCPUDyn := real.CPUPowerW - s.IdleCPUW[cfg.TC][cfg.FC]
+			realMemDyn := real.MemPowerW - s.IdleMemW[cfg.FM]
+			cpuAcc = append(cpuAcc, Accuracy(real.CPUPowerW, pred.CPUDynW+s.IdleCPUW[cfg.TC][cfg.FC]))
+			memAcc = append(memAcc, Accuracy(real.MemPowerW, pred.MemDynW+s.IdleMemW[cfg.FM]))
+			_ = realCPUDyn
+			_ = realMemDyn
+		}
+	}
+	mp, mc, mm := stats.Mean(perfAcc), stats.Mean(cpuAcc), stats.Mean(memAcc)
+	if mp < 0.90 {
+		t.Errorf("performance model mean accuracy %.3f, want ≥0.90 (paper: 0.97)", mp)
+	}
+	if mc < 0.85 {
+		t.Errorf("CPU power model mean accuracy %.3f, want ≥0.85 (paper: 0.90)", mc)
+	}
+	if mm < 0.70 {
+		t.Errorf("memory power model mean accuracy %.3f, want ≥0.70 (paper: 0.80)", mm)
+	}
+	t.Logf("mean accuracy: perf %.3f cpu %.3f mem %.3f", mp, mc, mm)
+}
+
+func TestBuildTablesShape(t *testing.T) {
+	o, s := trainedSet(t)
+	d := platform.TaskDemand{Kernel: "k", Ops: 1e7, Bytes: 1e6, ParEff: 1, Activity: 1}
+	samples := make(map[platform.Placement]SamplePair)
+	for _, pl := range o.Spec.Placements() {
+		ref := o.Measure(d, platform.Config{TC: pl.TC, NC: pl.NC, FC: RefFC, FM: RefFM})
+		alt := o.Measure(d, platform.Config{TC: pl.TC, NC: pl.NC, FC: AltFC, FM: RefFM})
+		samples[pl] = SamplePair{TimeRef: ref.TimeSec, TimeAlt: alt.TimeSec}
+	}
+	kt := s.BuildTables("k", samples)
+	if len(kt.Placements()) != 5 {
+		t.Fatalf("tables cover %d placements, want 5", len(kt.Placements()))
+	}
+	for _, cfg := range o.Spec.Configs() {
+		p, ok := kt.At(cfg)
+		if !ok || p.TimeSec <= 0 {
+			t.Fatalf("missing/bad prediction at %v: %+v ok=%v", cfg, p, ok)
+		}
+	}
+	// Partial sampling: tables must only cover sampled placements.
+	one := map[platform.Placement]SamplePair{
+		{TC: platform.Denver, NC: 2}: samples[platform.Placement{TC: platform.Denver, NC: 2}],
+	}
+	kt1 := s.BuildTables("k", one)
+	if len(kt1.Placements()) != 1 {
+		t.Fatalf("partial tables cover %d placements, want 1", len(kt1.Placements()))
+	}
+	if _, ok := kt1.At(platform.Config{TC: platform.A57, NC: 1, FC: 0, FM: 0}); ok {
+		t.Fatal("unsampled placement should be absent")
+	}
+}
+
+func TestEnergyEstimates(t *testing.T) {
+	o, s := trainedSet(t)
+	d := platform.TaskDemand{Kernel: "k2", Ops: 1e7, Bytes: 3e6, ParEff: 1, Activity: 0.8}
+	pl := platform.Placement{TC: platform.A57, NC: 2}
+	ref := o.Measure(d, platform.Config{TC: pl.TC, NC: pl.NC, FC: RefFC, FM: RefFM})
+	alt := o.Measure(d, platform.Config{TC: pl.TC, NC: pl.NC, FC: AltFC, FM: RefFM})
+	kt := s.BuildTables("k2", map[platform.Placement]SamplePair{pl: {ref.TimeSec, alt.TimeSec}})
+	cfg := platform.Config{TC: pl.TC, NC: pl.NC, FC: 2, FM: 1}
+	e1, ok := s.EnergyEstimate(kt, cfg, 1)
+	if !ok || e1 <= 0 {
+		t.Fatalf("EnergyEstimate = %v, %v", e1, ok)
+	}
+	e4, _ := s.EnergyEstimate(kt, cfg, 4)
+	if e4 >= e1 {
+		t.Fatalf("idle attribution: energy at concurrency 4 (%v) should be < at 1 (%v)", e4, e1)
+	}
+	ec, ok := s.CPUEnergyEstimate(kt, cfg, 1)
+	if !ok || ec <= 0 || ec >= e1 {
+		t.Fatalf("CPUEnergyEstimate = %v, want in (0, total %v)", ec, e1)
+	}
+	if _, ok := s.EnergyEstimate(kt, platform.Config{TC: platform.Denver, NC: 1}, 1); ok {
+		t.Fatal("estimate for unsampled placement should fail")
+	}
+}
+
+func TestAccuracyMetric(t *testing.T) {
+	if a := Accuracy(10, 10); a != 1 {
+		t.Fatalf("Accuracy(10,10) = %v", a)
+	}
+	if a := Accuracy(10, 9); math.Abs(a-0.9) > 1e-12 {
+		t.Fatalf("Accuracy(10,9) = %v", a)
+	}
+	if a := Accuracy(10, 30); a != 0 {
+		t.Fatalf("Accuracy clamps at 0, got %v", a)
+	}
+	if a := Accuracy(0, 1); a != 0 {
+		t.Fatalf("Accuracy with zero real = %v", a)
+	}
+}
+
+// Property: EstimateMB is always in [0,1] and nonincreasing in
+// timeAlt (the more the task slows down at the lower frequency, the
+// more compute-bound it is).
+func TestPropertyEstimateMBBounded(t *testing.T) {
+	f := func(tr, ta uint32) bool {
+		timeRef := 0.001 + float64(tr%1000)/1000
+		timeAlt := 0.001 + float64(ta%4000)/1000
+		mb := EstimateMB(timeRef, timeAlt, 2.04, 1.11)
+		if mb < 0 || mb > 1 {
+			return false
+		}
+		mb2 := EstimateMB(timeRef, timeAlt*1.01, 2.04, 1.11)
+		return mb2 <= mb+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: predicted time decreases (weakly) as frequency rises, for
+// any MB — the models must preserve the knobs' physical direction on
+// interpolation points used by the search.
+func TestPropertyPredictionMonotoneTrend(t *testing.T) {
+	_, s := trainedSet(t)
+	pl := platform.Placement{TC: platform.A57, NC: 2}
+	f := func(mbRaw uint8) bool {
+		mb := float64(mbRaw%101) / 100
+		tMax := s.PredictTime(pl, mb, 0.02, platform.MaxFC, platform.MaxFM)
+		tMin := s.PredictTime(pl, mb, 0.02, 0, 0)
+		return tMin >= tMax*0.95
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 101}); err != nil {
+		t.Fatal(err)
+	}
+}

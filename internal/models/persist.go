@@ -1,0 +1,140 @@
+package models
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"joss/internal/platform"
+	"joss/internal/regression"
+)
+
+// The paper notes that profiling and model building need to be done
+// only once per platform, at install or boot time (§4.3.3). This file
+// provides the persistence half of that workflow: a trained Set can be
+// serialised to JSON (by cmd/jossprofile) and reloaded by any process
+// without re-profiling.
+
+type persistModel struct {
+	K    int       `json:"k"`
+	Coef []float64 `json:"coef"`
+	R2   float64   `json:"r2"`
+	RMSE float64   `json:"rmse"`
+	NObs int       `json:"nObs"`
+}
+
+type persistPlacement struct {
+	TC     string       `json:"tc"`
+	NC     int          `json:"nc"`
+	Perf   persistModel `json:"perf"`
+	CPUPow persistModel `json:"cpuPow"`
+	MemPow persistModel `json:"memPow"`
+}
+
+type persistSet struct {
+	Version    int                `json:"version"`
+	Placements []persistPlacement `json:"placements"`
+	IdleCPUW   [][]float64        `json:"idleCpuW"`
+	IdleMemW   []float64          `json:"idleMemW"`
+}
+
+const persistVersion = 1
+
+func toPersist(m *regression.Model) persistModel {
+	return persistModel{K: m.K, Coef: m.Coef, R2: m.R2, RMSE: m.RMSE, NObs: m.NObs}
+}
+
+func fromPersist(p persistModel) (*regression.Model, error) {
+	if len(p.Coef) != regression.NumFeatures(p.K) {
+		return nil, fmt.Errorf("models: %d coefficients for %d variables (want %d)",
+			len(p.Coef), p.K, regression.NumFeatures(p.K))
+	}
+	return &regression.Model{K: p.K, Coef: p.Coef, R2: p.R2, RMSE: p.RMSE, NObs: p.NObs}, nil
+}
+
+func coreTypeName(tc platform.CoreType) string { return tc.String() }
+
+func coreTypeFromName(name string) (platform.CoreType, error) {
+	for tc := platform.CoreType(0); tc < platform.NumCoreTypes; tc++ {
+		if tc.String() == name {
+			return tc, nil
+		}
+	}
+	return 0, fmt.Errorf("models: unknown core type %q", name)
+}
+
+// Save serialises the trained model set as JSON.
+func (s *Set) Save(w io.Writer) error {
+	ps := persistSet{Version: persistVersion, IdleMemW: s.IdleMemW}
+	for tc := platform.CoreType(0); tc < platform.NumCoreTypes; tc++ {
+		ps.IdleCPUW = append(ps.IdleCPUW, s.IdleCPUW[tc])
+	}
+	for pl, pm := range s.ByPlacement {
+		ps.Placements = append(ps.Placements, persistPlacement{
+			TC:     coreTypeName(pl.TC),
+			NC:     pl.NC,
+			Perf:   toPersist(pm.Perf),
+			CPUPow: toPersist(pm.CPUPow),
+			MemPow: toPersist(pm.MemPow),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ps)
+}
+
+// Load reconstructs a model set saved by Save. The platform spec must
+// match the one the set was trained for (the TX2 by default).
+func Load(r io.Reader, spec platform.Spec) (*Set, error) {
+	var ps persistSet
+	if err := json.NewDecoder(r).Decode(&ps); err != nil {
+		return nil, fmt.Errorf("models: decoding: %w", err)
+	}
+	if ps.Version != persistVersion {
+		return nil, fmt.Errorf("models: unsupported version %d", ps.Version)
+	}
+	if len(ps.IdleCPUW) != int(platform.NumCoreTypes) {
+		return nil, fmt.Errorf("models: idle table covers %d core types, want %d",
+			len(ps.IdleCPUW), platform.NumCoreTypes)
+	}
+	if len(ps.IdleMemW) != len(platform.MemFreqsGHz) {
+		return nil, fmt.Errorf("models: idle memory table has %d entries, want %d",
+			len(ps.IdleMemW), len(platform.MemFreqsGHz))
+	}
+	s := &Set{Spec: spec, ByPlacement: make(map[platform.Placement]*PlacementModels)}
+	for tc := platform.CoreType(0); tc < platform.NumCoreTypes; tc++ {
+		if len(ps.IdleCPUW[tc]) != len(platform.CPUFreqsGHz) {
+			return nil, fmt.Errorf("models: idle CPU table for %v has %d entries, want %d",
+				tc, len(ps.IdleCPUW[tc]), len(platform.CPUFreqsGHz))
+		}
+		s.IdleCPUW[tc] = ps.IdleCPUW[tc]
+	}
+	s.IdleMemW = ps.IdleMemW
+	for _, pp := range ps.Placements {
+		tc, err := coreTypeFromName(pp.TC)
+		if err != nil {
+			return nil, err
+		}
+		pl := platform.Placement{TC: tc, NC: pp.NC}
+		if !(platform.Config{TC: tc, NC: pp.NC, FC: 0, FM: 0}).Valid(spec) {
+			return nil, fmt.Errorf("models: placement %v invalid for platform", pl)
+		}
+		perf, err := fromPersist(pp.Perf)
+		if err != nil {
+			return nil, err
+		}
+		cpu, err := fromPersist(pp.CPUPow)
+		if err != nil {
+			return nil, err
+		}
+		mem, err := fromPersist(pp.MemPow)
+		if err != nil {
+			return nil, err
+		}
+		s.ByPlacement[pl] = &PlacementModels{Placement: pl, Perf: perf, CPUPow: cpu, MemPow: mem}
+	}
+	if len(s.ByPlacement) == 0 {
+		return nil, fmt.Errorf("models: no placements in saved set")
+	}
+	return s, nil
+}

@@ -1,0 +1,85 @@
+package models
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"joss/internal/platform"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	o, s := trainedSet(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, o.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.ByPlacement) != len(s.ByPlacement) {
+		t.Fatalf("placements %d, want %d", len(got.ByPlacement), len(s.ByPlacement))
+	}
+	// Predictions must be identical after a round trip.
+	pl := platform.Placement{TC: platform.Denver, NC: 2}
+	for _, mb := range []float64{0, 0.3, 0.9} {
+		for fc := range platform.CPUFreqsGHz {
+			for fm := range platform.MemFreqsGHz {
+				a := s.PredictTime(pl, mb, 0.01, fc, fm)
+				b := got.PredictTime(pl, mb, 0.01, fc, fm)
+				if math.Abs(a-b) > 1e-15 {
+					t.Fatalf("time prediction differs after round trip: %v vs %v", a, b)
+				}
+				pa := s.PredictMemDynPower(pl, mb, fc, fm)
+				pb := got.PredictMemDynPower(pl, mb, fc, fm)
+				if math.Abs(pa-pb) > 1e-15 {
+					t.Fatalf("power prediction differs: %v vs %v", pa, pb)
+				}
+			}
+		}
+	}
+	for tc := platform.CoreType(0); tc < platform.NumCoreTypes; tc++ {
+		for fc := range platform.CPUFreqsGHz {
+			if got.IdleCPUW[tc][fc] != s.IdleCPUW[tc][fc] {
+				t.Fatal("idle CPU table differs after round trip")
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	spec := platform.TX2()
+	if _, err := Load(strings.NewReader("not json"), spec); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99}`), spec); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"idleCpuW":[[1,2,3,4,5]],"idleMemW":[1,2,3]}`), spec); err == nil {
+		t.Fatal("short idle table accepted")
+	}
+	// Valid skeleton but invalid placement.
+	bad := `{"version":1,
+		"idleCpuW":[[1,1,1,1,1],[1,1,1,1,1]],
+		"idleMemW":[1,1,1],
+		"placements":[{"tc":"Denver","nc":8,
+			"perf":{"k":3,"coef":[0,0,0,0,0,0,0,0,0,0],"r2":1,"rmse":0,"nObs":1},
+			"cpuPow":{"k":2,"coef":[0,0,0,0,0,0],"r2":1,"rmse":0,"nObs":1},
+			"memPow":{"k":3,"coef":[0,0,0,0,0,0,0,0,0,0],"r2":1,"rmse":0,"nObs":1}}]}`
+	if _, err := Load(strings.NewReader(bad), spec); err == nil {
+		t.Fatal("invalid placement accepted")
+	}
+	// Coefficient count mismatch.
+	bad2 := strings.Replace(bad, `"nc":8`, `"nc":2`, 1)
+	bad2 = strings.Replace(bad2, `"perf":{"k":3,"coef":[0,0,0,0,0,0,0,0,0,0]`, `"perf":{"k":3,"coef":[0,0]`, 1)
+	if _, err := Load(strings.NewReader(bad2), spec); err == nil {
+		t.Fatal("coefficient mismatch accepted")
+	}
+	// Empty placements.
+	empty := `{"version":1,"idleCpuW":[[1,1,1,1,1],[1,1,1,1,1]],"idleMemW":[1,1,1],"placements":[]}`
+	if _, err := Load(strings.NewReader(empty), spec); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}

@@ -1,0 +1,231 @@
+// Package platform models the hardware substrate of the JOSS paper's
+// evaluation platform, the NVIDIA Jetson TX2: an asymmetric chip
+// multiprocessor with a dual-core high-performance Denver cluster and
+// a quad-core ARM A57 cluster, cluster-level CPU DVFS, memory (EMC /
+// LPDDR4) DVFS, and an INA3221-style power sensor.
+//
+// Because no DVFS-capable hardware is available to this reproduction
+// (and Go's GC/scheduler would interfere with fine-grained frequency
+// control on real silicon), the package provides a mechanistic
+// analytic model — the Oracle — that plays the role of the physical
+// board: given a task's resource demand and a configuration
+// <TC, NC, fC, fM> it produces execution time, CPU power and memory
+// power with the same qualitative structure as the TX2. All JOSS
+// machinery (sampling, models, search, schedulers) consumes only these
+// "measurements", exactly as it would consume sensor readings on the
+// real board.
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// CoreType identifies a CPU cluster type (static asymmetry).
+type CoreType uint8
+
+const (
+	// Denver is the high-performance dual-core NVIDIA Denver cluster.
+	Denver CoreType = iota
+	// A57 is the quad-core ARM Cortex-A57 cluster.
+	A57
+	// NumCoreTypes is the number of distinct core types.
+	NumCoreTypes
+)
+
+// String returns the conventional cluster name.
+func (t CoreType) String() string {
+	switch t {
+	case Denver:
+		return "Denver"
+	case A57:
+		return "A57"
+	}
+	return fmt.Sprintf("CoreType(%d)", uint8(t))
+}
+
+// CPUFreqsGHz is the set of supported CPU cluster frequencies in GHz,
+// the five operating points used throughout the paper. Both clusters
+// support the same range (paper §6.1).
+var CPUFreqsGHz = []float64{0.35, 0.65, 1.11, 1.57, 2.04}
+
+// MemFreqsGHz is the set of supported memory (EMC) frequencies in GHz
+// used in the paper.
+var MemFreqsGHz = []float64{0.80, 1.33, 1.87}
+
+// cpuVolt maps each CPU frequency index to the rail voltage in volts.
+// Like the TX2, the low operating points share a minimum-voltage
+// plateau (the rail cannot go below Vmin), so scaling below ~1.11 GHz
+// buys no V² saving — which is why the paper's minimum-energy
+// configurations land at 1.11–1.57 GHz rather than the floor
+// (Figures 1 and 2). The paper's models fold voltage into frequency
+// because the two are strongly correlated (§4.3.1).
+var cpuVolt = []float64{0.66, 0.66, 0.66, 0.88, 1.08}
+
+// memVolt maps each memory frequency index to the memory-subsystem
+// rail voltage (the DRAM array itself stays at a fixed voltage on
+// LPDDR4; controller/DDRIO scale — paper §6.1).
+var memVolt = []float64{0.95, 1.00, 1.10}
+
+// CPUVoltage returns the CPU rail voltage for frequency index fc.
+func CPUVoltage(fc int) float64 { return cpuVolt[fc] }
+
+// MemVoltage returns the memory rail voltage for frequency index fm.
+func MemVoltage(fm int) float64 { return memVolt[fm] }
+
+// MaxFC is the index of the highest CPU frequency.
+var MaxFC = len(CPUFreqsGHz) - 1
+
+// MaxFM is the index of the highest memory frequency.
+var MaxFM = len(MemFreqsGHz) - 1
+
+// ClusterSpec describes one CPU cluster.
+type ClusterSpec struct {
+	Type     CoreType
+	NumCores int
+}
+
+// Spec describes a platform instance. The zero value is not useful;
+// use TX2() or construct explicitly.
+type Spec struct {
+	Clusters []ClusterSpec
+	// CPUTransitionSec is the latency of a CPU cluster frequency
+	// change (the old frequency holds until the transition ends).
+	CPUTransitionSec float64
+	// MemTransitionSec is the latency of a memory frequency change.
+	MemTransitionSec float64
+}
+
+// TX2 returns the Jetson TX2 platform description used throughout the
+// paper: Denver×2 + A57×4, with realistic DVFS transition latencies.
+func TX2() Spec {
+	return Spec{
+		Clusters: []ClusterSpec{
+			{Type: Denver, NumCores: 2},
+			{Type: A57, NumCores: 4},
+		},
+		CPUTransitionSec: 50e-6,
+		MemTransitionSec: 100e-6,
+	}
+}
+
+// TotalCores returns the number of cores across all clusters.
+func (s Spec) TotalCores() int {
+	n := 0
+	for _, c := range s.Clusters {
+		n += c.NumCores
+	}
+	return n
+}
+
+// ClusterOf returns the index of the first cluster with the given core
+// type, or -1.
+func (s Spec) ClusterOf(t CoreType) int {
+	for i, c := range s.Clusters {
+		if c.Type == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// CoreCounts returns the usable per-task core-count options for a
+// cluster, the powers of two up to the cluster size (paper §7.4: the
+// possible number of cores per task is log(N/M)).
+func CoreCounts(clusterSize int) []int {
+	var out []int
+	for n := 1; n <= clusterSize; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Config is a full knob configuration for one task:
+// core type TC, number of cores NC, CPU frequency index FC and memory
+// frequency index FM (paper notation <TC, NC, fC, fM>).
+type Config struct {
+	TC CoreType
+	NC int
+	FC int
+	FM int
+}
+
+// FCGHz returns the CPU frequency in GHz.
+func (c Config) FCGHz() float64 { return CPUFreqsGHz[c.FC] }
+
+// FMGHz returns the memory frequency in GHz.
+func (c Config) FMGHz() float64 { return MemFreqsGHz[c.FM] }
+
+// String renders the paper's <TC, NC, fC, fM> notation.
+func (c Config) String() string {
+	return fmt.Sprintf("<%s, %d, %.2f, %.2f>", c.TC, c.NC, c.FCGHz(), c.FMGHz())
+}
+
+// Valid reports whether the configuration is inside the platform's
+// knob ranges.
+func (c Config) Valid(s Spec) bool {
+	ci := s.ClusterOf(c.TC)
+	if ci < 0 {
+		return false
+	}
+	if c.FC < 0 || c.FC >= len(CPUFreqsGHz) || c.FM < 0 || c.FM >= len(MemFreqsGHz) {
+		return false
+	}
+	for _, n := range CoreCounts(s.Clusters[ci].NumCores) {
+		if n == c.NC {
+			return true
+		}
+	}
+	return false
+}
+
+// Placement is the <TC, NC> part of a configuration.
+type Placement struct {
+	TC CoreType
+	NC int
+}
+
+// String renders the placement.
+func (p Placement) String() string { return fmt.Sprintf("<%s, %d>", p.TC, p.NC) }
+
+// Placements enumerates all <TC, NC> combinations for the platform
+// (Denver: 1,2; A57: 1,2,4 on the TX2 — five in total).
+func (s Spec) Placements() []Placement {
+	var out []Placement
+	for _, cl := range s.Clusters {
+		for _, n := range CoreCounts(cl.NumCores) {
+			out = append(out, Placement{TC: cl.Type, NC: n})
+		}
+	}
+	return out
+}
+
+// Configs enumerates the full configuration space (75 points on the
+// TX2: 5 placements × 5 CPU frequencies × 3 memory frequencies).
+func (s Spec) Configs() []Config {
+	var out []Config
+	for _, p := range s.Placements() {
+		for fc := range CPUFreqsGHz {
+			for fm := range MemFreqsGHz {
+				out = append(out, Config{TC: p.TC, NC: p.NC, FC: fc, FM: fm})
+			}
+		}
+	}
+	return out
+}
+
+// NearestFC returns the index of the CPU frequency closest to ghz.
+func NearestFC(ghz float64) int { return nearest(CPUFreqsGHz, ghz) }
+
+// NearestFM returns the index of the memory frequency closest to ghz.
+func NearestFM(ghz float64) int { return nearest(MemFreqsGHz, ghz) }
+
+func nearest(table []float64, v float64) int {
+	best, bestD := 0, math.Inf(1)
+	for i, f := range table {
+		if d := math.Abs(f - v); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}

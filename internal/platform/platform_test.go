@@ -1,0 +1,325 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTX2Shape(t *testing.T) {
+	s := TX2()
+	if s.TotalCores() != 6 {
+		t.Fatalf("TotalCores = %d, want 6", s.TotalCores())
+	}
+	if got := len(s.Placements()); got != 5 {
+		t.Fatalf("Placements = %d, want 5 (Denver 1,2; A57 1,2,4)", got)
+	}
+	if got := len(s.Configs()); got != 75 {
+		t.Fatalf("Configs = %d, want 75 (5 placements × 5 fC × 3 fM)", got)
+	}
+	for _, c := range s.Configs() {
+		if !c.Valid(s) {
+			t.Fatalf("enumerated config %v not Valid", c)
+		}
+	}
+}
+
+func TestCoreCounts(t *testing.T) {
+	cases := map[int][]int{1: {1}, 2: {1, 2}, 4: {1, 2, 4}, 8: {1, 2, 4, 8}, 3: {1, 2}}
+	for size, want := range cases {
+		got := CoreCounts(size)
+		if len(got) != len(want) {
+			t.Fatalf("CoreCounts(%d) = %v, want %v", size, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("CoreCounts(%d) = %v, want %v", size, got, want)
+			}
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{TC: Denver, NC: 2, FC: 2, FM: 0}
+	if got := c.String(); got != "<Denver, 2, 1.11, 0.80>" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestNearestFreq(t *testing.T) {
+	if NearestFC(2.0) != MaxFC {
+		t.Fatalf("NearestFC(2.0) = %d, want %d", NearestFC(2.0), MaxFC)
+	}
+	if NearestFC(0.1) != 0 {
+		t.Fatalf("NearestFC(0.1) = %d, want 0", NearestFC(0.1))
+	}
+	if NearestFM(1.5) != 1 {
+		t.Fatalf("NearestFM(1.5) = %d, want 1", NearestFM(1.5))
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	s := TX2()
+	bad := []Config{
+		{TC: Denver, NC: 4, FC: 0, FM: 0},  // Denver has only 2 cores
+		{TC: A57, NC: 3, FC: 0, FM: 0},     // not a power of two
+		{TC: Denver, NC: 1, FC: 9, FM: 0},  // bad fC
+		{TC: Denver, NC: 1, FC: 0, FM: -1}, // bad fM
+	}
+	for _, c := range bad {
+		if c.Valid(s) {
+			t.Fatalf("config %+v unexpectedly valid", c)
+		}
+	}
+}
+
+func compDemand() TaskDemand {
+	return TaskDemand{Kernel: "comp", Ops: 50e6, Bytes: 0.2e6, ParEff: 1, Activity: 1}
+}
+
+func memDemand() TaskDemand {
+	return TaskDemand{Kernel: "mem", Ops: 1e6, Bytes: 8e6, ParEff: 1, Activity: 0.6}
+}
+
+func TestOracleTimeMonotonicInFC(t *testing.T) {
+	o := DefaultOracle()
+	o.JitterFrac = 0 // isolate the mechanics
+	for _, d := range []TaskDemand{compDemand(), memDemand()} {
+		for fm := range MemFreqsGHz {
+			last := math.Inf(1)
+			for fc := range CPUFreqsGHz {
+				tb := o.TaskTime(d, Config{TC: A57, NC: 2, FC: fc, FM: fm})
+				if tb.TotalSec >= last {
+					t.Fatalf("%s: time not decreasing in fC at fm=%d: fc=%d %.6g >= %.6g",
+						d.Kernel, fm, fc, tb.TotalSec, last)
+				}
+				last = tb.TotalSec
+			}
+		}
+	}
+}
+
+func TestOracleTimeMonotonicInFM(t *testing.T) {
+	o := DefaultOracle()
+	o.JitterFrac = 0
+	d := memDemand()
+	for fc := range CPUFreqsGHz {
+		last := math.Inf(1)
+		for fm := range MemFreqsGHz {
+			tb := o.TaskTime(d, Config{TC: A57, NC: 2, FC: fc, FM: fm})
+			if tb.TotalSec >= last {
+				t.Fatalf("time not decreasing in fM at fc=%d: fm=%d %.6g >= %.6g",
+					fc, fm, tb.TotalSec, last)
+			}
+			last = tb.TotalSec
+		}
+	}
+}
+
+func TestComputeBoundInsensitiveToFM(t *testing.T) {
+	o := DefaultOracle()
+	o.JitterFrac = 0
+	d := compDemand()
+	lo := o.TaskTime(d, Config{TC: Denver, NC: 2, FC: MaxFC, FM: 0})
+	hi := o.TaskTime(d, Config{TC: Denver, NC: 2, FC: MaxFC, FM: MaxFM})
+	if rel := lo.TotalSec/hi.TotalSec - 1; rel > 0.10 {
+		t.Fatalf("compute-bound task slowed %.1f%% by low fM, want <10%%", rel*100)
+	}
+	if lo.StallFrac > 0.15 {
+		t.Fatalf("compute-bound StallFrac = %.2f, want small", lo.StallFrac)
+	}
+}
+
+func TestMemoryBoundSensitiveToFM(t *testing.T) {
+	o := DefaultOracle()
+	o.JitterFrac = 0
+	d := memDemand()
+	lo := o.TaskTime(d, Config{TC: A57, NC: 1, FC: MaxFC, FM: 0})
+	hi := o.TaskTime(d, Config{TC: A57, NC: 1, FC: MaxFC, FM: MaxFM})
+	if lo.TotalSec < hi.TotalSec*1.2 {
+		t.Fatalf("memory-bound task insensitive to fM: %.6g vs %.6g", lo.TotalSec, hi.TotalSec)
+	}
+	if hi.StallFrac < 0.4 {
+		t.Fatalf("memory-bound StallFrac = %.2f, want large", hi.StallFrac)
+	}
+}
+
+func TestDenverFasterThanA57OnCompute(t *testing.T) {
+	o := DefaultOracle()
+	o.JitterFrac = 0
+	d := compDemand()
+	td := o.TaskTime(d, Config{TC: Denver, NC: 1, FC: MaxFC, FM: MaxFM}).TotalSec
+	ta := o.TaskTime(d, Config{TC: A57, NC: 1, FC: MaxFC, FM: MaxFM}).TotalSec
+	ratio := ta / td
+	// Paper §7.1: a single Denver core is 3.4× faster than an A57
+	// core on the (compute-bound) BMOD kernel. Accept 2.5–4×.
+	if ratio < 2.5 || ratio > 4 {
+		t.Fatalf("Denver/A57 speedup = %.2f, want ~3×", ratio)
+	}
+}
+
+func TestMoldableSpeedup(t *testing.T) {
+	o := DefaultOracle()
+	o.JitterFrac = 0
+	d := compDemand()
+	t1 := o.TaskTime(d, Config{TC: A57, NC: 1, FC: MaxFC, FM: MaxFM}).TotalSec
+	t4 := o.TaskTime(d, Config{TC: A57, NC: 4, FC: MaxFC, FM: MaxFM}).TotalSec
+	sp := t1 / t4
+	if sp < 3.0 || sp > 4.01 {
+		t.Fatalf("4-core speedup = %.2f, want near-linear for ParEff=1", sp)
+	}
+	d.ParEff = 0.5
+	t4e := o.TaskTime(d, Config{TC: A57, NC: 4, FC: MaxFC, FM: MaxFM}).TotalSec
+	if t1/t4e > 2.2 {
+		t.Fatalf("ParEff=0.5 speedup = %.2f, want ~2", t1/t4e)
+	}
+}
+
+func TestCPUPowerIncreasesWithFreqAndCores(t *testing.T) {
+	o := DefaultOracle()
+	o.JitterFrac = 0
+	d := compDemand()
+	last := 0.0
+	for fc := range CPUFreqsGHz {
+		p := o.CPUDynPower(d, Config{TC: A57, NC: 2, FC: fc, FM: MaxFM}, 0, 0)
+		if p <= last {
+			t.Fatalf("CPU power not increasing in fC: fc=%d %.4g <= %.4g", fc, p, last)
+		}
+		last = p
+	}
+	p1 := o.CPUDynPower(d, Config{TC: A57, NC: 1, FC: MaxFC, FM: MaxFM}, 0, 0)
+	p4 := o.CPUDynPower(d, Config{TC: A57, NC: 4, FC: MaxFC, FM: MaxFM}, 0, 0)
+	if p4 < 3.9*p1 || p4 > 4.1*p1 {
+		t.Fatalf("4-core dyn power = %.4g, want ≈4× 1-core %.4g", p4, p1)
+	}
+}
+
+func TestStallReducesCPUPower(t *testing.T) {
+	o := DefaultOracle()
+	o.JitterFrac = 0
+	d := memDemand()
+	cfg := Config{TC: A57, NC: 1, FC: MaxFC, FM: MaxFM}
+	busy := o.CPUDynPower(d, cfg, 0, 0)
+	stalled := o.CPUDynPower(d, cfg, 0.8, 0)
+	if stalled >= busy {
+		t.Fatalf("stalled power %.4g >= busy power %.4g", stalled, busy)
+	}
+}
+
+func TestMemPowerStructure(t *testing.T) {
+	o := DefaultOracle()
+	last := 0.0
+	for fm := range MemFreqsGHz {
+		p := o.MemBackgroundPower(fm)
+		if p <= last {
+			t.Fatalf("memory background power not increasing in fM")
+		}
+		last = p
+	}
+	d := memDemand()
+	cfg := Config{TC: A57, NC: 1, FC: MaxFC, FM: MaxFM}
+	if o.MemAccessPower(d, cfg, 10) <= o.MemAccessPower(d, cfg, 1) {
+		t.Fatal("access power not increasing in bandwidth")
+	}
+}
+
+func TestPowerScaleMatchesPaperFigure5(t *testing.T) {
+	// Paper Figure 5: A57×2 cluster power stays within ~2 W and
+	// memory power within ~2 W across all <fC, fM> for synthetic MB
+	// levels. Check the oracle is calibrated to that scale.
+	o := DefaultOracle()
+	for fc := range CPUFreqsGHz {
+		for fm := range MemFreqsGHz {
+			cfg := Config{TC: A57, NC: 2, FC: fc, FM: fm}
+			m := o.Measure(compDemand(), cfg)
+			if m.CPUPowerW <= 0 || m.CPUPowerW > 2.6 {
+				t.Fatalf("A57x2 CPU power %.3g W at %v out of TX2 scale", m.CPUPowerW, cfg)
+			}
+			mm := o.Measure(memDemand(), cfg)
+			if mm.MemPowerW <= 0 || mm.MemPowerW > 2.5 {
+				t.Fatalf("memory power %.3g W at %v out of TX2 scale", mm.MemPowerW, cfg)
+			}
+		}
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	o := DefaultOracle()
+	d := compDemand()
+	cfg := Config{TC: Denver, NC: 2, FC: 3, FM: 1}
+	a := o.TaskTime(d, cfg).TotalSec
+	b := o.TaskTime(d, cfg).TotalSec
+	if a != b {
+		t.Fatalf("jitter not deterministic: %v != %v", a, b)
+	}
+	o2 := DefaultOracle()
+	o2.JitterFrac = 0
+	clean := o2.TaskTime(d, cfg).TotalSec
+	if rel := math.Abs(a/clean - 1); rel > o.JitterFrac+1e-9 {
+		t.Fatalf("jitter magnitude %.4f exceeds JitterFrac %.4f", rel, o.JitterFrac)
+	}
+}
+
+func TestMeasureConsistency(t *testing.T) {
+	o := DefaultOracle()
+	d := memDemand()
+	for _, cfg := range o.Spec.Configs() {
+		m := o.Measure(d, cfg)
+		if m.TimeSec <= 0 || m.CPUPowerW <= 0 || m.MemPowerW <= 0 {
+			t.Fatalf("non-positive measurement at %v: %+v", cfg, m)
+		}
+		if m.StallFrac < 0 || m.StallFrac > 1 {
+			t.Fatalf("StallFrac %.3f out of [0,1] at %v", m.StallFrac, cfg)
+		}
+		if math.Abs(m.TotalEnergy()-(m.CPUEnergy()+m.MemEnergy())) > 1e-12 {
+			t.Fatal("energy accounting inconsistent")
+		}
+	}
+}
+
+// Property: oracle output is finite and positive for any sane demand.
+func TestPropertyOracleFinite(t *testing.T) {
+	o := DefaultOracle()
+	f := func(ops, bytes uint32, pe uint8, ci uint8) bool {
+		d := TaskDemand{
+			Kernel:   "q",
+			Ops:      1 + float64(ops%100_000_000),
+			Bytes:    1 + float64(bytes%100_000_000),
+			ParEff:   0.3 + 0.7*float64(pe%100)/100,
+			Activity: 0.2 + 0.8*float64(ci%100)/100,
+		}
+		cfgs := o.Spec.Configs()
+		cfg := cfgs[int(ops)%len(cfgs)]
+		m := o.Measure(d, cfg)
+		return m.TimeSec > 0 && !math.IsNaN(m.TimeSec) && !math.IsInf(m.TimeSec, 0) &&
+			m.CPUPowerW > 0 && m.MemPowerW > 0 &&
+			m.StallFrac >= 0 && m.StallFrac <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more bytes (all else equal) never makes the task faster
+// and never decreases its ground-truth memory-boundness.
+func TestPropertyBytesMonotone(t *testing.T) {
+	o := DefaultOracle()
+	o.JitterFrac = 0
+	f := func(b1, b2 uint32, ci uint8) bool {
+		lo, hi := float64(b1%10_000_000), float64(b2%10_000_000)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cfgs := o.Spec.Configs()
+		cfg := cfgs[int(ci)%len(cfgs)]
+		d := TaskDemand{Kernel: "q", Ops: 5e6, ParEff: 1, Activity: 1}
+		dl, dh := d, d
+		dl.Bytes, dh.Bytes = lo, hi
+		tl := o.TaskTime(dl, cfg)
+		th := o.TaskTime(dh, cfg)
+		return th.TotalSec >= tl.TotalSec-1e-15 && th.StallFrac >= tl.StallFrac-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package regression implements the multivariate polynomial regression
+// (MPR) used by JOSS's performance and power models (paper §4): a
+// degree-2 polynomial with linear, quadratic and pairwise-interaction
+// terms, fit by least squares. The paper notes that higher-degree
+// models overfit without improving accuracy, so degree 2 is the only
+// expansion provided; the fitter itself works for any design matrix.
+package regression
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Expand maps a variable vector x to the degree-2 MPR feature vector
+//
+//	[1, x_0..x_{k-1}, x_0²..x_{k-1}², x_i·x_j (i<j)]
+//
+// matching the paper's Equations 2, 4 and 5 (intercept ε, linear β_i,
+// quadratic β_ii and interaction β_ik components).
+func Expand(x []float64) []float64 {
+	k := len(x)
+	out := make([]float64, 0, 1+2*k+k*(k-1)/2)
+	out = append(out, 1)
+	out = append(out, x...)
+	for _, v := range x {
+		out = append(out, v*v)
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			out = append(out, x[i]*x[j])
+		}
+	}
+	return out
+}
+
+// NumFeatures returns the feature count Expand produces for k input
+// variables.
+func NumFeatures(k int) int { return 1 + 2*k + k*(k-1)/2 }
+
+// Model is a fitted polynomial model over k input variables.
+type Model struct {
+	K     int
+	Coef  []float64
+	R2    float64
+	RMSE  float64
+	NObs  int
+	ridge float64
+}
+
+// Predict evaluates the model at variable vector x.
+func (m *Model) Predict(x []float64) float64 {
+	if len(x) != m.K {
+		panic(fmt.Sprintf("regression: predict with %d vars, model has %d", len(x), m.K))
+	}
+	f := Expand(x)
+	s := 0.0
+	for i, c := range m.Coef {
+		s += c * f[i]
+	}
+	return s
+}
+
+// Fit performs least-squares MPR over observations (xs[i], ys[i]).
+// A small ridge term stabilises the normal equations when the design
+// is near-collinear (frequency ratios take few distinct values).
+func Fit(xs [][]float64, ys []float64) (*Model, error) {
+	return FitRidge(xs, ys, 1e-9)
+}
+
+// FitRidge is Fit with an explicit Tikhonov regularisation weight.
+func FitRidge(xs [][]float64, ys []float64, ridge float64) (*Model, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("regression: no observations")
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("regression: %d xs but %d ys", len(xs), len(ys))
+	}
+	k := len(xs[0])
+	p := NumFeatures(k)
+	if len(xs) < p {
+		return nil, fmt.Errorf("regression: %d observations < %d features", len(xs), p)
+	}
+
+	// Normal equations: (FᵀF + λI) β = Fᵀy.
+	ata := make([][]float64, p)
+	for i := range ata {
+		ata[i] = make([]float64, p)
+	}
+	aty := make([]float64, p)
+	for n, x := range xs {
+		if len(x) != k {
+			return nil, fmt.Errorf("regression: observation %d has %d vars, want %d", n, len(x), k)
+		}
+		f := Expand(x)
+		for i := 0; i < p; i++ {
+			for j := i; j < p; j++ {
+				ata[i][j] += f[i] * f[j]
+			}
+			aty[i] += f[i] * ys[n]
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+		ata[i][i] += ridge
+	}
+
+	coef, err := solve(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Model{K: k, Coef: coef, NObs: len(xs), ridge: ridge}
+	// Goodness of fit.
+	mean := 0.0
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var ssRes, ssTot float64
+	for n, x := range xs {
+		r := ys[n] - m.Predict(x)
+		ssRes += r * r
+		d := ys[n] - mean
+		ssTot += d * d
+	}
+	if ssTot > 0 {
+		m.R2 = 1 - ssRes/ssTot
+	} else {
+		m.R2 = 1
+	}
+	m.RMSE = math.Sqrt(ssRes / float64(len(ys)))
+	return m, nil
+}
+
+// solve performs in-place Gaussian elimination with partial pivoting
+// on the (symmetric positive definite, after ridge) system A β = b.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-300 {
+			return nil, errors.New("regression: singular design matrix")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, errors.New("regression: non-finite solution")
+		}
+	}
+	return x, nil
+}

@@ -1,0 +1,185 @@
+package regression
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpandShape(t *testing.T) {
+	f := Expand([]float64{2, 3})
+	// [1, x0, x1, x0², x1², x0·x1]
+	want := []float64{1, 2, 3, 4, 9, 6}
+	if len(f) != len(want) {
+		t.Fatalf("Expand len = %d, want %d", len(f), len(want))
+	}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("Expand = %v, want %v", f, want)
+		}
+	}
+	for k := 0; k <= 5; k++ {
+		x := make([]float64, k)
+		if got := len(Expand(x)); got != NumFeatures(k) {
+			t.Fatalf("NumFeatures(%d) = %d but Expand gives %d", k, NumFeatures(k), got)
+		}
+	}
+}
+
+func TestFitRecoversExactPolynomial(t *testing.T) {
+	// y = 2 + 3a - b + 0.5a² + ab
+	truth := func(a, b float64) float64 { return 2 + 3*a - b + 0.5*a*a + a*b }
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 100; i++ {
+		a, b := rng.Float64()*4-2, rng.Float64()*4-2
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, truth(a, b))
+	}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R2 < 0.999999 {
+		t.Fatalf("R2 = %v, want ≈1 for exact polynomial", m.R2)
+	}
+	for i := 0; i < 20; i++ {
+		a, b := rng.Float64()*4-2, rng.Float64()*4-2
+		got := m.Predict([]float64{a, b})
+		want := truth(a, b)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("Predict(%v,%v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	truth := func(a, b, c float64) float64 { return 1 + a + 2*b - c + a*b }
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 500; i++ {
+		a, b, c := rng.Float64(), rng.Float64(), rng.Float64()
+		xs = append(xs, []float64{a, b, c})
+		ys = append(ys, truth(a, b, c)*(1+0.02*(rng.Float64()*2-1)))
+	}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R2 < 0.98 {
+		t.Fatalf("R2 = %v under 2%% noise, want > 0.98", m.R2)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil); err == nil {
+		t.Fatal("Fit with no data should error")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths should error")
+	}
+	// Too few observations for feature count.
+	if _, err := Fit([][]float64{{1, 2}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Fatal("underdetermined fit should error")
+	}
+	// Ragged observations.
+	xs := [][]float64{{1}, {1, 2}, {2}, {3}}
+	if _, err := Fit(xs, []float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("ragged observations should error")
+	}
+}
+
+func TestPredictDimensionPanics(t *testing.T) {
+	m := &Model{K: 2, Coef: make([]float64, NumFeatures(2))}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-dimension Predict did not panic")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestCollinearDesignStabilised(t *testing.T) {
+	// Frequency-ratio-style data: one variable takes only two values,
+	// making the quadratic column collinear with linear+intercept.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		a := float64(i%2)*0.5 + 0.5 // {0.5, 1.0}
+		b := float64(i%5) / 5
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, 3*a+b)
+	}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatalf("collinear fit failed: %v", err)
+	}
+	got := m.Predict([]float64{0.5, 0.4})
+	if math.Abs(got-(1.5+0.4)) > 1e-3 {
+		t.Fatalf("collinear prediction %v, want 1.9", got)
+	}
+}
+
+// Property: fitting data generated from a random degree-2 polynomial
+// recovers it (R² ≈ 1) whenever the sample is well-spread.
+func TestPropertyExactRecovery(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + int(seed%3+3)%3 // 1..3 vars
+		p := NumFeatures(k)
+		coef := make([]float64, p)
+		for i := range coef {
+			coef[i] = rng.Float64()*4 - 2
+		}
+		truth := &Model{K: k, Coef: coef}
+		var xs [][]float64
+		var ys []float64
+		for i := 0; i < p*8; i++ {
+			x := make([]float64, k)
+			for j := range x {
+				x[j] = rng.Float64()*2 - 1
+			}
+			xs = append(xs, x)
+			ys = append(ys, truth.Predict(x))
+		}
+		m, err := Fit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return m.R2 > 0.99999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: predictions are finite for finite inputs.
+func TestPropertyFinitePredictions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 80; i++ {
+		xs = append(xs, []float64{rng.Float64(), rng.Float64(), rng.Float64()})
+		ys = append(ys, rng.Float64()*10)
+	}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) ||
+			math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		// Clamp to a sane domain.
+		cl := func(v float64) float64 { return math.Mod(math.Abs(v), 10) }
+		y := m.Predict([]float64{cl(a), cl(b), cl(c)})
+		return !math.IsNaN(y) && !math.IsInf(y, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

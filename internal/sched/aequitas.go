@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"joss/internal/dag"
+	"joss/internal/platform"
+	"joss/internal/taskrt"
+)
+
+// AequitasSliceSec is the round-robin time slice during which one
+// active core owns its cluster's frequency decision (§6.2: "it lets
+// each active core within a cluster tune the cluster frequency for a
+// short interval (1s) in a round-robin time-slicing manner").
+const AequitasSliceSec = 1.0
+
+// AequitasQueueHigh is the work-queue length above which the owning
+// core speeds its cluster up.
+const AequitasQueueHigh = 2
+
+// Aequitas (§6.2) extends HERMES: a heuristic scheduler that picks the
+// core frequency from task thief-victim relations (thief cores slow
+// down) and work-queue sizes (long queues speed up). It does not use
+// the memory DVFS knob or moldable execution, and tasks are placed
+// like a generic work-stealing runtime (any core, width 1).
+type Aequitas struct {
+	rt *taskrt.Runtime
+	// stoleRecently marks cores that stole since their last slice.
+	stoleRecently []bool
+	// rrIdx is the per-cluster round-robin position.
+	rrIdx []int
+}
+
+// NewAequitas returns the Aequitas scheduler.
+func NewAequitas() *Aequitas { return &Aequitas{} }
+
+// Name implements taskrt.Scheduler.
+func (s *Aequitas) Name() string { return "Aequitas" }
+
+// Scope implements taskrt.Scheduler.
+func (s *Aequitas) Scope() taskrt.StealScope { return taskrt.StealAll }
+
+// Attach implements taskrt.Scheduler: start one slice timer per
+// cluster.
+func (s *Aequitas) Attach(rt *taskrt.Runtime) {
+	s.rt = rt
+	s.stoleRecently = make([]bool, rt.Spec().TotalCores())
+	s.rrIdx = make([]int, len(rt.Spec().Clusters))
+	for ci := range rt.Spec().Clusters {
+		ci := ci
+		rt.After(AequitasSliceSec, func() { s.slice(ci) })
+	}
+}
+
+// slice is one cluster's time-slice boundary: the next active core in
+// round-robin order tunes the cluster frequency.
+func (s *Aequitas) slice(cluster int) {
+	if s.rt.Finished() {
+		return
+	}
+	spec := s.rt.Spec().Clusters[cluster]
+	ids := s.rt.CoresOfType(spec.Type)
+	if len(ids) > 0 {
+		owner := ids[s.rrIdx[cluster]%len(ids)]
+		s.rrIdx[cluster]++
+		cur := s.rt.ClusterFC(spec.Type)
+		want := cur
+		switch {
+		case s.stoleRecently[owner]:
+			// Thief cores slow their cluster down.
+			if want > 0 {
+				want--
+			}
+		case s.rt.QueueLen(owner) > AequitasQueueHigh:
+			// A backed-up queue speeds the cluster up.
+			if want < platform.MaxFC {
+				want++
+			}
+		}
+		if want != cur {
+			s.rt.RequestClusterFreqByType(spec.Type, want)
+		}
+		s.stoleRecently[owner] = false
+	}
+	s.rt.After(AequitasSliceSec, func() { s.slice(cluster) })
+}
+
+// OnSteal implements taskrt.StealObserver.
+func (s *Aequitas) OnSteal(thief, victim int, t *dag.Task) {
+	s.stoleRecently[thief] = true
+}
+
+// Decide implements taskrt.Scheduler.
+func (s *Aequitas) Decide(t *dag.Task) taskrt.Decision {
+	return taskrt.Decision{
+		Placement: platform.Placement{TC: clusterWeightedRandomType(s.rt), NC: 1},
+	}
+}
+
+// TaskDone implements taskrt.Scheduler.
+func (s *Aequitas) TaskDone(taskrt.ExecRecord) {}

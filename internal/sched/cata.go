@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"joss/internal/dag"
+	"joss/internal/platform"
+	"joss/internal/taskrt"
+)
+
+// CATA is a criticality-aware task-acceleration baseline in the spirit
+// of Castillo et al. (IPDPS'16), from the paper's related work (§8):
+// tasks on (or near) a critical path are accelerated (big cores, high
+// frequency), non-critical tasks are decelerated (little cores, low
+// frequency). A task's criticality is the length of the longest
+// root-to-leaf path through it (top level + bottom level) relative to
+// the DAG's critical path. Unlike JOSS it ignores task resource
+// characteristics entirely.
+type CATA struct {
+	rt *taskrt.Runtime
+	// CritFrac: tasks whose longest through-path is at least this
+	// fraction of the critical path count as critical.
+	CritFrac float64
+
+	bottom []int // bottom level per task ID (memoised, -1 = unknown)
+	top    []int // top level per task ID
+	maxBL  int
+}
+
+// NewCATA returns the criticality-aware baseline.
+func NewCATA() *CATA { return &CATA{CritFrac: 0.9} }
+
+// Name implements taskrt.Scheduler.
+func (s *CATA) Name() string { return "CATA" }
+
+// Attach implements taskrt.Scheduler.
+func (s *CATA) Attach(rt *taskrt.Runtime) { s.rt = rt }
+
+// Scope implements taskrt.Scheduler.
+func (s *CATA) Scope() taskrt.StealScope { return taskrt.StealSameType }
+
+func (s *CATA) grow(id int) {
+	for len(s.bottom) <= id {
+		s.bottom = append(s.bottom, -1)
+		s.top = append(s.top, -1)
+	}
+}
+
+// bottomLevel memoises the longest chain from u downward (inclusive).
+func (s *CATA) bottomLevel(u *dag.Task) int {
+	s.grow(u.ID)
+	if s.bottom[u.ID] >= 0 {
+		return s.bottom[u.ID]
+	}
+	best := 0
+	for _, v := range u.Succs {
+		if d := s.bottomLevel(v); d > best {
+			best = d
+		}
+	}
+	s.bottom[u.ID] = best + 1
+	if best+1 > s.maxBL {
+		s.maxBL = best + 1
+	}
+	return best + 1
+}
+
+// topLevel memoises the longest chain from any root to u (inclusive).
+func (s *CATA) topLevel(u *dag.Task) int {
+	s.grow(u.ID)
+	if s.top[u.ID] >= 0 {
+		return s.top[u.ID]
+	}
+	best := 0
+	for _, p := range u.Preds {
+		if d := s.topLevel(p); d > best {
+			best = d
+		}
+	}
+	s.top[u.ID] = best + 1
+	return best + 1
+}
+
+// Decide implements taskrt.Scheduler: critical tasks go to the big
+// cluster at maximum frequency, the rest to the little cluster at a
+// low frequency. Memory stays at maximum (CATA has no memory knob).
+// A task is critical when the longest root-to-leaf path through it is
+// close to the DAG's critical path length.
+func (s *CATA) Decide(t *dag.Task) taskrt.Decision {
+	through := s.topLevel(t) + s.bottomLevel(t) - 1
+	critical := s.maxBL > 0 && float64(through) >= s.CritFrac*float64(s.maxBL)
+	if critical {
+		return taskrt.Decision{
+			Placement: platform.Placement{TC: platform.Denver, NC: 1},
+			SetFreq:   true, FC: platform.MaxFC, FM: platform.MaxFM,
+		}
+	}
+	return taskrt.Decision{
+		Placement: platform.Placement{TC: platform.A57, NC: 1},
+		SetFreq:   true, FC: 1, FM: platform.MaxFM,
+	}
+}
+
+// TaskDone implements taskrt.Scheduler.
+func (s *CATA) TaskDone(taskrt.ExecRecord) {}

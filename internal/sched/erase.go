@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"math"
+
+	"joss/internal/dag"
+	"joss/internal/platform"
+	"joss/internal/taskrt"
+)
+
+// ERASE (§6.2) employs an online history-based performance model (it
+// samples each kernel's execution time on every <TC, NC>) and an
+// offline categorised CPU power model, then maps each kernel to the
+// <TC, NC> that minimises CPU energy. It does not use DVFS: all
+// frequencies stay at the boot maximum.
+type ERASE struct {
+	rt    *taskrt.Runtime
+	power ERASETable
+	idle  func(tc platform.CoreType) float64
+
+	samplers map[*dag.Kernel]*kernelSampler
+	selected map[*dag.Kernel]platform.Placement
+}
+
+// NewERASE builds ERASE from the offline power table. idleCPUW gives
+// the cluster idle power at the maximum frequency (shared across
+// concurrent tasks, as in ERASE's energy accounting).
+func NewERASE(power ERASETable, idleCPUW func(tc platform.CoreType) float64) *ERASE {
+	return &ERASE{
+		power:    power,
+		idle:     idleCPUW,
+		samplers: make(map[*dag.Kernel]*kernelSampler),
+		selected: make(map[*dag.Kernel]platform.Placement),
+	}
+}
+
+// Name implements taskrt.Scheduler.
+func (s *ERASE) Name() string { return "ERASE" }
+
+// Attach implements taskrt.Scheduler.
+func (s *ERASE) Attach(rt *taskrt.Runtime) { s.rt = rt }
+
+// Scope implements taskrt.Scheduler: ERASE keeps tasks on the chosen
+// core type.
+func (s *ERASE) Scope() taskrt.StealScope { return taskrt.StealSameType }
+
+// Decide implements taskrt.Scheduler.
+func (s *ERASE) Decide(t *dag.Task) taskrt.Decision {
+	if pl, ok := s.selected[t.Kernel]; ok {
+		return taskrt.Decision{Placement: pl}
+	}
+	ks := s.samplers[t.Kernel]
+	if ks == nil {
+		ks = newKernelSampler(s.rt.Spec().Placements(), false)
+		s.samplers[t.Kernel] = ks
+	}
+	dec := ks.decide()
+	// ERASE does not throttle: sampling happens at the current (max)
+	// frequencies.
+	dec.SetFreq = false
+	dec.ExactFreq = false
+	return dec
+}
+
+// TaskDone implements taskrt.Scheduler: when the kernel's sampling is
+// complete, pick the placement minimising estimated CPU energy
+// (dynamic table power plus concurrency-shared idle power, times the
+// sampled execution time).
+func (s *ERASE) TaskDone(rec taskrt.ExecRecord) {
+	k := rec.Task.Kernel
+	if _, done := s.selected[k]; done {
+		return
+	}
+	ks := s.samplers[k]
+	if ks == nil || !ks.record(rec) {
+		return
+	}
+	conc := s.rt.RunningTasks()
+	if conc < 1 {
+		conc = 1
+	}
+	times := ks.refTimes()
+	bestE := math.Inf(1)
+	var bestPl platform.Placement
+	// Iterate in platform order so tie-breaking is deterministic.
+	for _, pl := range s.rt.Spec().Placements() {
+		tSec, sampled := times[pl]
+		if !sampled {
+			continue
+		}
+		p, ok := s.power[pl]
+		if !ok {
+			continue
+		}
+		e := (p + s.idle(pl.TC)/float64(conc)) * tSec
+		if e < bestE {
+			bestE, bestPl = e, pl
+		}
+	}
+	if !math.IsInf(bestE, 1) {
+		s.selected[k] = bestPl
+	}
+}
+
+// Selected returns the placement chosen for a kernel, if selection has
+// happened (for analysis and tests).
+func (s *ERASE) Selected(k *dag.Kernel) (platform.Placement, bool) {
+	pl, ok := s.selected[k]
+	return pl, ok
+}

@@ -1,0 +1,282 @@
+package sched
+
+// This file implements four additional baselines drawn from the
+// paper's related-work section (§8), beyond the four the paper
+// evaluates directly. They are extensions of the reproduction: useful
+// reference points for how JOSS compares against governor-style
+// policies that observe utilisation instead of modelling tasks.
+//
+//   - HERMES (Ribic & Liu, ASPLOS'14): the work-stealing DVFS runtime
+//     Aequitas extends — thief cores slow down immediately on a steal,
+//     cores with deep work queues speed up (workpath- and
+//     workload-sensitive heuristics, applied here at cluster
+//     granularity since the TX2 has no per-core DVFS).
+//   - OnDemand: a Linux ondemand-style CPU governor — jump to the
+//     maximum frequency when cluster utilisation crosses a high
+//     threshold, step down when it falls below a low one.
+//   - MemScale (Deng et al., ASPLOS'11): memory-DVFS-only epoch
+//     governor driven by memory bandwidth utilisation.
+//   - CoScale (Deng et al., MICRO'12): epoch-based coordinated CPU and
+//     memory DVFS driven by utilisation of both domains.
+
+import (
+	"math"
+
+	"joss/internal/dag"
+	"joss/internal/platform"
+	"joss/internal/taskrt"
+)
+
+// HERMES implements the workpath/workload-sensitive work-stealing DVFS
+// heuristics at cluster granularity.
+type HERMES struct {
+	rt *taskrt.Runtime
+	// QueueHigh is the queue depth above which a core asks for a
+	// speed-up (workload-sensitive part).
+	QueueHigh int
+}
+
+// NewHERMES returns the HERMES baseline.
+func NewHERMES() *HERMES { return &HERMES{QueueHigh: 2} }
+
+// Name implements taskrt.Scheduler.
+func (s *HERMES) Name() string { return "HERMES" }
+
+// Attach implements taskrt.Scheduler.
+func (s *HERMES) Attach(rt *taskrt.Runtime) { s.rt = rt }
+
+// Scope implements taskrt.Scheduler.
+func (s *HERMES) Scope() taskrt.StealScope { return taskrt.StealAll }
+
+// Decide implements taskrt.Scheduler: single-core tasks on a random
+// core; the workload-sensitive rule fires on dispatch.
+func (s *HERMES) Decide(t *dag.Task) taskrt.Decision {
+	tc := clusterWeightedRandomType(s.rt)
+	// Workload-sensitive: if the chosen type's cores are backed up,
+	// raise that cluster's frequency one step.
+	for _, id := range s.rt.CoresOfType(tc) {
+		if s.rt.QueueLen(id) > s.QueueHigh {
+			if cur := s.rt.ClusterFC(tc); cur < platform.MaxFC {
+				s.rt.RequestClusterFreqByType(tc, cur+1)
+			}
+			break
+		}
+	}
+	return taskrt.Decision{Placement: platform.Placement{TC: tc, NC: 1}}
+}
+
+// OnSteal implements taskrt.StealObserver: workpath-sensitive — the
+// thief's cluster slows down one step (a thief was idle; its cluster
+// has slack).
+func (s *HERMES) OnSteal(thief, victim int, t *dag.Task) {
+	tc := platform.CoreType(0)
+	for c := platform.CoreType(0); c < platform.NumCoreTypes; c++ {
+		for _, id := range s.rt.CoresOfType(c) {
+			if id == thief {
+				tc = c
+			}
+		}
+	}
+	if cur := s.rt.ClusterFC(tc); cur > 0 {
+		s.rt.RequestClusterFreqByType(tc, cur-1)
+	}
+}
+
+// TaskDone implements taskrt.Scheduler.
+func (s *HERMES) TaskDone(taskrt.ExecRecord) {}
+
+// governorEpochSec is the sampling epoch of the utilisation-driven
+// governors (Linux ondemand defaults to tens of milliseconds).
+const governorEpochSec = 50e-3
+
+// OnDemand is a Linux-ondemand-style CPU frequency governor: it
+// ignores task characteristics entirely and reacts to cluster
+// utilisation. Memory stays at the maximum frequency.
+type OnDemand struct {
+	rt *taskrt.Runtime
+	// UpThreshold / DownThreshold are utilisation bounds.
+	UpThreshold   float64
+	DownThreshold float64
+}
+
+// NewOnDemand returns the governor baseline.
+func NewOnDemand() *OnDemand { return &OnDemand{UpThreshold: 0.8, DownThreshold: 0.3} }
+
+// Name implements taskrt.Scheduler.
+func (s *OnDemand) Name() string { return "OnDemand" }
+
+// Scope implements taskrt.Scheduler.
+func (s *OnDemand) Scope() taskrt.StealScope { return taskrt.StealAll }
+
+// Attach implements taskrt.Scheduler.
+func (s *OnDemand) Attach(rt *taskrt.Runtime) {
+	s.rt = rt
+	rt.After(governorEpochSec, s.tick)
+}
+
+func (s *OnDemand) tick() {
+	if s.rt.Finished() {
+		return
+	}
+	for _, cl := range s.rt.Spec().Clusters {
+		ids := s.rt.CoresOfType(cl.Type)
+		busy := 0
+		for _, id := range ids {
+			if s.rt.CoreIsBusy(id) {
+				busy++
+			}
+		}
+		util := float64(busy) / float64(len(ids))
+		cur := s.rt.ClusterFC(cl.Type)
+		switch {
+		case util >= s.UpThreshold && cur < platform.MaxFC:
+			// ondemand jumps straight to the maximum.
+			s.rt.RequestClusterFreqByType(cl.Type, platform.MaxFC)
+		case util <= s.DownThreshold && cur > 0:
+			s.rt.RequestClusterFreqByType(cl.Type, cur-1)
+		}
+	}
+	s.rt.After(governorEpochSec, s.tick)
+}
+
+// Decide implements taskrt.Scheduler.
+func (s *OnDemand) Decide(t *dag.Task) taskrt.Decision {
+	return taskrt.Decision{Placement: platform.Placement{TC: clusterWeightedRandomType(s.rt), NC: 1}}
+}
+
+// TaskDone implements taskrt.Scheduler.
+func (s *OnDemand) TaskDone(taskrt.ExecRecord) {}
+
+// MemScale is a memory-DVFS-only epoch governor: it tracks achieved
+// DRAM bandwidth against the current frequency's capability and steps
+// the memory frequency to keep utilisation inside a band. CPU
+// frequencies stay at the boot maximum.
+type MemScale struct {
+	rt       *taskrt.Runtime
+	HighUtil float64
+	LowUtil  float64
+}
+
+// NewMemScale returns the MemScale-style baseline.
+func NewMemScale() *MemScale { return &MemScale{HighUtil: 0.55, LowUtil: 0.25} }
+
+// Name implements taskrt.Scheduler.
+func (s *MemScale) Name() string { return "MemScale" }
+
+// Scope implements taskrt.Scheduler.
+func (s *MemScale) Scope() taskrt.StealScope { return taskrt.StealAll }
+
+// Attach implements taskrt.Scheduler.
+func (s *MemScale) Attach(rt *taskrt.Runtime) {
+	s.rt = rt
+	rt.After(governorEpochSec, s.tick)
+}
+
+// bandwidthUtil estimates achieved DRAM bandwidth from the machine's
+// access power (the sensor a memory governor would read) relative to
+// the peak at the current memory frequency.
+func (s *MemScale) bandwidthUtil() float64 {
+	m := s.rt.M
+	o := s.rt.O
+	accessW := m.MemPowerW() - o.MemBackgroundPower(m.FM())
+	if accessW < 0 {
+		accessW = 0
+	}
+	bw := accessW / o.Mem.AccessWPerGBs // GB/s, modulo row-hit factors
+	peak := o.Mem.PeakBWGBs * math.Pow(platform.MemFreqsGHz[m.FM()]/platform.MemFreqsGHz[platform.MaxFM], o.Mem.BWExp)
+	return bw / peak
+}
+
+func (s *MemScale) tick() {
+	if s.rt.Finished() {
+		return
+	}
+	util := s.bandwidthUtil()
+	cur := s.rt.MemFM()
+	switch {
+	case util >= s.HighUtil && cur < platform.MaxFM:
+		s.rt.M.RequestMemFreq(cur + 1)
+	case util <= s.LowUtil && cur > 0:
+		s.rt.M.RequestMemFreq(cur - 1)
+	}
+	s.rt.After(governorEpochSec, s.tick)
+}
+
+// Decide implements taskrt.Scheduler.
+func (s *MemScale) Decide(t *dag.Task) taskrt.Decision {
+	return taskrt.Decision{Placement: platform.Placement{TC: clusterWeightedRandomType(s.rt), NC: 1}}
+}
+
+// TaskDone implements taskrt.Scheduler.
+func (s *MemScale) TaskDone(taskrt.ExecRecord) {}
+
+// CoScale coordinates CPU and memory DVFS per epoch from utilisation
+// of both domains — the epoch-based counterpart of JOSS's per-task
+// decisions, originally designed for multi-programmed server
+// workloads.
+type CoScale struct {
+	od *OnDemand
+	ms *MemScale
+	rt *taskrt.Runtime
+}
+
+// NewCoScale returns the CoScale-style baseline.
+func NewCoScale() *CoScale { return &CoScale{od: NewOnDemand(), ms: NewMemScale()} }
+
+// Name implements taskrt.Scheduler.
+func (s *CoScale) Name() string { return "CoScale" }
+
+// Scope implements taskrt.Scheduler.
+func (s *CoScale) Scope() taskrt.StealScope { return taskrt.StealAll }
+
+// Attach implements taskrt.Scheduler: run both domain controllers on
+// the shared epoch.
+func (s *CoScale) Attach(rt *taskrt.Runtime) {
+	s.rt = rt
+	s.od.rt = rt
+	s.ms.rt = rt
+	rt.After(governorEpochSec, s.tick)
+}
+
+func (s *CoScale) tick() {
+	if s.rt.Finished() {
+		return
+	}
+	// CPU side: per-cluster utilisation band (without the jump-to-max
+	// aggressiveness — CoScale descends gradients in both domains).
+	for _, cl := range s.rt.Spec().Clusters {
+		ids := s.rt.CoresOfType(cl.Type)
+		busy := 0
+		for _, id := range ids {
+			if s.rt.CoreIsBusy(id) {
+				busy++
+			}
+		}
+		util := float64(busy) / float64(len(ids))
+		cur := s.rt.ClusterFC(cl.Type)
+		switch {
+		case util >= 0.8 && cur < platform.MaxFC:
+			s.rt.RequestClusterFreqByType(cl.Type, cur+1)
+		case util <= 0.3 && cur > 0:
+			s.rt.RequestClusterFreqByType(cl.Type, cur-1)
+		}
+	}
+	// Memory side.
+	util := s.ms.bandwidthUtil()
+	cur := s.rt.MemFM()
+	switch {
+	case util >= s.ms.HighUtil && cur < platform.MaxFM:
+		s.rt.M.RequestMemFreq(cur + 1)
+	case util <= s.ms.LowUtil && cur > 0:
+		s.rt.M.RequestMemFreq(cur - 1)
+	}
+	s.rt.After(governorEpochSec, s.tick)
+}
+
+// Decide implements taskrt.Scheduler.
+func (s *CoScale) Decide(t *dag.Task) taskrt.Decision {
+	return taskrt.Decision{Placement: platform.Placement{TC: clusterWeightedRandomType(s.rt), NC: 1}}
+}
+
+// TaskDone implements taskrt.Scheduler.
+func (s *CoScale) TaskDone(taskrt.ExecRecord) {}

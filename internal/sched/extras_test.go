@@ -1,0 +1,206 @@
+package sched
+
+import (
+	"testing"
+
+	"joss/internal/dag"
+	"joss/internal/platform"
+	"joss/internal/taskrt"
+	"joss/internal/workloads"
+)
+
+func TestHERMESRunsAndThrottles(t *testing.T) {
+	o, _, _ := testModels(t)
+	s := NewHERMES()
+	g := workloads.ST(2048, 16, 0.02)
+	rt := taskrt.New(o, s, taskrt.DefaultOptions())
+	rep := rt.Run(g)
+	if rep.Stats.TasksExecuted != g.NumTasks() {
+		t.Fatal("HERMES lost tasks")
+	}
+	// Stealing happens constantly on 16 chains, so the workpath rule
+	// must have throttled at least once.
+	if rep.Stats.Steals == 0 {
+		t.Fatal("no steals under HERMES")
+	}
+	if rep.Stats.TransitionsCPU == 0 {
+		t.Fatal("HERMES never changed a cluster frequency")
+	}
+	// Memory is untouched.
+	if rep.Stats.TransitionsMem != 0 {
+		t.Fatal("HERMES must not touch the memory knob")
+	}
+}
+
+func TestOnDemandGovernor(t *testing.T) {
+	o, _, _ := testModels(t)
+	s := NewOnDemand()
+	g := workloads.AL(0.1) // long enough to cross several epochs
+	rt := taskrt.New(o, s, taskrt.DefaultOptions())
+	rep := rt.Run(g)
+	if rep.Stats.TasksExecuted != g.NumTasks() {
+		t.Fatal("OnDemand lost tasks")
+	}
+	if rep.MakespanSec > 3*governorEpochSec && rep.Stats.TransitionsCPU == 0 {
+		t.Fatal("governor never reacted across epochs")
+	}
+	if rep.Stats.TransitionsMem != 0 {
+		t.Fatal("OnDemand must not touch the memory knob")
+	}
+}
+
+func TestMemScaleLowersMemoryFreqOnComputeBound(t *testing.T) {
+	o, _, _ := testModels(t)
+	s := NewMemScale()
+	// Compute-bound workload: bandwidth utilisation is low, so the
+	// governor should step the memory frequency down.
+	g := workloads.MM(512, 4, 0.05)
+	rt := taskrt.New(o, s, taskrt.DefaultOptions())
+	rep := rt.Run(g)
+	if rep.Stats.TasksExecuted != g.NumTasks() {
+		t.Fatal("MemScale lost tasks")
+	}
+	if rep.Stats.TransitionsMem == 0 {
+		t.Fatal("MemScale never changed the memory frequency on a compute-bound run")
+	}
+	if rep.Stats.TransitionsCPU != 0 {
+		t.Fatal("MemScale must not touch CPU frequencies")
+	}
+}
+
+func TestCoScaleAdjustsBothDomains(t *testing.T) {
+	o, _, _ := testModels(t)
+	s := NewCoScale()
+	g := workloads.MM(512, 4, 0.05)
+	rt := taskrt.New(o, s, taskrt.DefaultOptions())
+	rep := rt.Run(g)
+	if rep.Stats.TasksExecuted != g.NumTasks() {
+		t.Fatal("CoScale lost tasks")
+	}
+	if rep.Stats.TransitionsCPU+rep.Stats.TransitionsMem == 0 {
+		t.Fatal("CoScale never adjusted any frequency")
+	}
+}
+
+// Extension-result shape: JOSS must beat all governor-style baselines
+// on total energy for a mixed workload (they see utilisation, not task
+// characteristics).
+func TestJOSSBeatsGovernors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end sweep")
+	}
+	o, set, _ := testModels(t)
+	mk := map[string]func() taskrt.Scheduler{
+		"JOSS":     func() taskrt.Scheduler { return NewJOSS(set) },
+		"HERMES":   func() taskrt.Scheduler { return NewHERMES() },
+		"OnDemand": func() taskrt.Scheduler { return NewOnDemand() },
+		"CoScale":  func() taskrt.Scheduler { return NewCoScale() },
+	}
+	total := make(map[string]float64)
+	// Run three representative workloads.
+	for name, f := range mk {
+		for _, b := range []string{"SLU", "MM", "ST"} {
+			var rep taskrt.Report
+			switch b {
+			case "SLU":
+				rep = taskrt.New(o, f(), taskrt.DefaultOptions()).Run(workloads.SLU(0.02))
+			case "MM":
+				rep = taskrt.New(o, f(), taskrt.DefaultOptions()).Run(workloads.MM(256, 4, 0.02))
+			case "ST":
+				rep = taskrt.New(o, f(), taskrt.DefaultOptions()).Run(workloads.ST(512, 16, 0.02))
+			}
+			total[name] += rep.Exact.TotalJ()
+		}
+	}
+	for _, gov := range []string{"HERMES", "OnDemand", "CoScale"} {
+		if total["JOSS"] >= total[gov] {
+			t.Errorf("JOSS (%.2f J) not better than %s (%.2f J)", total["JOSS"], gov, total[gov])
+		}
+	}
+	t.Logf("totals: %v", total)
+}
+
+func TestCATASplitsByCriticality(t *testing.T) {
+	o, _, _ := testModels(t)
+	s := NewCATA()
+	// A diamond-heavy DAG with a long spine (critical) and short
+	// side-branches (non-critical).
+	g := dag.New("spine")
+	k := g.AddKernel("spine_k", platform.TaskDemand{
+		Ops: 8e6, Bytes: 1e6, ParEff: 1, Activity: 0.9, RowHit: 0.7,
+	})
+	side := g.AddKernel("side_k", platform.TaskDemand{
+		Ops: 4e6, Bytes: 0.5e6, ParEff: 1, Activity: 0.8, RowHit: 0.7,
+	})
+	var prev *dag.Task
+	for i := 0; i < 60; i++ {
+		var cur *dag.Task
+		if prev == nil {
+			cur = g.AddTask(k)
+		} else {
+			cur = g.AddTask(k, prev)
+		}
+		g.AddTask(side, cur) // leaf branch, bottom level 1
+		prev = cur
+	}
+	rt := taskrt.New(o, s, taskrt.DefaultOptions())
+	rep := rt.Run(g)
+	if rep.Stats.TasksExecuted != g.NumTasks() {
+		t.Fatal("CATA lost tasks")
+	}
+	spine := rep.Stats.KernelType["spine_k"]
+	sideC := rep.Stats.KernelType["side_k"]
+	if spine[platform.Denver] < 50 {
+		t.Fatalf("critical spine mostly off Denver: %v", spine)
+	}
+	if sideC[platform.A57] < 50 {
+		t.Fatalf("non-critical branches mostly off A57: %v", sideC)
+	}
+}
+
+func TestAdaptiveResampling(t *testing.T) {
+	o, set, _ := testModels(t)
+	s := NewModelSched(set, Options{
+		Name: "JOSS_adaptive", Goal: GoalMinEnergy, MemDVFS: true,
+		Adaptive: true, DriftWindow: 5,
+	})
+	// A chain whose task sizes triple halfway through: the sampled
+	// prediction becomes stale and drift must trigger re-sampling.
+	g := dag.New("phased")
+	k := g.AddKernel("phase_k", platform.TaskDemand{
+		Ops: 10e6, Bytes: 1e6, ParEff: 1, Activity: 0.9, RowHit: 0.7,
+	})
+	var prev *dag.Task
+	for i := 0; i < 120; i++ {
+		var cur *dag.Task
+		if prev == nil {
+			cur = g.AddTask(k)
+		} else {
+			cur = g.AddTask(k, prev)
+		}
+		if i >= 60 {
+			cur.DemandScale = 3
+		}
+		prev = cur
+	}
+	rt := taskrt.New(o, s, taskrt.DefaultOptions())
+	rep := rt.Run(g)
+	if rep.Stats.TasksExecuted != 120 {
+		t.Fatal("adaptive run lost tasks")
+	}
+	if s.Resamples == 0 {
+		t.Fatal("phase change did not trigger re-sampling")
+	}
+	// And a phase-free run must not resample.
+	s2 := NewModelSched(set, Options{
+		Name: "JOSS_adaptive", Goal: GoalMinEnergy, MemDVFS: true,
+		Adaptive: true, DriftWindow: 5,
+	})
+	g2 := dag.Chains("steady", platform.TaskDemand{
+		Ops: 10e6, Bytes: 1e6, ParEff: 1, Activity: 0.9, RowHit: 0.7,
+	}, 1, 120)
+	taskrt.New(o, s2, taskrt.DefaultOptions()).Run(g2)
+	if s2.Resamples != 0 {
+		t.Fatalf("steady kernel resampled %d times", s2.Resamples)
+	}
+}

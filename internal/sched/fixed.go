@@ -1,0 +1,48 @@
+package sched
+
+import (
+	"joss/internal/dag"
+	"joss/internal/platform"
+	"joss/internal/taskrt"
+)
+
+// Fixed runs every task at one fixed configuration. It is the
+// measurement harness behind the paper's motivation experiments
+// (Figures 1 and 2 sweep whole applications across fixed
+// configurations) and is exported for users who want manual control.
+type Fixed struct {
+	Cfg platform.Config
+	// Label overrides the scheduler name (defaults to the config).
+	Label string
+}
+
+// NewFixed returns a scheduler that pins every task to cfg.
+func NewFixed(cfg platform.Config) *Fixed { return &Fixed{Cfg: cfg} }
+
+// Name implements taskrt.Scheduler.
+func (s *Fixed) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "Fixed" + s.Cfg.String()
+}
+
+// Attach implements taskrt.Scheduler.
+func (s *Fixed) Attach(*taskrt.Runtime) {}
+
+// Scope implements taskrt.Scheduler.
+func (s *Fixed) Scope() taskrt.StealScope { return taskrt.StealSameType }
+
+// Decide implements taskrt.Scheduler.
+func (s *Fixed) Decide(*dag.Task) taskrt.Decision {
+	return taskrt.Decision{
+		Placement: platform.Placement{TC: s.Cfg.TC, NC: s.Cfg.NC},
+		SetFreq:   true,
+		FC:        s.Cfg.FC,
+		FM:        s.Cfg.FM,
+		ExactFreq: true,
+	}
+}
+
+// TaskDone implements taskrt.Scheduler.
+func (s *Fixed) TaskDone(taskrt.ExecRecord) {}

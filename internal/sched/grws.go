@@ -1,0 +1,38 @@
+package sched
+
+import (
+	"joss/internal/dag"
+	"joss/internal/platform"
+	"joss/internal/taskrt"
+)
+
+// GRWS is the greedy random work-stealing baseline (§6.2): each ready
+// task is placed on a randomly selected core (any type), runs on a
+// single core, may be stolen by any idle core, and no DVFS knob is
+// touched — the platform stays at its boot frequencies (the highest,
+// per §6.1).
+type GRWS struct {
+	rt *taskrt.Runtime
+}
+
+// NewGRWS returns the baseline scheduler.
+func NewGRWS() *GRWS { return &GRWS{} }
+
+// Name implements taskrt.Scheduler.
+func (s *GRWS) Name() string { return "GRWS" }
+
+// Attach implements taskrt.Scheduler.
+func (s *GRWS) Attach(rt *taskrt.Runtime) { s.rt = rt }
+
+// Scope implements taskrt.Scheduler: GRWS steals from any core.
+func (s *GRWS) Scope() taskrt.StealScope { return taskrt.StealAll }
+
+// Decide implements taskrt.Scheduler.
+func (s *GRWS) Decide(t *dag.Task) taskrt.Decision {
+	return taskrt.Decision{
+		Placement: platform.Placement{TC: clusterWeightedRandomType(s.rt), NC: 1},
+	}
+}
+
+// TaskDone implements taskrt.Scheduler.
+func (s *GRWS) TaskDone(taskrt.ExecRecord) {}

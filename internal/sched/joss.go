@@ -1,0 +1,378 @@
+package sched
+
+import (
+	"math"
+
+	"joss/internal/dag"
+	"joss/internal/models"
+	"joss/internal/platform"
+	"joss/internal/search"
+	"joss/internal/taskrt"
+)
+
+// Goal selects a model-based scheduler's objective.
+type Goal int
+
+const (
+	// GoalMinEnergy minimises total (CPU + memory) energy — JOSS.
+	GoalMinEnergy Goal = iota
+	// GoalMinCPUEnergy minimises CPU energy only — STEER.
+	GoalMinCPUEnergy
+	// GoalMaxPerf maximises individual task performance — JOSS+MAXP.
+	GoalMaxPerf
+	// GoalMinEDP minimises the energy-delay product per task, a
+	// classic balanced trade-off target (an extension beyond the
+	// paper's two scenarios, expressible because the framework
+	// already predicts both time and power).
+	GoalMinEDP
+)
+
+// Options configure a model-based scheduler (JOSS and its variants,
+// and STEER which shares the machinery with a narrower knob set and a
+// CPU-energy objective).
+type Options struct {
+	Name string
+	Goal Goal
+	// MemDVFS enables the memory frequency knob; when false, fM is
+	// pinned at the maximum (STEER, JOSS_NoMemDVFS).
+	MemDVFS bool
+	// Speedup > 1 adds the §5.2.2 performance constraint: each
+	// kernel must run Speedup× faster than its minimum-energy
+	// configuration would.
+	Speedup float64
+	// Exhaustive replaces steepest-descent search with exhaustive
+	// enumeration (the §7.4 overhead comparison).
+	Exhaustive bool
+	// CoarsenThresholdSec is the fine-grained-task threshold: kernels
+	// whose sampled time is below it get frequency requests batched
+	// (§5.3, task coarsening adopted from STEER).
+	CoarsenThresholdSec float64
+	// CoarsenWindowSec is the amount of fine-grained work one
+	// frequency request covers.
+	CoarsenWindowSec float64
+	// Adaptive enables re-sampling (a future-work extension beyond
+	// the paper): if a kernel's measured execution times drift from
+	// the prediction its configuration was selected with — e.g. its
+	// working set grows across phases — the kernel is sent back
+	// through sampling and selection.
+	Adaptive bool
+	// DriftTolerance is the relative time error that counts as drift
+	// (default 0.5).
+	DriftTolerance float64
+	// DriftWindow is the number of consecutive drifting executions
+	// that triggers re-sampling (default 8).
+	DriftWindow int
+}
+
+func defaults(o Options) Options {
+	if o.CoarsenThresholdSec == 0 {
+		o.CoarsenThresholdSec = 200e-6
+	}
+	if o.CoarsenWindowSec == 0 {
+		o.CoarsenWindowSec = 1e-3
+	}
+	if o.DriftTolerance == 0 {
+		o.DriftTolerance = 0.5
+	}
+	if o.DriftWindow == 0 {
+		o.DriftWindow = 8
+	}
+	return o
+}
+
+// NewJOSS returns the full JOSS scheduler: four knobs, total-energy
+// objective, steepest-descent configuration selection.
+func NewJOSS(set *models.Set) *ModelSched {
+	return NewModelSched(set, Options{Name: "JOSS", Goal: GoalMinEnergy, MemDVFS: true})
+}
+
+// NewJOSSNoMemDVFS returns JOSS with the memory DVFS knob unavailable
+// (fM pinned at maximum) but still optimising total energy — the
+// JOSS_NoMemDVFS datapoint of Figure 8.
+func NewJOSSNoMemDVFS(set *models.Set) *ModelSched {
+	return NewModelSched(set, Options{Name: "JOSS_NoMemDVFS", Goal: GoalMinEnergy})
+}
+
+// NewJOSSConstrained returns JOSS targeting energy reduction under a
+// performance constraint of `speedup`× relative to plain JOSS
+// (Figure 9's JOSS+1.2X / +1.4X / +1.8X).
+func NewJOSSConstrained(set *models.Set, speedup float64) *ModelSched {
+	return NewModelSched(set, Options{
+		Name: "JOSS+" + trimFloat(speedup) + "X", Goal: GoalMinEnergy,
+		MemDVFS: true, Speedup: speedup,
+	})
+}
+
+// NewJOSSMaxP returns JOSS maximising individual task performance
+// without considering energy (Figure 9's JOSS+MAXP).
+func NewJOSSMaxP(set *models.Set) *ModelSched {
+	return NewModelSched(set, Options{Name: "JOSS+MAXP", Goal: GoalMaxPerf, MemDVFS: true})
+}
+
+// NewJOSSEDP returns JOSS minimising the per-task energy-delay
+// product instead of plain energy.
+func NewJOSSEDP(set *models.Set) *ModelSched {
+	return NewModelSched(set, Options{Name: "JOSS+EDP", Goal: GoalMinEDP, MemDVFS: true})
+}
+
+// NewSTEER returns the STEER baseline (§6.2): models for performance
+// and CPU power, knobs <TC, NC, fC> (no memory DVFS), objective = CPU
+// energy.
+func NewSTEER(set *models.Set) *ModelSched {
+	return NewModelSched(set, Options{Name: "STEER", Goal: GoalMinCPUEnergy})
+}
+
+// ModelSched is the shared implementation of the model-driven
+// schedulers (JOSS family and STEER): online two-frequency sampling
+// per kernel (§5.1), per-kernel look-up tables, configuration
+// selection for the trade-off goal (§5.2) and task coarsening for
+// fine-grained kernels (§5.3).
+type ModelSched struct {
+	set *models.Set
+	opt Options
+	rt  *taskrt.Runtime
+
+	samplers map[*dag.Kernel]*kernelSampler
+	plans    map[*dag.Kernel]*kernelPlan
+
+	// TotalEvals counts configuration evaluations across all kernel
+	// selections (§7.4's overhead metric).
+	TotalEvals int
+	// Resamples counts adaptive re-sampling events (Options.Adaptive).
+	Resamples int
+	// LastSelectionSec is the virtual time at which the most recent
+	// kernel finished sampling and selection — the end of the §5.1
+	// sampling phase (the paper reports it costs 0.8% of execution
+	// time on average).
+	LastSelectionSec float64
+}
+
+type kernelPlan struct {
+	cfg             platform.Config
+	fine            bool
+	batch           int
+	count           int
+	pendingOverhead float64
+	// predictedSec is the model-predicted execution time at cfg, for
+	// drift detection under Options.Adaptive.
+	predictedSec float64
+	driftStreak  int
+}
+
+// NewModelSched builds a scheduler from a trained model set.
+func NewModelSched(set *models.Set, opt Options) *ModelSched {
+	return &ModelSched{
+		set:      set,
+		opt:      defaults(opt),
+		samplers: make(map[*dag.Kernel]*kernelSampler),
+		plans:    make(map[*dag.Kernel]*kernelPlan),
+	}
+}
+
+// Name implements taskrt.Scheduler.
+func (s *ModelSched) Name() string { return s.opt.Name }
+
+// Attach implements taskrt.Scheduler.
+func (s *ModelSched) Attach(rt *taskrt.Runtime) { s.rt = rt }
+
+// Scope implements taskrt.Scheduler: tasks stay on the selected core
+// type (stealing within the type keeps load balanced, §5.3).
+func (s *ModelSched) Scope() taskrt.StealScope { return taskrt.StealSameType }
+
+// Decide implements taskrt.Scheduler.
+func (s *ModelSched) Decide(t *dag.Task) taskrt.Decision {
+	if plan, ok := s.plans[t.Kernel]; ok {
+		dec := taskrt.Decision{
+			Placement: platform.Placement{TC: plan.cfg.TC, NC: plan.cfg.NC},
+			SetFreq:   true,
+			FC:        plan.cfg.FC,
+			FM:        plan.cfg.FM,
+		}
+		if plan.fine {
+			// Task coarsening: only the leader of each batch issues
+			// the DVFS request; the batch then runs at that setting.
+			dec.SetFreq = plan.count%plan.batch == 0
+		}
+		plan.count++
+		if plan.pendingOverhead > 0 {
+			dec.OverheadSec = plan.pendingOverhead
+			plan.pendingOverhead = 0
+		}
+		return dec
+	}
+	ks := s.samplers[t.Kernel]
+	if ks == nil {
+		ks = newKernelSampler(s.rt.Spec().Placements(), true)
+		s.samplers[t.Kernel] = ks
+	}
+	return ks.decide()
+}
+
+// TaskDone implements taskrt.Scheduler: records sampling measurements
+// and, once a kernel is fully sampled, runs configuration selection.
+// Under Options.Adaptive it also watches selected kernels for drift
+// between predicted and measured times and re-samples on sustained
+// mismatch.
+func (s *ModelSched) TaskDone(rec taskrt.ExecRecord) {
+	k := rec.Task.Kernel
+	if plan, done := s.plans[k]; done {
+		if s.opt.Adaptive {
+			s.checkDrift(k, plan, rec)
+		}
+		return
+	}
+	ks := s.samplers[k]
+	if ks == nil || !ks.record(rec) {
+		return
+	}
+	s.selectConfig(k, ks)
+}
+
+// checkDrift counts consecutive executions whose time deviates from
+// the selection-time prediction by more than the tolerance; a full
+// window of them sends the kernel back through sampling (§ future
+// work: adapting to phase changes).
+func (s *ModelSched) checkDrift(k *dag.Kernel, plan *kernelPlan, rec taskrt.ExecRecord) {
+	if plan.predictedSec <= 0 || rec.NCActual != plan.cfg.NC ||
+		rec.FCStart != plan.cfg.FC || rec.FMStart != plan.cfg.FM {
+		// Only judge executions that ran as planned; partial
+		// recruitment or coordinated frequencies are not model error.
+		return
+	}
+	rel := rec.Elapsed()/plan.predictedSec - 1
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > s.opt.DriftTolerance {
+		plan.driftStreak++
+	} else {
+		plan.driftStreak = 0
+	}
+	if plan.driftStreak >= s.opt.DriftWindow {
+		delete(s.plans, k)
+		s.samplers[k] = newKernelSampler(s.rt.Spec().Placements(), true)
+		s.Resamples++
+	}
+}
+
+// selectConfig builds the kernel's look-up tables and searches for the
+// configuration satisfying the trade-off goal (§5.2).
+func (s *ModelSched) selectConfig(k *dag.Kernel, ks *kernelSampler) {
+	pairs := ks.samplePairs()
+	if len(pairs) == 0 {
+		return
+	}
+	kt := s.set.BuildTables(k.Name, pairs)
+	conc := s.rt.RunningTasks()
+	if conc < 1 {
+		conc = 1
+	}
+
+	energy := func(cfg platform.Config) (float64, bool) {
+		if !s.opt.MemDVFS && cfg.FM != platform.MaxFM {
+			return 0, false
+		}
+		switch s.opt.Goal {
+		case GoalMinCPUEnergy:
+			return s.set.CPUEnergyEstimate(kt, cfg, conc)
+		case GoalMinEDP:
+			e, ok := s.set.EnergyEstimate(kt, cfg, conc)
+			if !ok {
+				return 0, false
+			}
+			p, ok := kt.At(cfg)
+			if !ok {
+				return 0, false
+			}
+			return e * p.TimeSec, true
+		default:
+			return s.set.EnergyEstimate(kt, cfg, conc)
+		}
+	}
+	time := func(cfg platform.Config) (float64, bool) {
+		if !s.opt.MemDVFS && cfg.FM != platform.MaxFM {
+			return 0, false
+		}
+		p, ok := kt.At(cfg)
+		if !ok {
+			return 0, false
+		}
+		return p.TimeSec, true
+	}
+
+	spec := s.rt.Spec()
+	var res search.Result
+	switch {
+	case s.opt.Goal == GoalMaxPerf:
+		res = search.Fastest(spec, time)
+	case s.opt.Speedup > 1:
+		var base search.Result
+		if s.opt.Exhaustive {
+			base = search.Exhaustive(spec, energy)
+		} else {
+			base = search.SteepestDescent(spec, energy)
+		}
+		if !base.Found {
+			return
+		}
+		baseT, _ := time(base.Cfg)
+		res = search.UnderConstraint(spec, energy, time, baseT/s.opt.Speedup, !s.opt.Exhaustive)
+		res.Evals += base.Evals
+	case s.opt.Exhaustive:
+		res = search.Exhaustive(spec, energy)
+	default:
+		res = search.SteepestDescent(spec, energy)
+	}
+	if !res.Found {
+		return
+	}
+	s.TotalEvals += res.Evals
+
+	plan := &kernelPlan{
+		cfg:             res.Cfg,
+		pendingOverhead: float64(res.Evals) * EvalCostSec,
+	}
+	if p, ok := kt.At(res.Cfg); ok {
+		plan.predictedSec = p.TimeSec
+	}
+	s.LastSelectionSec = s.rt.Now()
+	if refT, ok := kt.RefTime[platform.Placement{TC: res.Cfg.TC, NC: res.Cfg.NC}]; ok &&
+		refT < s.opt.CoarsenThresholdSec {
+		plan.fine = true
+		plan.batch = int(math.Ceil(s.opt.CoarsenWindowSec / refT))
+		if plan.batch < 1 {
+			plan.batch = 1
+		}
+	}
+	s.plans[k] = plan
+}
+
+// SelectedConfig returns the configuration chosen for a kernel, if
+// selection has happened (for tests and analysis).
+func (s *ModelSched) SelectedConfig(k *dag.Kernel) (platform.Config, bool) {
+	p, ok := s.plans[k]
+	if !ok {
+		return platform.Config{}, false
+	}
+	return p.cfg, true
+}
+
+func trimFloat(f float64) string {
+	// Render 1.2 as "1.2", 1.0 as "1".
+	s := make([]byte, 0, 8)
+	whole := int(f)
+	s = appendInt(s, whole)
+	frac := int(math.Round((f - float64(whole)) * 10))
+	if frac > 0 {
+		s = append(s, '.')
+		s = appendInt(s, frac)
+	}
+	return string(s)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}

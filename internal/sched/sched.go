@@ -1,0 +1,200 @@
+// Package sched implements the six schedulers evaluated in the paper
+// (§6.2): the GRWS work-stealing baseline, ERASE, Aequitas, STEER and
+// JOSS (including its NoMemDVFS, performance-constrained and MAXP
+// variants). All of them run on the same XiTAO-style runtime
+// (package taskrt), exactly as in the paper where all schedulers are
+// implemented on top of XiTAO.
+package sched
+
+import (
+	"joss/internal/models"
+	"joss/internal/platform"
+	"joss/internal/synth"
+	"joss/internal/taskrt"
+)
+
+// EvalCostSec is the modelled CPU cost of one configuration-energy
+// evaluation during selection (table lookup + arithmetic); it feeds
+// the §7.4 overhead comparison between exhaustive and steepest-descent
+// search.
+const EvalCostSec = 200e-9
+
+// sampleSlot identifies one runtime sampling measurement: a placement
+// and which of the two sampling frequencies (§5.1).
+type sampleSlot struct {
+	pl  platform.Placement
+	alt bool // false: RefFC, true: AltFC
+}
+
+const slotRetries = 6
+
+// kernelSampler drives a kernel's online sampling: JOSS samples the
+// execution time of each kernel at every <TC, NC> at fC, then at f'C
+// (§5.1). ERASE uses the same machinery with one frequency.
+type kernelSampler struct {
+	slots   []sampleSlot
+	times   map[sampleSlot]float64
+	retries map[sampleSlot]int
+	next    int
+	doneCnt int
+}
+
+func newKernelSampler(pls []platform.Placement, twoFreq bool) *kernelSampler {
+	ks := &kernelSampler{
+		times:   make(map[sampleSlot]float64),
+		retries: make(map[sampleSlot]int),
+	}
+	// Reference-frequency slots first, then the alternate frequency:
+	// the paper samples all kernels at fC before switching to f'C,
+	// which keeps concurrent sampling tasks requesting consistent
+	// cluster frequencies.
+	for _, pl := range pls {
+		ks.slots = append(ks.slots, sampleSlot{pl: pl})
+	}
+	if twoFreq {
+		for _, pl := range pls {
+			ks.slots = append(ks.slots, sampleSlot{pl: pl, alt: true})
+		}
+	}
+	return ks
+}
+
+// decide assigns the next unfilled sampling slot (round-robin when all
+// are assigned but not yet measured).
+func (ks *kernelSampler) decide() taskrt.Decision {
+	slot := ks.slots[ks.next%len(ks.slots)]
+	for i := 0; i < len(ks.slots); i++ {
+		s := ks.slots[(ks.next+i)%len(ks.slots)]
+		if _, done := ks.times[s]; !done {
+			slot = s
+			ks.next = (ks.next + i + 1) % len(ks.slots)
+			break
+		}
+	}
+	fc := models.RefFC
+	if slot.alt {
+		fc = models.AltFC
+	}
+	return taskrt.Decision{
+		Placement: slot.pl,
+		SetFreq:   true,
+		FC:        fc,
+		FM:        models.RefFM,
+		ExactFreq: true,
+		Tag:       slot,
+	}
+}
+
+// record stores a completed sampling measurement; it returns true once
+// every slot has a measurement.
+func (ks *kernelSampler) record(rec taskrt.ExecRecord) bool {
+	slot, ok := rec.Tag.(sampleSlot)
+	if !ok {
+		return ks.complete()
+	}
+	if _, done := ks.times[slot]; done {
+		return ks.complete()
+	}
+	// Validate the measurement before trusting it. Two pollution
+	// sources exist under concurrency: a moldable sampling task that
+	// could not recruit its full core count measured the wrong
+	// placement, and a task that started while another kernel's
+	// sampling held the cluster at a different frequency measured the
+	// wrong operating point (the paper avoids the latter by switching
+	// all kernels from fC to f'C together, §5.1; a real runtime also
+	// knows which frequency it set). Reject and retry a bounded number
+	// of times, then accept with a width normalisation as a last
+	// resort (compute scales ~linearly with cores).
+	wantFC := models.RefFC
+	if slot.alt {
+		wantFC = models.AltFC
+	}
+	freqOK := rec.FCStart == wantFC && rec.FMStart == models.RefFM
+	widthOK := rec.NCActual == slot.pl.NC
+	elapsed := rec.Elapsed()
+	if !freqOK || !widthOK {
+		if ks.retries[slot] < slotRetries {
+			ks.retries[slot]++
+			return ks.complete()
+		}
+		if !widthOK {
+			elapsed *= float64(rec.NCActual) / float64(slot.pl.NC)
+		}
+	}
+	ks.times[slot] = elapsed
+	ks.doneCnt++
+	return ks.complete()
+}
+
+func (ks *kernelSampler) complete() bool { return ks.doneCnt == len(ks.slots) }
+
+// samplePairs converts the measurements into the models package's
+// per-placement sample pairs.
+func (ks *kernelSampler) samplePairs() map[platform.Placement]models.SamplePair {
+	out := make(map[platform.Placement]models.SamplePair)
+	for _, slot := range ks.slots {
+		if slot.alt {
+			continue
+		}
+		ref, okRef := ks.times[sampleSlot{pl: slot.pl}]
+		alt, okAlt := ks.times[sampleSlot{pl: slot.pl, alt: true}]
+		if okRef && okAlt {
+			out[slot.pl] = models.SamplePair{TimeRef: ref, TimeAlt: alt}
+		}
+	}
+	return out
+}
+
+// refTimes returns the per-placement reference-frequency times (for
+// single-frequency samplers like ERASE).
+func (ks *kernelSampler) refTimes() map[platform.Placement]float64 {
+	out := make(map[platform.Placement]float64)
+	for slot, t := range ks.times {
+		if !slot.alt {
+			out[slot.pl] = t
+		}
+	}
+	return out
+}
+
+// ERASETable is ERASE's offline categorised CPU power model: average
+// cluster power per placement at the highest frequencies, derived from
+// the synthetic-benchmark profiles.
+type ERASETable map[platform.Placement]float64
+
+// BuildERASETable averages measured CPU power per placement at the
+// highest CPU and memory frequency across the synthetic suite.
+func BuildERASETable(rows []synth.Row) ERASETable {
+	sum := make(map[platform.Placement]float64)
+	n := make(map[platform.Placement]int)
+	for _, r := range rows {
+		if r.Cfg.FC != platform.MaxFC || r.Cfg.FM != platform.MaxFM {
+			continue
+		}
+		pl := platform.Placement{TC: r.Cfg.TC, NC: r.Cfg.NC}
+		sum[pl] += r.Meas.CPUPowerW
+		n[pl]++
+	}
+	out := make(ERASETable, len(sum))
+	for pl, s := range sum {
+		out[pl] = s / float64(n[pl])
+	}
+	return out
+}
+
+// clusterWeightedRandomType picks a core type uniformly over cores
+// (2/6 Denver, 4/6 A57 on the TX2), the placement behaviour of
+// type-agnostic work-stealing runtimes.
+func clusterWeightedRandomType(rt *taskrt.Runtime) platform.CoreType {
+	spec := rt.Spec()
+	total := spec.TotalCores()
+	pick := rt.Rand().Intn(total)
+	acc := 0
+	for _, cl := range spec.Clusters {
+		acc += cl.NumCores
+		if pick < acc {
+			return cl.Type
+		}
+	}
+	return spec.Clusters[len(spec.Clusters)-1].Type
+}

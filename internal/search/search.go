@@ -1,0 +1,229 @@
+// Package search implements JOSS's configuration selection (paper
+// §5.2): choosing <TC, NC, fC, fM> for a kernel to meet an energy /
+// performance trade-off goal, either by exhaustive enumeration or by
+// the steepest-descent pruning heuristic of Figure 7, with optional
+// user-specified performance constraints (§5.2.2).
+package search
+
+import (
+	"math"
+
+	"joss/internal/platform"
+)
+
+// EnergyFn returns the estimated energy of running the kernel once at
+// cfg; ok is false if the configuration is unavailable (for example a
+// placement the kernel was never sampled on).
+type EnergyFn func(cfg platform.Config) (float64, bool)
+
+// TimeFn returns the predicted execution time at cfg.
+type TimeFn func(cfg platform.Config) (float64, bool)
+
+// Result is the outcome of a search.
+type Result struct {
+	Cfg    platform.Config
+	Energy float64
+	// Evals counts distinct configuration evaluations (the overhead
+	// metric of §7.4).
+	Evals int
+	Found bool
+}
+
+type memo struct {
+	fn    EnergyFn
+	cache map[platform.Config]float64
+	evals int
+}
+
+func newMemo(fn EnergyFn) *memo {
+	return &memo{fn: fn, cache: make(map[platform.Config]float64)}
+}
+
+// get returns +Inf for unavailable configurations.
+func (m *memo) get(cfg platform.Config) float64 {
+	if v, ok := m.cache[cfg]; ok {
+		return v
+	}
+	v, ok := m.fn(cfg)
+	if !ok {
+		v = math.Inf(1)
+	} else {
+		m.evals++
+	}
+	m.cache[cfg] = v
+	return v
+}
+
+// Exhaustive loops through every configuration and returns the one
+// with the least energy (§5.2.1's baseline approach).
+func Exhaustive(spec platform.Spec, energy EnergyFn) Result {
+	m := newMemo(energy)
+	best := Result{Energy: math.Inf(1)}
+	for _, cfg := range spec.Configs() {
+		e := m.get(cfg)
+		if e < best.Energy {
+			best.Cfg, best.Energy, best.Found = cfg, e, true
+		}
+	}
+	best.Evals = m.evals
+	return best
+}
+
+// cornerIdx are the <fC, fM> corners: combinations of the highest and
+// lowest CPU and memory frequencies.
+var cornerIdx = [4][2]int{
+	{0, 0},
+	{0, platform.MaxFM},
+	{platform.MaxFC, 0},
+	{platform.MaxFC, platform.MaxFM},
+}
+
+// SteepestDescent implements the three-step pruning of Figure 7:
+//
+//  1. evaluate the four <fC, fM> corner configurations of every
+//     <TC, NC> table;
+//  2. compare corners across tables and keep the <TC, NC> with the
+//     most lowest-corner wins (ties broken by lower corner sum);
+//  3. start at that table's cheapest corner and greedily move to the
+//     cheapest immediate neighbour until no neighbour improves.
+func SteepestDescent(spec platform.Spec, energy EnergyFn) Result {
+	m := newMemo(energy)
+	pls := spec.Placements()
+
+	// Step 1: corner energies per placement.
+	corner := make([][4]float64, len(pls))
+	for i, pl := range pls {
+		for c, fi := range cornerIdx {
+			corner[i][c] = m.get(platform.Config{TC: pl.TC, NC: pl.NC, FC: fi[0], FM: fi[1]})
+		}
+	}
+
+	// Step 2: per-corner winners; the placement with the most wins
+	// confines the search. Ties break toward the lower corner sum.
+	wins := make([]int, len(pls))
+	for c := 0; c < 4; c++ {
+		best, bestE := -1, math.Inf(1)
+		for i := range pls {
+			if corner[i][c] < bestE {
+				best, bestE = i, corner[i][c]
+			}
+		}
+		if best >= 0 {
+			wins[best]++
+		}
+	}
+	sel, selWins, selSum := -1, -1, math.Inf(1)
+	for i := range pls {
+		sum := corner[i][0] + corner[i][1] + corner[i][2] + corner[i][3]
+		if wins[i] > selWins || (wins[i] == selWins && sum < selSum) {
+			sel, selWins, selSum = i, wins[i], sum
+		}
+	}
+	if sel < 0 || math.IsInf(selSum, 1) && selWins == 0 {
+		return Result{Evals: m.evals}
+	}
+	pl := pls[sel]
+
+	// Step 3: hill descent from the cheapest corner of the selected
+	// table over immediate neighbours (including diagonals).
+	fc, fm, curE := 0, 0, math.Inf(1)
+	for c, fi := range cornerIdx {
+		if corner[sel][c] < curE {
+			curE = corner[sel][c]
+			fc, fm = fi[0], fi[1]
+		}
+	}
+	if math.IsInf(curE, 1) {
+		return Result{Evals: m.evals}
+	}
+	for {
+		bestFC, bestFM, bestE := fc, fm, curE
+		for dc := -1; dc <= 1; dc++ {
+			for dm := -1; dm <= 1; dm++ {
+				if dc == 0 && dm == 0 {
+					continue
+				}
+				nc, nm := fc+dc, fm+dm
+				if nc < 0 || nc > platform.MaxFC || nm < 0 || nm > platform.MaxFM {
+					continue
+				}
+				e := m.get(platform.Config{TC: pl.TC, NC: pl.NC, FC: nc, FM: nm})
+				if e < bestE {
+					bestFC, bestFM, bestE = nc, nm, e
+				}
+			}
+		}
+		if bestE >= curE {
+			break
+		}
+		fc, fm, curE = bestFC, bestFM, bestE
+	}
+	return Result{
+		Cfg:    platform.Config{TC: pl.TC, NC: pl.NC, FC: fc, FM: fm},
+		Energy: curE,
+		Evals:  m.evals,
+		Found:  true,
+	}
+}
+
+// Fastest returns the configuration with the smallest predicted time
+// (the paper's MAXP target and the fallback when no configuration
+// meets a performance constraint).
+func Fastest(spec platform.Spec, time TimeFn) Result {
+	best := Result{Energy: math.Inf(1)}
+	bestT := math.Inf(1)
+	for _, cfg := range spec.Configs() {
+		t, ok := time(cfg)
+		if !ok {
+			continue
+		}
+		best.Evals++
+		if t < bestT {
+			bestT = t
+			best.Cfg, best.Found = cfg, true
+		}
+	}
+	best.Energy = bestT // for MAXP the "score" is time
+	return best
+}
+
+// UnderConstraint finds the least-energy configuration whose predicted
+// time is at most targetTime (§5.2.2). If steepest is true the
+// steepest-descent search runs over the constrained energy landscape
+// (infeasible points are +Inf); otherwise the search is exhaustive.
+// If no configuration satisfies the constraint, the fastest
+// configuration is selected.
+func UnderConstraint(spec platform.Spec, energy EnergyFn, time TimeFn,
+	targetTime float64, steepest bool) Result {
+
+	constrained := func(cfg platform.Config) (float64, bool) {
+		t, ok := time(cfg)
+		if !ok {
+			return 0, false
+		}
+		if t > targetTime {
+			return math.Inf(1), true
+		}
+		return mustEnergy(energy, cfg)
+	}
+	var r Result
+	if steepest {
+		r = SteepestDescent(spec, constrained)
+	} else {
+		r = Exhaustive(spec, constrained)
+	}
+	if r.Found && !math.IsInf(r.Energy, 1) {
+		return r
+	}
+	f := Fastest(spec, time)
+	f.Evals += r.Evals
+	return f
+}
+
+func mustEnergy(energy EnergyFn, cfg platform.Config) (float64, bool) {
+	e, ok := energy(cfg)
+	if !ok {
+		return 0, false
+	}
+	return e, true
+}

@@ -1,0 +1,240 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"joss/internal/models"
+	"joss/internal/platform"
+)
+
+var spec = platform.TX2()
+
+// convex builds a bowl-shaped energy landscape with its minimum at the
+// given configuration.
+func convex(min platform.Config) EnergyFn {
+	return func(cfg platform.Config) (float64, bool) {
+		d := 0.0
+		if cfg.TC != min.TC {
+			d += 10
+		}
+		d += math.Abs(float64(cfg.NC - min.NC))
+		d += math.Abs(float64(cfg.FC - min.FC))
+		d += math.Abs(float64(cfg.FM - min.FM))
+		return 1 + d, true
+	}
+}
+
+func TestExhaustiveFindsGlobalMin(t *testing.T) {
+	want := platform.Config{TC: platform.A57, NC: 2, FC: 1, FM: 1}
+	r := Exhaustive(spec, convex(want))
+	if !r.Found || r.Cfg != want {
+		t.Fatalf("Exhaustive = %+v, want cfg %v", r, want)
+	}
+	if r.Evals != len(spec.Configs()) {
+		t.Fatalf("Evals = %d, want %d", r.Evals, len(spec.Configs()))
+	}
+}
+
+func TestSteepestDescentOnConvex(t *testing.T) {
+	for _, want := range []platform.Config{
+		{TC: platform.Denver, NC: 2, FC: 2, FM: 1},
+		{TC: platform.A57, NC: 4, FC: 0, FM: 0},
+		{TC: platform.A57, NC: 1, FC: platform.MaxFC, FM: platform.MaxFM},
+	} {
+		r := SteepestDescent(spec, convex(want))
+		if !r.Found {
+			t.Fatalf("steepest descent found nothing for %v", want)
+		}
+		// The placement step may confine to a neighbouring table, but
+		// on this landscape the frequency minimum within the chosen
+		// table must be exact and near the global optimum.
+		exh := Exhaustive(spec, convex(want))
+		if r.Energy > exh.Energy*1.6 {
+			t.Fatalf("steepest energy %.3f vs exhaustive %.3f for %v", r.Energy, exh.Energy, want)
+		}
+		if r.Evals >= exh.Evals {
+			t.Fatalf("steepest used %d evals, exhaustive %d — no pruning", r.Evals, exh.Evals)
+		}
+	}
+}
+
+func TestSteepestDescentEvalReduction(t *testing.T) {
+	// §7.4: steepest descent reduces overhead by ~70% on average.
+	want := platform.Config{TC: platform.Denver, NC: 2, FC: 1, FM: 0}
+	r := SteepestDescent(spec, convex(want))
+	exh := Exhaustive(spec, convex(want))
+	reduction := 1 - float64(r.Evals)/float64(exh.Evals)
+	if reduction < 0.5 {
+		t.Fatalf("eval reduction %.2f, want ≥ 0.5 (paper: ~0.70)", reduction)
+	}
+}
+
+func TestUnavailablePlacements(t *testing.T) {
+	// Only Denver×2 is available (e.g. kernel sampled on one
+	// placement); both searches must confine themselves to it.
+	avail := platform.Placement{TC: platform.Denver, NC: 2}
+	fn := func(cfg platform.Config) (float64, bool) {
+		if cfg.TC != avail.TC || cfg.NC != avail.NC {
+			return 0, false
+		}
+		return float64(cfg.FC) + float64(cfg.FM) + 1, true
+	}
+	for _, r := range []Result{Exhaustive(spec, fn), SteepestDescent(spec, fn)} {
+		if !r.Found {
+			t.Fatal("search failed with one available placement")
+		}
+		if r.Cfg.TC != avail.TC || r.Cfg.NC != avail.NC {
+			t.Fatalf("selected unavailable placement %v", r.Cfg)
+		}
+		if r.Cfg.FC != 0 || r.Cfg.FM != 0 {
+			t.Fatalf("did not find table minimum: %v", r.Cfg)
+		}
+	}
+}
+
+func TestNothingAvailable(t *testing.T) {
+	fn := func(platform.Config) (float64, bool) { return 0, false }
+	if r := Exhaustive(spec, fn); r.Found {
+		t.Fatal("Exhaustive found a config with nothing available")
+	}
+	if r := SteepestDescent(spec, fn); r.Found {
+		t.Fatal("SteepestDescent found a config with nothing available")
+	}
+}
+
+func TestFastest(t *testing.T) {
+	tf := func(cfg platform.Config) (float64, bool) {
+		// Fastest at max frequencies on Denver×2.
+		t := 10.0 / (cfg.FCGHz() * float64(cfg.NC))
+		if cfg.TC == platform.Denver {
+			t /= 3
+		}
+		t -= 0.01 * cfg.FMGHz()
+		return t, true
+	}
+	r := Fastest(spec, tf)
+	want := platform.Config{TC: platform.Denver, NC: 2, FC: platform.MaxFC, FM: platform.MaxFM}
+	if !r.Found || r.Cfg != want {
+		t.Fatalf("Fastest = %v, want %v", r.Cfg, want)
+	}
+}
+
+func TestUnderConstraint(t *testing.T) {
+	// Energy decreases with lower frequency; time increases. The
+	// constraint should pick the lowest frequency meeting the target.
+	energy := func(cfg platform.Config) (float64, bool) {
+		return cfg.FCGHz() + cfg.FMGHz(), true
+	}
+	time := func(cfg platform.Config) (float64, bool) {
+		return 1 / cfg.FCGHz(), true
+	}
+	for _, steepest := range []bool{false, true} {
+		r := UnderConstraint(spec, energy, time, 1/1.11+1e-9, steepest)
+		if !r.Found {
+			t.Fatalf("steepest=%v: no result", steepest)
+		}
+		if got, ok := time(r.Cfg); !ok || got > 1/1.11+1e-9 {
+			t.Fatalf("steepest=%v: constraint violated: time %.4f", steepest, got)
+		}
+		if r.Cfg.FC != 2 {
+			t.Fatalf("steepest=%v: FC = %d, want 2 (slowest feasible)", steepest, r.Cfg.FC)
+		}
+	}
+}
+
+func TestUnderConstraintInfeasibleFallsBackToFastest(t *testing.T) {
+	energy := func(cfg platform.Config) (float64, bool) { return 1, true }
+	time := func(cfg platform.Config) (float64, bool) { return 5 / cfg.FCGHz(), true }
+	r := UnderConstraint(spec, energy, time, 0.001, false)
+	if !r.Found || r.Cfg.FC != platform.MaxFC {
+		t.Fatalf("infeasible constraint should select fastest, got %v", r.Cfg)
+	}
+}
+
+// On realistic model-driven landscapes, steepest descent must achieve
+// nearly the energy of exhaustive search (§7.4 reports 97%).
+func TestSteepestNearOptimalOnModelLandscapes(t *testing.T) {
+	o := platform.DefaultOracle()
+	set, err := models.TrainDefault(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var ratios []float64
+	for i := 0; i < 40; i++ {
+		d := platform.TaskDemand{
+			Kernel:   "s" + string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			Ops:      1e6 * (1 + rng.Float64()*50),
+			Bytes:    1e5 * (1 + rng.Float64()*100),
+			ParEff:   0.8 + 0.2*rng.Float64(),
+			Activity: 0.7 + 0.3*rng.Float64(),
+			RowHit:   0.4 + 0.5*rng.Float64(),
+		}
+		samples := make(map[platform.Placement]models.SamplePair)
+		for _, pl := range o.Spec.Placements() {
+			ref := o.Measure(d, platform.Config{TC: pl.TC, NC: pl.NC, FC: models.RefFC, FM: models.RefFM})
+			alt := o.Measure(d, platform.Config{TC: pl.TC, NC: pl.NC, FC: models.AltFC, FM: models.RefFM})
+			samples[pl] = models.SamplePair{TimeRef: ref.TimeSec, TimeAlt: alt.TimeSec}
+		}
+		kt := set.BuildTables(d.Kernel, samples)
+		fn := func(cfg platform.Config) (float64, bool) {
+			return set.EnergyEstimate(kt, cfg, 1)
+		}
+		sd := SteepestDescent(spec, fn)
+		ex := Exhaustive(spec, fn)
+		if !sd.Found || !ex.Found {
+			t.Fatal("search failed on model landscape")
+		}
+		ratios = append(ratios, ex.Energy/sd.Energy)
+	}
+	mean := 0.0
+	for _, r := range ratios {
+		mean += r
+	}
+	mean /= float64(len(ratios))
+	if mean < 0.93 {
+		t.Fatalf("steepest achieves %.3f of exhaustive energy on average, want ≥0.93 (paper: 0.97)", mean)
+	}
+	t.Logf("steepest/exhaustive energy ratio mean: %.4f", mean)
+}
+
+// Property: steepest descent never returns a configuration worse than
+// the worst of the corner configurations it started from, and its
+// energy matches the energy function at the returned config.
+func TestPropertySteepestConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make(map[platform.Config]float64)
+		for _, cfg := range spec.Configs() {
+			vals[cfg] = rng.Float64() * 100
+		}
+		fn := func(cfg platform.Config) (float64, bool) { return vals[cfg], true }
+		r := SteepestDescent(spec, fn)
+		if !r.Found {
+			return false
+		}
+		if math.Abs(vals[r.Cfg]-r.Energy) > 1e-12 {
+			return false
+		}
+		// Must be a local minimum within its table's neighbourhood.
+		for dc := -1; dc <= 1; dc++ {
+			for dm := -1; dm <= 1; dm++ {
+				nc, nm := r.Cfg.FC+dc, r.Cfg.FM+dm
+				if nc < 0 || nc > platform.MaxFC || nm < 0 || nm > platform.MaxFM {
+					continue
+				}
+				n := platform.Config{TC: r.Cfg.TC, NC: r.Cfg.NC, FC: nc, FM: nm}
+				if vals[n] < r.Energy {
+					return false
+				}
+			}
+		}
+		return r.Evals <= len(spec.Configs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package sim implements a deterministic discrete-event simulation
+// engine with a virtual clock measured in seconds.
+//
+// The engine is the substrate that replaces real hardware threads in
+// this reproduction: all runtime activity (task execution, work
+// stealing, DVFS transitions, power-sensor sampling) is expressed as
+// events in virtual time, which removes any interference from the Go
+// garbage collector or goroutine scheduler and makes every experiment
+// bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. Events are ordered by time and, for
+// equal times, by scheduling order (FIFO), which keeps the simulation
+// deterministic.
+type Event struct {
+	at      float64
+	seq     uint64
+	fn      func()
+	index   int // heap index, -1 once popped
+	cancled bool
+}
+
+// At returns the virtual time at which the event fires.
+func (e *Event) At() float64 { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancled = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event executor. The zero value
+// is ready to use at time 0.
+type Engine struct {
+	now       float64
+	seq       uint64
+	pq        eventHeap
+	processed uint64
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events not yet reaped).
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) panics: it would silently corrupt causality.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %.9fs before now %.9fs", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: schedule at non-finite time %v", t))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now. Negative d is clamped
+// to zero.
+func (e *Engine) After(d float64, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step executes the next event, advancing the clock. It returns false
+// if no events remain.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*Event)
+		if ev.cancled {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with firing time <= t, then advances the
+// clock to exactly t (even if no event fired at t).
+func (e *Engine) RunUntil(t float64) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunLimit executes at most n events; it returns the number executed.
+// Useful as a runaway guard in tests.
+func (e *Engine) RunLimit(n uint64) uint64 {
+	var done uint64
+	for done < n && e.Step() {
+		done++
+	}
+	return done
+}
+
+func (e *Engine) peek() *Event {
+	for len(e.pq) > 0 {
+		if e.pq[0].cancled {
+			heap.Pop(&e.pq)
+			continue
+		}
+		return e.pq[0]
+	}
+	return nil
+}
+
+// NextEventTime returns the firing time of the next live event and
+// true, or 0 and false if the queue is empty.
+func (e *Engine) NextEventTime() (float64, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}

@@ -1,0 +1,131 @@
+// Package synth generates the synthetic benchmark suite JOSS uses to
+// characterise a platform (paper §4.1): 41 benchmarks whose ratio of
+// computation to memory access sweeps from 0% to 100% in 2.5% steps
+// (the paper starts at 50/50 and moves ±2.5% while keeping total
+// execution time constant). Profiling them at every configuration of
+// the four knobs produces the training data for the performance, CPU
+// power and memory power models.
+package synth
+
+import (
+	"fmt"
+
+	"joss/internal/platform"
+)
+
+// Benchmark is one synthetic benchmark: a computation loop and a
+// memory-access loop mixed so that CompFrac of the (reference)
+// execution time is compute and 1-CompFrac is memory access.
+type Benchmark struct {
+	Name     string
+	CompFrac float64
+}
+
+// Suite returns the 41 synthetic benchmarks with CompFrac 0, 0.025,
+// …, 1.0.
+func Suite() []Benchmark {
+	out := make([]Benchmark, 0, 41)
+	for i := 0; i <= 40; i++ {
+		p := float64(i) * 0.025
+		out = append(out, Benchmark{
+			Name:     fmt.Sprintf("synth_%02d", i),
+			CompFrac: p,
+		})
+	}
+	return out
+}
+
+// RefTimeSec is the constant target execution time of each synthetic
+// benchmark at the reference configuration (highest frequencies).
+const RefTimeSec = 20e-3
+
+// Demand constructs the benchmark's task demand for a given placement
+// so that, at the highest CPU and memory frequencies on that
+// placement, roughly CompFrac of the time is compute and the rest is
+// memory stalls. The inversion uses the oracle's mechanics (perf,
+// latency, MLP) the same way a benchmark author would calibrate loop
+// iteration counts against a real board.
+func (b Benchmark) Demand(o *platform.Oracle, pl platform.Placement) platform.TaskDemand {
+	cp := o.Core[pl.TC]
+	fC := platform.CPUFreqsGHz[platform.MaxFC]
+	fM := platform.MemFreqsGHz[platform.MaxFM]
+	n := float64(pl.NC)
+
+	compT := b.CompFrac * RefTimeSec
+	stallT := (1 - b.CompFrac) * RefTimeSec
+
+	ops := compT * cp.PerfGOPS * 1e9 * fC * n
+	latSec := (o.Mem.LatBaseNs + o.Mem.LatFreqNs/fM) * 1e-9
+	mlpEff := cp.MLP * pow085(n)
+	bytes := stallT * mlpEff * o.Mem.LineBytes / latSec
+
+	return platform.TaskDemand{
+		Kernel:   fmt.Sprintf("%s@%s%d", b.Name, pl.TC, pl.NC),
+		Ops:      ops,
+		Bytes:    bytes,
+		ParEff:   1,
+		Activity: 0.95,
+	}
+}
+
+func pow085(n float64) float64 {
+	// n ∈ {1,2,4} in practice; avoid importing math for three values.
+	switch n {
+	case 1:
+		return 1
+	case 2:
+		return 1.8025009252216604 // 2^0.85
+	case 4:
+		return 3.2490095854249423 // 4^0.85
+	}
+	// Fallback for unusual cluster sizes.
+	p := 1.0
+	for i := 1.0; i < n; i++ {
+		p *= 1 + 0.85/i
+	}
+	return p
+}
+
+// Row is one profiling observation: benchmark b measured at cfg.
+type Row struct {
+	Bench Benchmark
+	Cfg   platform.Config
+	Meas  platform.Measurement
+}
+
+// Profile runs the whole suite at every <TC, NC, fC, fM> configuration
+// and records time, CPU power and memory power, the offline
+// characterisation step of Figure 4. On the TX2 space this yields
+// 41 × 75 = 3075 rows.
+func Profile(o *platform.Oracle) []Row {
+	suite := Suite()
+	var rows []Row
+	for _, pl := range o.Spec.Placements() {
+		for _, b := range suite {
+			d := b.Demand(o, pl)
+			for fc := range platform.CPUFreqsGHz {
+				for fm := range platform.MemFreqsGHz {
+					cfg := platform.Config{TC: pl.TC, NC: pl.NC, FC: fc, FM: fm}
+					rows = append(rows, Row{Bench: b, Cfg: cfg, Meas: o.Measure(d, cfg)})
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// ProfilePlacement profiles the suite for a single placement across
+// the <fC, fM> grid (used by Figure 5, which shows A57×2).
+func ProfilePlacement(o *platform.Oracle, pl platform.Placement) []Row {
+	var rows []Row
+	for _, b := range Suite() {
+		d := b.Demand(o, pl)
+		for fc := range platform.CPUFreqsGHz {
+			for fm := range platform.MemFreqsGHz {
+				cfg := platform.Config{TC: pl.TC, NC: pl.NC, FC: fc, FM: fm}
+				rows = append(rows, Row{Bench: b, Cfg: cfg, Meas: o.Measure(d, cfg)})
+			}
+		}
+	}
+	return rows
+}

@@ -1,0 +1,101 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"joss/internal/platform"
+)
+
+func TestSuiteShape(t *testing.T) {
+	s := Suite()
+	if len(s) != 41 {
+		t.Fatalf("suite size = %d, want 41 (paper §4.1)", len(s))
+	}
+	if s[0].CompFrac != 0 || math.Abs(s[40].CompFrac-1) > 1e-12 {
+		t.Fatalf("CompFrac endpoints = %v, %v", s[0].CompFrac, s[40].CompFrac)
+	}
+	for i := 1; i < len(s); i++ {
+		if d := s[i].CompFrac - s[i-1].CompFrac; math.Abs(d-0.025) > 1e-12 {
+			t.Fatalf("CompFrac step = %v at %d, want 0.025", d, i)
+		}
+	}
+}
+
+func TestDemandCalibration(t *testing.T) {
+	o := platform.DefaultOracle()
+	o.JitterFrac = 0
+	ref := platform.Config{TC: platform.A57, NC: 2, FC: platform.MaxFC, FM: platform.MaxFM}
+	pl := platform.Placement{TC: platform.A57, NC: 2}
+	for _, b := range Suite() {
+		d := b.Demand(o, pl)
+		tb := o.TaskTime(d, ref)
+		// Total time should be near RefTimeSec; the oracle's overlap
+		// term shortens mixed benchmarks by up to HideFrac·min(...).
+		if tb.TotalSec < RefTimeSec*0.75 || tb.TotalSec > RefTimeSec*1.1 {
+			t.Fatalf("%s: ref time %.4g, want ≈%.4g", b.Name, tb.TotalSec, RefTimeSec)
+		}
+	}
+	// The MB extremes should produce clearly compute- and
+	// memory-dominated behaviour.
+	dc := Suite()[40].Demand(o, pl) // 100% compute
+	if sf := o.TaskTime(dc, ref).StallFrac; sf > 0.02 {
+		t.Fatalf("pure-compute benchmark StallFrac = %.3f", sf)
+	}
+	dm := Suite()[0].Demand(o, pl) // 100% memory
+	if sf := o.TaskTime(dm, ref).StallFrac; sf < 0.9 {
+		t.Fatalf("pure-memory benchmark StallFrac = %.3f", sf)
+	}
+}
+
+func TestStallFracMonotoneInCompFrac(t *testing.T) {
+	o := platform.DefaultOracle()
+	o.JitterFrac = 0
+	for _, pl := range o.Spec.Placements() {
+		ref := platform.Config{TC: pl.TC, NC: pl.NC, FC: platform.MaxFC, FM: platform.MaxFM}
+		last := 2.0
+		for _, b := range Suite() {
+			sf := o.TaskTime(b.Demand(o, pl), ref).StallFrac
+			if sf > last+1e-9 {
+				t.Fatalf("%v %s: StallFrac %.4f not decreasing in CompFrac", pl, b.Name, sf)
+			}
+			last = sf
+		}
+	}
+}
+
+func TestProfileShape(t *testing.T) {
+	o := platform.DefaultOracle()
+	rows := Profile(o)
+	want := 41 * len(o.Spec.Configs()) / len(o.Spec.Placements()) * len(o.Spec.Placements())
+	if len(rows) != want {
+		t.Fatalf("Profile rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Meas.TimeSec <= 0 || r.Meas.CPUPowerW <= 0 || r.Meas.MemPowerW <= 0 {
+			t.Fatalf("bad measurement in row %+v", r)
+		}
+	}
+}
+
+func TestProfilePlacement(t *testing.T) {
+	o := platform.DefaultOracle()
+	pl := platform.Placement{TC: platform.A57, NC: 2}
+	rows := ProfilePlacement(o, pl)
+	if len(rows) != 41*15 {
+		t.Fatalf("rows = %d, want 615", len(rows))
+	}
+	for _, r := range rows {
+		if r.Cfg.TC != pl.TC || r.Cfg.NC != pl.NC {
+			t.Fatalf("row config %v not at placement %v", r.Cfg, pl)
+		}
+	}
+}
+
+func TestPow085MatchesMath(t *testing.T) {
+	for _, n := range []float64{1, 2, 4} {
+		if got, want := pow085(n), math.Pow(n, 0.85); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("pow085(%v) = %v, want %v", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,726 @@
+// Package taskrt implements the task-parallel runtime the paper's
+// schedulers are built on — a reimplementation of the XiTAO runtime
+// concepts the paper relies on (§5.3, §6.2) over the discrete-event
+// simulator:
+//
+//   - per-core work deques with random work stealing (tasks are placed
+//     in the queue of a randomly selected core of the chosen type and
+//     may be stolen by other cores of the same type; the GRWS baseline
+//     steals across all cores);
+//   - moldable execution: a task with NC > 1 dynamically recruits idle
+//     cores of its cluster and is partitioned among them; the last
+//     partition wakes the dependents;
+//   - per-task DVFS requests with arithmetic-mean frequency
+//     coordination on shared resources (cluster and memory) when
+//     concurrent tasks disagree;
+//   - mid-task rescaling: when a cluster or memory frequency
+//     transition completes, the remaining work of every affected
+//     running task is re-timed under the new configuration;
+//   - instantaneous task-concurrency tracking for idle-power
+//     attribution.
+package taskrt
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"joss/internal/dag"
+	"joss/internal/platform"
+	"joss/internal/sim"
+	"joss/internal/trace"
+)
+
+// StealScope restricts which victims a core may steal from.
+type StealScope int
+
+const (
+	// StealSameType allows stealing only between cores of the same
+	// cluster type, preserving the scheduler's core-type choice
+	// (paper §5.3).
+	StealSameType StealScope = iota
+	// StealAll allows stealing from any core (the GRWS baseline).
+	StealAll
+)
+
+// CoordMode selects the frequency-coordination heuristic applied when
+// concurrent tasks share a cluster or the memory subsystem (§5.3).
+type CoordMode int
+
+const (
+	// CoordMean averages the task's requested frequency with the
+	// resource's current frequency — the heuristic the paper found
+	// best.
+	CoordMean CoordMode = iota
+	// CoordMin takes the lower of the two frequencies.
+	CoordMin
+	// CoordMax takes the higher of the two frequencies.
+	CoordMax
+	// CoordOverride always applies the task's request.
+	CoordOverride
+)
+
+// Decision is a scheduler's placement and frequency choice for one
+// ready task.
+type Decision struct {
+	Placement platform.Placement
+	// SetFreq requests DVFS throttling to FC/FM when the task starts.
+	SetFreq bool
+	FC, FM  int
+	// ExactFreq bypasses frequency coordination (used by sampling,
+	// which needs the cluster at a known frequency).
+	ExactFreq bool
+	// OverheadSec models the scheduler's decision cost (e.g. the
+	// configuration-search evaluations of §7.4); it delays the task.
+	OverheadSec float64
+	// Tag is returned in the ExecRecord so schedulers can recognise
+	// what this execution was for (e.g. which sampling slot).
+	Tag any
+}
+
+// ExecRecord reports one completed task execution back to the
+// scheduler.
+type ExecRecord struct {
+	Task      *dag.Task
+	Placement platform.Placement
+	// NCActual is the number of cores the moldable task actually
+	// recruited (≤ Placement.NC).
+	NCActual int
+	// FCStart/FMStart are the frequency indices in effect when the
+	// task began executing.
+	FCStart, FMStart int
+	StartSec, EndSec float64
+	Tag              any
+}
+
+// Elapsed returns the execution time in seconds.
+func (r ExecRecord) Elapsed() float64 { return r.EndSec - r.StartSec }
+
+// Scheduler decides placement and frequencies for ready tasks.
+// Implementations live in package sched.
+type Scheduler interface {
+	Name() string
+	// Attach is called once before execution starts.
+	Attach(rt *Runtime)
+	// Decide is called when a task becomes ready.
+	Decide(t *dag.Task) Decision
+	// TaskDone is called when a task completes.
+	TaskDone(rec ExecRecord)
+	// Scope returns the stealing scope.
+	Scope() StealScope
+}
+
+// StealObserver is an optional scheduler extension notified on steals
+// (Aequitas bases its thief/victim heuristic on them).
+type StealObserver interface {
+	OnSteal(thief, victim int, t *dag.Task)
+}
+
+// Stats counts runtime events during one execution.
+type Stats struct {
+	TasksExecuted int
+	Steals        int
+	FreqRequests  int
+	Recruitments  int
+	// TransitionsCPU / TransitionsMem are completed DVFS transitions
+	// (requests for the current frequency are no-ops).
+	TransitionsCPU int
+	TransitionsMem int
+	// TasksByType[tc] counts tasks executed per core type.
+	TasksByType [platform.NumCoreTypes]int
+	// KernelType counts task executions per kernel per core type.
+	KernelType map[string]*[platform.NumCoreTypes]int
+}
+
+// Report is the outcome of one application execution.
+type Report struct {
+	Scheduler   string
+	Graph       string
+	MakespanSec float64
+	// Sensor is the INA3221-style 5 ms-sampled energy (what the
+	// paper reports); Exact is the event-exact integral.
+	Sensor  platform.Energy
+	Exact   platform.Energy
+	Samples int
+	Stats   Stats
+}
+
+type execState struct {
+	seq       uint64 // creation order, for deterministic iteration
+	task      *dag.Task
+	placement platform.Placement
+	cores     []int
+	cluster   int
+	remaining float64 // fraction of the task still to run
+	rate      float64 // fraction per second under current frequencies
+	lastT     float64
+	ev        *sim.Event
+	startSec  float64
+	fcStart   int
+	fmStart   int
+	tag       any
+}
+
+type core struct {
+	id      int
+	cluster int
+	queue   []*dag.Task
+	exec    *execState
+	wakeEv  *sim.Event
+}
+
+// Options tune runtime behaviour.
+type Options struct {
+	Seed  int64
+	Coord CoordMode
+	// DispatchOverheadSec is the fixed cost of dispatching one ready
+	// task (queue operations), added to the scheduler's per-decision
+	// overhead.
+	DispatchOverheadSec float64
+	// Trace, if non-nil, records the execution timeline (task
+	// placements, DVFS transitions, power samples).
+	Trace *trace.Trace
+}
+
+// DefaultOptions returns the options used by the experiments.
+func DefaultOptions() Options {
+	return Options{Seed: 1, Coord: CoordMean, DispatchOverheadSec: 1e-6}
+}
+
+// Runtime executes a task graph under a scheduler on the simulated
+// platform.
+type Runtime struct {
+	Eng   *sim.Engine
+	M     *platform.Machine
+	O     *platform.Oracle
+	Sched Scheduler
+	Opt   Options
+
+	rng       *rand.Rand
+	cores     []*core
+	byType    [platform.NumCoreTypes][]int
+	running   map[*execState]struct{}
+	execSeq   uint64
+	remaining int
+	stats     Stats
+	graph     *dag.Graph
+	finished  bool
+
+	// Captured at the moment the last task completes, so trailing
+	// scheduler timers cannot inflate the measured run.
+	endMakespan float64
+	endSensor   platform.Energy
+	endExact    platform.Energy
+	endSamples  int
+}
+
+// New builds a runtime over a fresh engine and machine.
+func New(o *platform.Oracle, s Scheduler, opt Options) *Runtime {
+	eng := sim.New()
+	m := platform.NewMachine(eng, o)
+	rt := &Runtime{
+		Eng:     eng,
+		M:       m,
+		O:       o,
+		Sched:   s,
+		Opt:     opt,
+		rng:     rand.New(rand.NewSource(opt.Seed)),
+		running: make(map[*execState]struct{}),
+	}
+	rt.stats.KernelType = make(map[string]*[platform.NumCoreTypes]int)
+	for id := 0; id < m.NumCores(); id++ {
+		ci := m.ClusterOfCore(id)
+		rt.cores = append(rt.cores, &core{id: id, cluster: ci})
+		tc := m.CoreType(id)
+		rt.byType[tc] = append(rt.byType[tc], id)
+	}
+	m.OnClusterFreqChange = rt.onClusterFreqChange
+	m.OnMemFreqChange = rt.onMemFreqChange
+	if opt.Trace != nil {
+		opt.Trace.NumCore = m.NumCores()
+	}
+	return rt
+}
+
+// Rand returns the runtime's deterministic RNG (shared with the
+// scheduler so a run is fully reproducible from its seed).
+func (rt *Runtime) Rand() *rand.Rand { return rt.rng }
+
+// Now returns the current virtual time.
+func (rt *Runtime) Now() float64 { return rt.Eng.Now() }
+
+// RunningTasks returns the instantaneous task concurrency (distinct
+// tasks currently executing), the quantity JOSS uses to attribute
+// idle power (§5.3).
+func (rt *Runtime) RunningTasks() int { return len(rt.running) }
+
+// Spec returns the platform specification.
+func (rt *Runtime) Spec() platform.Spec { return rt.M.Spec }
+
+// ClusterFC returns the current frequency index of the cluster hosting
+// core type tc.
+func (rt *Runtime) ClusterFC(tc platform.CoreType) int {
+	return rt.M.FC(rt.M.ClusterByType(tc))
+}
+
+// MemFM returns the current memory frequency index.
+func (rt *Runtime) MemFM() int { return rt.M.FM() }
+
+// RequestClusterFreqByType lets schedulers (Aequitas) throttle a
+// cluster directly.
+func (rt *Runtime) RequestClusterFreqByType(tc platform.CoreType, fc int) {
+	rt.stats.FreqRequests++
+	rt.M.RequestClusterFreq(rt.M.ClusterByType(tc), fc)
+}
+
+// After schedules a scheduler callback in virtual time (for periodic
+// policies like Aequitas's 1-second time slices).
+func (rt *Runtime) After(d float64, fn func()) { rt.Eng.After(d, fn) }
+
+// QueueLen returns the number of queued tasks on a core (Aequitas's
+// work-queue-size signal).
+func (rt *Runtime) QueueLen(core int) int { return len(rt.cores[core].queue) }
+
+// CoreIsBusy reports whether a core is executing a task.
+func (rt *Runtime) CoreIsBusy(core int) bool { return rt.cores[core].exec != nil }
+
+// CoresOfType returns the core IDs of one type.
+func (rt *Runtime) CoresOfType(tc platform.CoreType) []int { return rt.byType[tc] }
+
+// Finished reports whether the run has completed (schedulers use it to
+// stop periodic timers).
+func (rt *Runtime) Finished() bool { return rt.finished }
+
+// Run executes the graph to completion and returns the report.
+func (rt *Runtime) Run(g *dag.Graph) Report {
+	if rt.finished {
+		panic("taskrt: Runtime is single-use; construct a new one per run")
+	}
+	g.ResetRuntimeState()
+	rt.graph = g
+	rt.remaining = g.NumTasks()
+	rt.Sched.Attach(rt)
+	rt.M.Meter.Reset()
+	rt.M.Meter.StartSensor()
+
+	for _, t := range g.Roots() {
+		rt.dispatch(t)
+	}
+	// Run until all tasks completed; the sensor stops itself when the
+	// last task finishes, so the event queue drains naturally.
+	rt.Eng.Run()
+	if rt.remaining != 0 {
+		panic(fmt.Sprintf("taskrt: deadlock — %d tasks never became ready (graph %q)",
+			rt.remaining, g.Name))
+	}
+
+	rt.stats.TransitionsCPU = rt.M.TransitionsCPU
+	rt.stats.TransitionsMem = rt.M.TransitionsMem
+	return Report{
+		Scheduler:   rt.Sched.Name(),
+		Graph:       g.Name,
+		MakespanSec: rt.endMakespan,
+		Sensor:      rt.endSensor,
+		Exact:       rt.endExact,
+		Samples:     rt.endSamples,
+		Stats:       rt.stats,
+	}
+}
+
+// dispatch asks the scheduler for a decision and enqueues the ready
+// task on a random core of the chosen type.
+func (rt *Runtime) dispatch(t *dag.Task) {
+	dec := rt.Sched.Decide(t)
+	pl := dec.Placement
+	ids := rt.byType[pl.TC]
+	if len(ids) == 0 {
+		panic(fmt.Sprintf("taskrt: no cores of type %v", pl.TC))
+	}
+	target := ids[rt.rng.Intn(len(ids))]
+	t.Decision = dec
+	delay := dec.OverheadSec + rt.Opt.DispatchOverheadSec
+	if delay > 0 {
+		rt.Eng.After(delay, func() { rt.enqueue(target, t) })
+	} else {
+		rt.enqueue(target, t)
+	}
+}
+
+func (rt *Runtime) enqueue(target int, t *dag.Task) {
+	c := rt.cores[target]
+	c.queue = append(c.queue, t)
+	rt.wake(target)
+	// Wake an idle potential thief whenever queued work cannot start
+	// immediately on the home core (it is busy, or this enqueue burst
+	// has already given it a task), so no queue waits while cores in
+	// scope sleep.
+	if c.exec != nil || len(c.queue) > 1 {
+		if thief, ok := rt.idleCoreInScope(target); ok {
+			rt.wake(thief)
+		}
+	}
+}
+
+// idleCoreInScope finds an idle core allowed to steal from `from`.
+func (rt *Runtime) idleCoreInScope(from int) (int, bool) {
+	var pool []int
+	if rt.Sched.Scope() == StealAll {
+		for _, c := range rt.cores {
+			pool = append(pool, c.id)
+		}
+	} else {
+		pool = rt.byType[rt.M.CoreType(from)]
+	}
+	start := rt.rng.Intn(len(pool))
+	for i := range pool {
+		id := pool[(start+i)%len(pool)]
+		if id != from && rt.cores[id].exec == nil && len(rt.cores[id].queue) == 0 {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// wake schedules a fetch attempt for an idle core.
+func (rt *Runtime) wake(id int) {
+	c := rt.cores[id]
+	if c.exec != nil || c.wakeEv != nil {
+		return
+	}
+	c.wakeEv = rt.Eng.After(0, func() {
+		c.wakeEv = nil
+		rt.fetch(id)
+	})
+}
+
+// fetch makes an idle core look for work: own queue first (LIFO),
+// then stealing (FIFO from a random victim in scope).
+func (rt *Runtime) fetch(id int) {
+	c := rt.cores[id]
+	if c.exec != nil {
+		return
+	}
+	if n := len(c.queue); n > 0 {
+		t := c.queue[n-1]
+		c.queue = c.queue[:n-1]
+		rt.start(id, t)
+		return
+	}
+	// Steal.
+	var pool []int
+	if rt.Sched.Scope() == StealAll {
+		for _, cc := range rt.cores {
+			pool = append(pool, cc.id)
+		}
+	} else {
+		pool = rt.byType[rt.M.CoreType(id)]
+	}
+	start := rt.rng.Intn(len(pool))
+	for i := range pool {
+		vid := pool[(start+i)%len(pool)]
+		if vid == id {
+			continue
+		}
+		v := rt.cores[vid]
+		if len(v.queue) == 0 {
+			continue
+		}
+		t := v.queue[0]
+		v.queue = v.queue[1:]
+		rt.stats.Steals++
+		if so, ok := rt.Sched.(StealObserver); ok {
+			so.OnSteal(id, vid, t)
+		}
+		rt.start(id, t)
+		return
+	}
+	// Nothing to do: sleep until woken by an enqueue or completion.
+}
+
+// start begins executing task t on core `lead`, recruiting idle
+// same-cluster cores for moldable execution.
+func (rt *Runtime) start(lead int, t *dag.Task) {
+	dec := t.Decision.(Decision)
+	c := rt.cores[lead]
+	cluster := c.cluster
+
+	// Under cross-type stealing (GRWS) the executing core's type wins:
+	// the task runs on the thief's cluster, whatever the dispatcher
+	// picked. Same-type stealing never changes the type.
+	execPl := dec.Placement
+	execPl.TC = rt.M.Spec.Clusters[cluster].Type
+
+	cores := []int{lead}
+	if dec.Placement.NC > 1 {
+		for _, id := range rt.M.Clusters[cluster].CoreIDs() {
+			if len(cores) >= dec.Placement.NC {
+				break
+			}
+			if id == lead {
+				continue
+			}
+			cc := rt.cores[id]
+			if cc.exec == nil && len(cc.queue) == 0 {
+				if cc.wakeEv != nil {
+					cc.wakeEv.Cancel()
+					cc.wakeEv = nil
+				}
+				cores = append(cores, id)
+				rt.stats.Recruitments++
+			}
+		}
+	}
+
+	rt.execSeq++
+	es := &execState{
+		seq:       rt.execSeq,
+		task:      t,
+		placement: execPl,
+		cores:     cores,
+		cluster:   cluster,
+		remaining: 1,
+		lastT:     rt.Now(),
+		startSec:  rt.Now(),
+		fcStart:   rt.M.FC(cluster),
+		fmStart:   rt.M.FM(),
+		tag:       dec.Tag,
+	}
+	for _, id := range cores {
+		rt.cores[id].exec = es
+	}
+	rt.running[es] = struct{}{}
+
+	// DVFS requests with frequency coordination (§5.3).
+	if dec.SetFreq {
+		rt.requestFreqs(es, dec)
+	}
+
+	rt.retime(es)
+}
+
+// requestFreqs applies the coordination heuristic and issues DVFS
+// requests for the task's desired frequencies.
+func (rt *Runtime) requestFreqs(es *execState, dec Decision) {
+	wantFC, wantFM := dec.FC, dec.FM
+	if !dec.ExactFreq && rt.Opt.Coord != CoordOverride {
+		// Other tasks currently share the cluster?
+		othersOnCluster := false
+		for other := range rt.running {
+			if other != es && other.cluster == es.cluster {
+				othersOnCluster = true
+				break
+			}
+		}
+		if othersOnCluster {
+			wantFC = coordinate(rt.Opt.Coord,
+				platform.CPUFreqsGHz, rt.M.FC(es.cluster), wantFC)
+		}
+		if len(rt.running) > 1 { // memory is shared machine-wide
+			wantFM = coordinate(rt.Opt.Coord,
+				platform.MemFreqsGHz, rt.M.FM(), wantFM)
+		}
+	}
+	rt.stats.FreqRequests++
+	rt.M.RequestClusterFreq(es.cluster, wantFC)
+	rt.M.RequestMemFreq(wantFM)
+}
+
+// coordinate merges the resource's current frequency index with the
+// requested one under the given mode.
+func coordinate(mode CoordMode, table []float64, cur, want int) int {
+	switch mode {
+	case CoordMean:
+		ghz := (table[cur] + table[want]) / 2
+		return nearestIdx(table, ghz)
+	case CoordMin:
+		if cur < want {
+			return cur
+		}
+		return want
+	case CoordMax:
+		if cur > want {
+			return cur
+		}
+		return want
+	default:
+		return want
+	}
+}
+
+func nearestIdx(table []float64, ghz float64) int {
+	best, bestD := 0, -1.0
+	for i, f := range table {
+		d := f - ghz
+		if d < 0 {
+			d = -d
+		}
+		if bestD < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// effConfig returns the configuration a running task currently
+// experiences: its placement with the machine's live frequencies.
+func (rt *Runtime) effConfig(es *execState) platform.Config {
+	return platform.Config{
+		TC: es.placement.TC,
+		NC: len(es.cores),
+		FC: rt.M.FC(es.cluster),
+		FM: rt.M.FM(),
+	}
+}
+
+// retime recomputes a running task's completion under the current
+// frequencies, updating per-core occupancies and the completion event.
+func (rt *Runtime) retime(es *execState) {
+	now := rt.Now()
+	if es.rate > 0 {
+		es.remaining -= (now - es.lastT) * es.rate
+		if es.remaining < 0 {
+			es.remaining = 0
+		}
+	}
+	es.lastT = now
+
+	cfg := rt.effConfig(es)
+	d := es.task.EffectiveDemand()
+	tb := rt.O.TaskTime(d, cfg)
+	es.rate = 1 / tb.TotalSec
+
+	occ := rt.occupancyFor(d, cfg, tb)
+	for _, id := range es.cores {
+		if rt.M.CoreBusy(id) {
+			rt.M.UpdateOccupancy(id, occ)
+		} else {
+			rt.M.SetCoreBusy(id, occ)
+		}
+	}
+
+	if es.ev != nil {
+		es.ev.Cancel()
+	}
+	es.ev = rt.Eng.After(es.remaining*tb.TotalSec, func() { rt.complete(es) })
+}
+
+// occupancyFor converts the oracle's task-level account into per-core
+// power contributions consistent with Oracle.Measure.
+func (rt *Runtime) occupancyFor(d platform.TaskDemand, cfg platform.Config, tb platform.TimeBreakdown) platform.CoreOccupancy {
+	// Total dynamic power over the task's NC cores (incl. prefetch
+	// bandwidth term), folded into a per-core activity factor.
+	perCPU := rt.O.CPUDynPower(d, cfg, tb.StallFrac, tb.BWGBs)
+	cp := rt.O.Core[cfg.TC]
+	f := cfg.FCGHz()
+	v := platform.CPUVoltage(cfg.FC)
+	effAct := 0.0
+	if denom := cp.CdynW * f * v * v * float64(cfg.NC); denom > 0 {
+		effAct = perCPU / denom
+	}
+	memW := rt.O.MemAccessPower(d, cfg, tb.BWGBs) / float64(cfg.NC)
+	return platform.CoreOccupancy{
+		Kernel:     d.Kernel,
+		EffAct:     effAct,
+		MemAccessW: memW,
+	}
+}
+
+// complete finishes a task: frees its cores, wakes dependents and
+// reports to the scheduler.
+func (rt *Runtime) complete(es *execState) {
+	rec := ExecRecord{
+		Task:      es.task,
+		Placement: es.placement,
+		NCActual:  len(es.cores),
+		FCStart:   es.fcStart,
+		FMStart:   es.fmStart,
+		StartSec:  es.startSec,
+		EndSec:    rt.Now(),
+		Tag:       es.tag,
+	}
+	delete(rt.running, es)
+	for _, id := range es.cores {
+		rt.cores[id].exec = nil
+		rt.M.SetCoreIdle(id)
+	}
+	if tr := rt.Opt.Trace; tr != nil {
+		tr.AddTask(trace.TaskEvent{
+			TaskID: es.task.ID, Kernel: es.task.Kernel.Name,
+			Cores:    append([]int(nil), es.cores...),
+			StartSec: es.startSec, EndSec: rt.Now(),
+			FC: es.fcStart, FM: es.fmStart,
+		})
+		tr.AddPower(trace.PowerSample{
+			AtSec: rt.Now(), CPUW: rt.M.CPUPowerW(), MemW: rt.M.MemPowerW(),
+		})
+	}
+	rt.stats.TasksExecuted++
+	rt.stats.TasksByType[es.placement.TC]++
+	kname := es.task.Kernel.Name
+	kt := rt.stats.KernelType[kname]
+	if kt == nil {
+		kt = new([platform.NumCoreTypes]int)
+		rt.stats.KernelType[kname] = kt
+	}
+	kt[es.placement.TC]++
+
+	rt.remaining--
+	rt.Sched.TaskDone(rec)
+
+	for _, s := range es.task.Succs {
+		if s.DecrementPred() {
+			rt.dispatch(s)
+		}
+	}
+
+	if rt.remaining == 0 {
+		rt.finished = true
+		rt.M.Meter.StopSensor()
+		rt.endMakespan = rt.M.Meter.Elapsed()
+		rt.endExact = rt.M.Meter.Exact()
+		rt.endSensor, rt.endSamples = rt.M.Meter.Sensor()
+		return
+	}
+
+	// Freed cores look for more work.
+	for _, id := range es.cores {
+		rt.wake(id)
+	}
+}
+
+// onClusterFreqChange rescales every task running on the cluster.
+func (rt *Runtime) onClusterFreqChange(cluster int) {
+	if tr := rt.Opt.Trace; tr != nil {
+		tr.AddFreq(trace.FreqEvent{
+			AtSec: rt.Now(), Domain: fmt.Sprintf("cpu%d", cluster),
+			Freq: rt.M.FC(cluster),
+		})
+	}
+	for _, es := range rt.runningOrdered() {
+		if es.cluster == cluster {
+			rt.retime(es)
+		}
+	}
+}
+
+// runningOrdered returns the running set in creation order: map
+// iteration order must never influence event sequencing, or runs stop
+// being reproducible.
+func (rt *Runtime) runningOrdered() []*execState {
+	out := make([]*execState, 0, len(rt.running))
+	for es := range rt.running {
+		out = append(out, es)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// onMemFreqChange rescales every running task.
+func (rt *Runtime) onMemFreqChange() {
+	if tr := rt.Opt.Trace; tr != nil {
+		tr.AddFreq(trace.FreqEvent{AtSec: rt.Now(), Domain: "mem", Freq: rt.M.FM()})
+	}
+	for _, es := range rt.runningOrdered() {
+		rt.retime(es)
+	}
+}

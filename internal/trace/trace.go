@@ -1,0 +1,235 @@
+// Package trace records the execution timeline of a simulated run:
+// per-task start/end events with their core assignment and frequency
+// context, DVFS transitions, and a power time series. Traces can be
+// rendered as a text Gantt chart or exported in the Chrome trace-event
+// JSON format (chrome://tracing, Perfetto) for visual inspection —
+// the tooling one needs to debug a scheduler's placement decisions.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TaskEvent is one task execution on a set of cores.
+type TaskEvent struct {
+	TaskID   int
+	Kernel   string
+	Cores    []int
+	StartSec float64
+	EndSec   float64
+	FC       int
+	FM       int
+}
+
+// FreqEvent is a completed DVFS transition.
+type FreqEvent struct {
+	AtSec float64
+	// Domain is "cpu0", "cpu1", ... for clusters or "mem".
+	Domain string
+	Freq   int
+}
+
+// PowerSample is one point of the power time series.
+type PowerSample struct {
+	AtSec float64
+	CPUW  float64
+	MemW  float64
+}
+
+// Trace accumulates events during a run. The zero value is ready.
+type Trace struct {
+	Tasks   []TaskEvent
+	Freqs   []FreqEvent
+	Power   []PowerSample
+	NumCore int
+}
+
+// AddTask records a task execution.
+func (t *Trace) AddTask(ev TaskEvent) { t.Tasks = append(t.Tasks, ev) }
+
+// AddFreq records a frequency transition.
+func (t *Trace) AddFreq(ev FreqEvent) { t.Freqs = append(t.Freqs, ev) }
+
+// AddPower records a power sample.
+func (t *Trace) AddPower(p PowerSample) { t.Power = append(t.Power, p) }
+
+// Span returns the time range covered by task events.
+func (t *Trace) Span() (start, end float64) {
+	if len(t.Tasks) == 0 {
+		return 0, 0
+	}
+	start, end = t.Tasks[0].StartSec, t.Tasks[0].EndSec
+	for _, ev := range t.Tasks {
+		if ev.StartSec < start {
+			start = ev.StartSec
+		}
+		if ev.EndSec > end {
+			end = ev.EndSec
+		}
+	}
+	return start, end
+}
+
+// BusyFraction returns the fraction of core-time spent executing
+// tasks over the trace span, per core.
+func (t *Trace) BusyFraction() []float64 {
+	start, end := t.Span()
+	span := end - start
+	busy := make([]float64, t.NumCore)
+	if span <= 0 {
+		return busy
+	}
+	for _, ev := range t.Tasks {
+		for _, c := range ev.Cores {
+			if c < len(busy) {
+				busy[c] += (ev.EndSec - ev.StartSec) / span
+			}
+		}
+	}
+	return busy
+}
+
+// Gantt renders a text timeline: one row per core, time bucketed into
+// `cols` columns, each cell showing the initial of the kernel that
+// occupied the core for the majority of the bucket (idle = '.').
+func (t *Trace) Gantt(cols int) string {
+	start, end := t.Span()
+	if cols <= 0 || end <= start {
+		return ""
+	}
+	dt := (end - start) / float64(cols)
+	grid := make([][]byte, t.NumCore)
+	occupancy := make([][]float64, t.NumCore)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", cols))
+		occupancy[i] = make([]float64, cols)
+	}
+	for _, ev := range t.Tasks {
+		c0 := int((ev.StartSec - start) / dt)
+		c1 := int((ev.EndSec - start) / dt)
+		if c1 >= cols {
+			c1 = cols - 1
+		}
+		initial := byte('?')
+		if len(ev.Kernel) > 0 {
+			initial = ev.Kernel[0]
+		}
+		for _, core := range ev.Cores {
+			if core >= t.NumCore {
+				continue
+			}
+			for c := c0; c <= c1; c++ {
+				bs := start + float64(c)*dt
+				be := bs + dt
+				ov := overlap(ev.StartSec, ev.EndSec, bs, be)
+				if ov > occupancy[core][c] {
+					occupancy[core][c] = ov
+					grid[core][c] = initial
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %.4fs .. %.4fs (%d buckets of %.2fms)\n", start, end, cols, dt*1e3)
+	for i, row := range grid {
+		fmt.Fprintf(&b, "core%-2d |%s|\n", i, row)
+	}
+	return b.String()
+}
+
+func overlap(a0, a1, b0, b1 float64) float64 {
+	lo, hi := a0, a1
+	if b0 > lo {
+		lo = b0
+	}
+	if b1 < hi {
+		hi = b1
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// chromeEvent is the Chrome trace-event JSON schema (subset).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome exports the trace in Chrome trace-event format. Each
+// core is a "thread"; DVFS transitions and power samples are counter
+// events.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	var evs []chromeEvent
+	for _, ev := range t.Tasks {
+		for _, core := range ev.Cores {
+			evs = append(evs, chromeEvent{
+				Name: ev.Kernel, Cat: "task", Ph: "X",
+				Ts: ev.StartSec * 1e6, Dur: (ev.EndSec - ev.StartSec) * 1e6,
+				Pid: 0, Tid: core,
+				Args: map[string]any{"task": ev.TaskID, "fc": ev.FC, "fm": ev.FM},
+			})
+		}
+	}
+	for _, fe := range t.Freqs {
+		evs = append(evs, chromeEvent{
+			Name: "freq:" + fe.Domain, Cat: "dvfs", Ph: "C",
+			Ts: fe.AtSec * 1e6, Pid: 0, Tid: 0,
+			Args: map[string]any{"idx": fe.Freq},
+		})
+	}
+	for _, ps := range t.Power {
+		evs = append(evs, chromeEvent{
+			Name: "power", Cat: "power", Ph: "C",
+			Ts: ps.AtSec * 1e6, Pid: 0, Tid: 0,
+			Args: map[string]any{"cpuW": ps.CPUW, "memW": ps.MemW},
+		})
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": evs})
+}
+
+// KernelSummary aggregates per-kernel execution statistics.
+type KernelSummary struct {
+	Kernel    string
+	Count     int
+	TotalSec  float64
+	MeanSec   float64
+	CoreTimeS float64
+}
+
+// Summarise returns per-kernel statistics sorted by total core time
+// (descending).
+func (t *Trace) Summarise() []KernelSummary {
+	agg := make(map[string]*KernelSummary)
+	for _, ev := range t.Tasks {
+		s := agg[ev.Kernel]
+		if s == nil {
+			s = &KernelSummary{Kernel: ev.Kernel}
+			agg[ev.Kernel] = s
+		}
+		d := ev.EndSec - ev.StartSec
+		s.Count++
+		s.TotalSec += d
+		s.CoreTimeS += d * float64(len(ev.Cores))
+	}
+	out := make([]KernelSummary, 0, len(agg))
+	for _, s := range agg {
+		s.MeanSec = s.TotalSec / float64(s.Count)
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CoreTimeS > out[j].CoreTimeS })
+	return out
+}

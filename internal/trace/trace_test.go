@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Trace {
+	t := &Trace{NumCore: 2}
+	t.AddTask(TaskEvent{TaskID: 0, Kernel: "alpha", Cores: []int{0}, StartSec: 0, EndSec: 1, FC: 4, FM: 2})
+	t.AddTask(TaskEvent{TaskID: 1, Kernel: "beta", Cores: []int{1}, StartSec: 0.5, EndSec: 2, FC: 2, FM: 0})
+	t.AddTask(TaskEvent{TaskID: 2, Kernel: "alpha", Cores: []int{0, 1}, StartSec: 2, EndSec: 3, FC: 2, FM: 0})
+	t.AddFreq(FreqEvent{AtSec: 0.4, Domain: "cpu0", Freq: 2})
+	t.AddPower(PowerSample{AtSec: 1, CPUW: 1.5, MemW: 0.5})
+	return t
+}
+
+func TestSpan(t *testing.T) {
+	tr := sample()
+	s, e := tr.Span()
+	if s != 0 || e != 3 {
+		t.Fatalf("Span = %v, %v; want 0, 3", s, e)
+	}
+	var empty Trace
+	if s, e := empty.Span(); s != 0 || e != 0 {
+		t.Fatal("empty trace span should be 0,0")
+	}
+}
+
+func TestBusyFraction(t *testing.T) {
+	tr := sample()
+	busy := tr.BusyFraction()
+	// Core 0: task0 (1s) + task2 (1s) over 3s span.
+	if diff := busy[0] - 2.0/3; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("core0 busy = %v, want 2/3", busy[0])
+	}
+	// Core 1: task1 (1.5s) + task2 (1s).
+	if diff := busy[1] - 2.5/3; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("core1 busy = %v, want 2.5/3", busy[1])
+	}
+}
+
+func TestGantt(t *testing.T) {
+	tr := sample()
+	g := tr.Gantt(6)
+	if !strings.Contains(g, "core0") || !strings.Contains(g, "core1") {
+		t.Fatalf("gantt missing cores:\n%s", g)
+	}
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt lines = %d, want 3 (header + 2 cores)", len(lines))
+	}
+	// Core0's first buckets must show 'a' (alpha), and some idle '.'
+	// appears between task0 and task2.
+	if !strings.Contains(lines[1], "a") {
+		t.Fatalf("core0 row missing alpha: %s", lines[1])
+	}
+	if !strings.Contains(lines[1], ".") {
+		t.Fatalf("core0 row missing idle: %s", lines[1])
+	}
+	if tr.Gantt(0) != "" {
+		t.Fatal("zero-column gantt should be empty")
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 3 tasks (task2 emits 2 thread rows) + 1 freq + 1 power = 6.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("events = %d, want 6", len(doc.TraceEvents))
+	}
+	// Sorted by timestamp.
+	last := -1.0
+	for _, ev := range doc.TraceEvents {
+		ts := ev["ts"].(float64)
+		if ts < last {
+			t.Fatal("events not sorted by ts")
+		}
+		last = ts
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	tr := sample()
+	sum := tr.Summarise()
+	if len(sum) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(sum))
+	}
+	// alpha: tasks 0 (1s x1 core) and 2 (1s x2 cores) => 3 core-sec.
+	if sum[0].Kernel != "alpha" || sum[0].Count != 2 || sum[0].CoreTimeS != 3 {
+		t.Fatalf("alpha summary wrong: %+v", sum[0])
+	}
+	if sum[0].MeanSec != 1 {
+		t.Fatalf("alpha mean = %v, want 1", sum[0].MeanSec)
+	}
+	if sum[1].Kernel != "beta" || sum[1].CoreTimeS != 1.5 {
+		t.Fatalf("beta summary wrong: %+v", sum[1])
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	cases := []struct{ a0, a1, b0, b1, want float64 }{
+		{0, 1, 0.5, 2, 0.5},
+		{0, 1, 2, 3, 0},
+		{0, 10, 2, 3, 1},
+		{2, 3, 0, 10, 1},
+	}
+	for _, c := range cases {
+		if got := overlap(c.a0, c.a1, c.b0, c.b1); got != c.want {
+			t.Fatalf("overlap(%v,%v,%v,%v) = %v, want %v", c.a0, c.a1, c.b0, c.b1, got, c.want)
+		}
+	}
+}

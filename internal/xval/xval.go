@@ -1,0 +1,116 @@
+// Package xval cross-validates the JOSS prediction models: it splits
+// the synthetic benchmark suite into k folds, trains on k−1 and
+// evaluates prediction accuracy on the held-out fold, per placement.
+// This is the model-quality check an adopter would run before trusting
+// a freshly profiled platform (the paper validates against the real
+// benchmark suite in §7.3; cross-validation catches overfitting
+// without needing the applications at all — it is how the authors
+// justify stopping at degree-2 polynomials, §4.3.3).
+package xval
+
+import (
+	"fmt"
+
+	"joss/internal/models"
+	"joss/internal/platform"
+	"joss/internal/stats"
+	"joss/internal/synth"
+)
+
+// FoldReport is the held-out accuracy of one fold.
+type FoldReport struct {
+	Fold     int
+	PerfAcc  float64
+	CPUAcc   float64
+	MemAcc   float64
+	Examples int
+}
+
+// Report aggregates a full cross-validation.
+type Report struct {
+	K     int
+	Folds []FoldReport
+	// Mean held-out accuracies across folds.
+	PerfMean, CPUMean, MemMean float64
+}
+
+// Run performs k-fold cross-validation of the three models over the
+// synthetic suite on the given oracle.
+func Run(o *platform.Oracle, k int) (*Report, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("xval: need k >= 2, got %d", k)
+	}
+	suite := synth.Suite()
+	if k > len(suite) {
+		return nil, fmt.Errorf("xval: k=%d exceeds suite size %d", k, len(suite))
+	}
+	rows := synth.Profile(o)
+
+	rep := &Report{K: k}
+	var perfAll, cpuAll, memAll []float64
+	for fold := 0; fold < k; fold++ {
+		inFold := func(name string) bool {
+			for i, b := range suite {
+				if b.Name == name {
+					return i%k == fold
+				}
+			}
+			return false
+		}
+		var train []synth.Row
+		for _, r := range rows {
+			if !inFold(r.Bench.Name) {
+				train = append(train, r)
+			}
+		}
+		set, err := models.Train(o, train)
+		if err != nil {
+			return nil, fmt.Errorf("xval: fold %d: %w", fold, err)
+		}
+
+		var perfA, cpuA, memA []float64
+		for i, b := range suite {
+			if i%k != fold {
+				continue
+			}
+			for _, pl := range o.Spec.Placements() {
+				d := b.Demand(o, pl)
+				ref := o.Measure(d, platform.Config{TC: pl.TC, NC: pl.NC, FC: models.RefFC, FM: models.RefFM})
+				alt := o.Measure(d, platform.Config{TC: pl.TC, NC: pl.NC, FC: models.AltFC, FM: models.RefFM})
+				kt := set.BuildTables(d.Kernel, map[platform.Placement]models.SamplePair{
+					pl: {TimeRef: ref.TimeSec, TimeAlt: alt.TimeSec},
+				})
+				for fc := range platform.CPUFreqsGHz {
+					for fm := range platform.MemFreqsGHz {
+						cfg := platform.Config{TC: pl.TC, NC: pl.NC, FC: fc, FM: fm}
+						real := o.Measure(d, cfg)
+						pred, ok := kt.At(cfg)
+						if !ok {
+							continue
+						}
+						perfA = append(perfA, models.Accuracy(real.TimeSec, pred.TimeSec))
+						cpuA = append(cpuA, models.Accuracy(real.CPUPowerW,
+							pred.CPUDynW+set.IdleCPUW[cfg.TC][cfg.FC]))
+						memA = append(memA, models.Accuracy(real.MemPowerW,
+							pred.MemDynW+set.IdleMemW[cfg.FM]))
+					}
+				}
+			}
+		}
+		fr := FoldReport{
+			Fold:     fold,
+			PerfAcc:  stats.Mean(perfA),
+			CPUAcc:   stats.Mean(cpuA),
+			MemAcc:   stats.Mean(memA),
+			Examples: len(perfA),
+		}
+		rep.Folds = append(rep.Folds, fr)
+		perfAll = append(perfAll, fr.PerfAcc)
+		cpuAll = append(cpuAll, fr.CPUAcc)
+		memAll = append(memAll, fr.MemAcc)
+	}
+	rep.PerfMean = stats.Mean(perfAll)
+	rep.CPUMean = stats.Mean(cpuAll)
+	rep.MemMean = stats.Mean(memAll)
+	return rep, nil
+}

@@ -1,0 +1,48 @@
+package xval
+
+import (
+	"testing"
+
+	"joss/internal/platform"
+)
+
+func TestRunValidatesK(t *testing.T) {
+	o := platform.DefaultOracle()
+	if _, err := Run(o, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := Run(o, 1000); err == nil {
+		t.Fatal("k > suite size accepted")
+	}
+}
+
+func TestHeldOutAccuracyHigh(t *testing.T) {
+	o := platform.DefaultOracle()
+	rep, err := Run(o, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Folds) != 5 {
+		t.Fatalf("folds = %d, want 5", len(rep.Folds))
+	}
+	total := 0
+	for _, f := range rep.Folds {
+		if f.Examples == 0 {
+			t.Fatalf("fold %d evaluated nothing", f.Fold)
+		}
+		total += f.Examples
+	}
+	// Held-out accuracy must stay close to the paper's in-sample
+	// bands — degree-2 MPR does not overfit the synthetic family.
+	if rep.PerfMean < 0.90 {
+		t.Errorf("held-out performance accuracy %.3f < 0.90", rep.PerfMean)
+	}
+	if rep.CPUMean < 0.85 {
+		t.Errorf("held-out CPU power accuracy %.3f < 0.85", rep.CPUMean)
+	}
+	if rep.MemMean < 0.80 {
+		t.Errorf("held-out memory power accuracy %.3f < 0.80", rep.MemMean)
+	}
+	t.Logf("held-out: perf %.3f cpu %.3f mem %.3f over %d examples",
+		rep.PerfMean, rep.CPUMean, rep.MemMean, total)
+}
