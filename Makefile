@@ -1,0 +1,32 @@
+# Tier-1 gate and developer shortcuts for the JOSS reproduction.
+
+GO ?= go
+
+.PHONY: tier1 vet build test bench bench-json clean
+
+# tier1 is the repo's merge gate: vet, build, full test suite and the
+# short benchmark smoke (one iteration per benchmark proves the bench
+# harness still runs; perf numbers come from `make bench`).
+tier1: vet build test
+	$(GO) test -run=NONE -bench=. -benchtime=1x .
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs the perf-tracking benchmarks with allocation stats.
+bench:
+	$(GO) test -run=NONE -bench='BenchmarkRuntimeThroughput|BenchmarkFig8$$' -benchmem -benchtime=2s .
+
+# bench-json writes a machine-readable BENCH_<timestamp>.json via the
+# jossbench bench subcommand.
+bench-json:
+	$(GO) run ./cmd/jossbench bench
+
+clean:
+	rm -f BENCH_*.json

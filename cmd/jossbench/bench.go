@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"joss/internal/exp"
+	"joss/internal/workloads"
+)
+
+// BenchResult is one benchmark's record in the BENCH_*.json report.
+type BenchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchReport is the machine-readable output of `jossbench bench`.
+type BenchReport struct {
+	Timestamp  string        `json:"timestamp"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// runBench runs the simulator micro-benchmark suite via
+// testing.Benchmark and writes the JSON report, so performance
+// regressions are visible between PRs without parsing `go test -bench`
+// text output.
+func runBench(outPath string) error {
+	now := time.Now()
+	if outPath == "" {
+		outPath = fmt.Sprintf("BENCH_%s.json", now.Format("20060102T150405"))
+	}
+	// Validate the output path up front — a typo'd -benchout should
+	// fail before minutes of benchmarking, not after.
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	f.Close()
+
+	e, err := exp.NewEnv(0.01)
+	if err != nil {
+		return err
+	}
+
+	report := &BenchReport{
+		Timestamp: now.Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	add := func(name string, metrics func(r testing.BenchmarkResult) map[string]float64,
+		fn func(b *testing.B)) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		br := BenchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if metrics != nil {
+			br.Metrics = metrics(r)
+		}
+		report.Benchmarks = append(report.Benchmarks, br)
+		fmt.Printf("%-28s %12.0f ns/op %10d allocs/op", name, br.NsPerOp, br.AllocsPerOp)
+		for k, v := range br.Metrics {
+			fmt.Printf("  %s=%.4g", k, v)
+		}
+		fmt.Println()
+	}
+
+	// Raw simulator throughput under the cheapest scheduler — the
+	// multiplier on every sweep (tasks/s is the headline perf metric).
+	var totalTasks int
+	var elapsed time.Duration
+	add("RuntimeThroughput", func(testing.BenchmarkResult) map[string]float64 {
+		return map[string]float64{
+			"tasks_per_s": float64(totalTasks) / elapsed.Seconds(),
+		}
+	}, func(b *testing.B) {
+		totalTasks = 0
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			rep := e.Run("GRWS", workloads.SLU(0.05))
+			totalTasks += rep.Stats.TasksExecuted
+		}
+		elapsed = time.Since(start)
+	})
+
+	// Model-driven scheduling end to end (sampling, selection, DVFS).
+	add("JOSSRun", nil, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.Run("JOSS", workloads.SLU(0.05))
+		}
+	})
+
+	// The headline Figure 8 sweep at bench scale.
+	var fig8 *exp.Fig8Result
+	add("Fig8", func(testing.BenchmarkResult) map[string]float64 {
+		return map[string]float64{
+			"joss_vs_grws":  fig8.GeoMean["JOSS"],
+			"steer_vs_grws": fig8.GeoMean["STEER"],
+		}
+	}, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fig8 = e.Fig8()
+		}
+	})
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[bench report written to %s]\n", outPath)
+	return nil
+}

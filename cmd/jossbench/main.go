@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	jossbench [-scale F] [-parallel N] [-csv] fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|all
+//	jossbench [-scale F] [-parallel N] [-csv] [-shareplans] fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|bench|all
 //
 // Each subcommand prints the corresponding experiment's rows (see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for measured
-// vs paper numbers).
+// vs paper numbers). The bench subcommand runs the simulator
+// micro-benchmarks and writes a machine-readable BENCH_<timestamp>.json
+// so the perf trajectory is tracked across PRs.
 package main
 
 import (
@@ -26,14 +28,28 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	repeats := flag.Int("repeats", 1, "seeds per sweep cell, averaged (paper: 10)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	sharePlans := flag.Bool("shareplans", false,
+		"reuse trained per-kernel plans across sweep repeats (faster; repeats after the first skip sampling)")
+	benchOut := flag.String("benchout", "",
+		"bench mode: output path (default BENCH_<timestamp>.json)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: jossbench [flags] fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|all\n")
+		fmt.Fprintf(os.Stderr, "usage: jossbench [flags] fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|bench|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// bench builds its own fixed-scale environment; dispatch before
+	// paying the full-scale profile-and-train below.
+	if flag.Arg(0) == "bench" {
+		if err := runBench(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jossbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	e, err := exp.NewEnv(*scale)
@@ -45,6 +61,7 @@ func main() {
 		e.Parallel = *parallel
 	}
 	e.Repeats = *repeats
+	e.SharePlans = *sharePlans
 
 	emit := func(t *exp.Table) {
 		if *csv {

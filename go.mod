@@ -1,0 +1,3 @@
+module joss
+
+go 1.24.0

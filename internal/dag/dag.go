@@ -69,6 +69,41 @@ type Graph struct {
 
 	kernelByName map[string]*Kernel
 	kernelCount  map[*Kernel]int
+
+	// taskArena and edgeArena are chunked backing stores for tasks and
+	// initial Succs/Preds slices: large graphs (SLU at paper scale has
+	// 11440 tasks and ~3 edges each) are built with a handful of
+	// allocations instead of one per task and per edge-append. Arena
+	// chunks are never moved, so task pointers stay valid.
+	taskArena []Task
+	edgeArena []*Task
+}
+
+// taskChunk and edgeChunk size the arena chunks; initialEdgeCap is the
+// starting capacity of a task's Succs/Preds slice (growth beyond it
+// falls back to the regular allocator).
+const (
+	taskChunk      = 512
+	edgeChunkSlots = 1024
+	initialEdgeCap = 4
+)
+
+func (g *Graph) newTask() *Task {
+	if len(g.taskArena) == 0 {
+		g.taskArena = make([]Task, taskChunk)
+	}
+	t := &g.taskArena[0]
+	g.taskArena = g.taskArena[1:]
+	return t
+}
+
+func (g *Graph) newEdgeSlice() []*Task {
+	if len(g.edgeArena) < initialEdgeCap {
+		g.edgeArena = make([]*Task, initialEdgeCap*edgeChunkSlots)
+	}
+	s := g.edgeArena[:0:initialEdgeCap]
+	g.edgeArena = g.edgeArena[initialEdgeCap:]
+	return s
 }
 
 // New creates an empty graph.
@@ -97,7 +132,10 @@ func (g *Graph) KernelByName(name string) *Kernel { return g.kernelByName[name] 
 
 // AddTask creates a task of kernel k with the given predecessor tasks.
 func (g *Graph) AddTask(k *Kernel, preds ...*Task) *Task {
-	t := &Task{ID: len(g.Tasks), Kernel: k, Seq: g.kernelCount[k]}
+	t := g.newTask()
+	t.ID = len(g.Tasks)
+	t.Kernel = k
+	t.Seq = g.kernelCount[k]
 	g.kernelCount[k]++
 	g.Tasks = append(g.Tasks, t)
 	for _, p := range preds {
@@ -113,7 +151,13 @@ func (g *Graph) AddDep(pred, succ *Task) {
 	if pred.ID >= succ.ID {
 		panic(fmt.Sprintf("dag: dependency %d -> %d violates creation order", pred.ID, succ.ID))
 	}
+	if pred.Succs == nil {
+		pred.Succs = g.newEdgeSlice()
+	}
 	pred.Succs = append(pred.Succs, succ)
+	if succ.Preds == nil {
+		succ.Preds = g.newEdgeSlice()
+	}
 	succ.Preds = append(succ.Preds, pred)
 	succ.npred++
 }

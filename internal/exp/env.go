@@ -26,9 +26,14 @@ import (
 // once-per-platform offline stage of Figure 4.
 type Env struct {
 	Oracle *platform.Oracle
-	Rows   []synth.Row
-	Set    *models.Set
-	ERASE  sched.ERASETable
+	// MC memoizes the oracle's deterministic standalone measurements
+	// across experiment drivers (motivation, Figure 10): a kernel
+	// swept by several figures pays the mechanistic model once per
+	// ⟨demand, config⟩.
+	MC    *platform.MeasureCache
+	Rows  []synth.Row
+	Set   *models.Set
+	ERASE sched.ERASETable
 	// Scale multiplies workload task counts (1 = paper-sized DAGs).
 	Scale float64
 	// Seed feeds every runtime's deterministic RNG.
@@ -40,6 +45,13 @@ type Env struct {
 	Repeats int
 	// Parallel bounds concurrent simulation runs in sweeps.
 	Parallel int
+	// SharePlans lets model-driven schedulers reuse trained per-kernel
+	// plans across the repeats of one sweep cell (same scheduler
+	// options, same workload): repeats after the first skip the §5.1
+	// sampling phase. Off by default because skipping sampling changes
+	// per-repeat trajectories — enable it for throughput-oriented
+	// sweeps, not for reproducing the paper's repeat-averaged numbers.
+	SharePlans bool
 }
 
 // NewEnv profiles and trains a fresh environment.
@@ -52,6 +64,7 @@ func NewEnv(scale float64) (*Env, error) {
 	}
 	return &Env{
 		Oracle:   o,
+		MC:       platform.NewMeasureCache(o),
 		Rows:     rows,
 		Set:      set,
 		ERASE:    sched.BuildERASETable(rows),
@@ -134,12 +147,25 @@ func (e *Env) sweep(jobs []sweepJob) map[string]map[string]taskrt.Report {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// With SharePlans, repeats of this cell share one plan
+			// cache: the scheduler constructor is identical across
+			// repeats, so the goal/constraint is identical too.
+			var pc *sched.PlanCache
+			if e.SharePlans && repeats > 1 {
+				pc = sched.NewPlanCache()
+			}
 			var agg taskrt.Report
 			for r := 0; r < repeats; r++ {
 				g := j.wl.Build(e.Scale)
 				opt := taskrt.DefaultOptions()
 				opt.Seed = e.Seed + int64(r)
-				rt := taskrt.New(e.Oracle, j.mk(), opt)
+				s := j.mk()
+				if pc != nil {
+					if ms, ok := s.(*sched.ModelSched); ok {
+						ms.SetPlanCache(pc)
+					}
+				}
+				rt := taskrt.New(e.Oracle, s, opt)
 				rep := rt.Run(g)
 				if r == 0 {
 					agg = rep

@@ -52,13 +52,13 @@ func (e *Env) Fig10() *Fig10Result {
 	for _, k := range kernels {
 		samples := make(map[platform.Placement]models.SamplePair)
 		for _, pl := range e.Oracle.Spec.Placements() {
-			ref := e.Oracle.Measure(k.d, platform.Config{TC: pl.TC, NC: pl.NC, FC: models.RefFC, FM: models.RefFM})
-			alt := e.Oracle.Measure(k.d, platform.Config{TC: pl.TC, NC: pl.NC, FC: models.AltFC, FM: models.RefFM})
+			ref := e.MC.Measure(k.d, platform.Config{TC: pl.TC, NC: pl.NC, FC: models.RefFC, FM: models.RefFM})
+			alt := e.MC.Measure(k.d, platform.Config{TC: pl.TC, NC: pl.NC, FC: models.AltFC, FM: models.RefFM})
 			samples[pl] = models.SamplePair{TimeRef: ref.TimeSec, TimeAlt: alt.TimeSec}
 		}
 		kt := e.Set.BuildTables(k.name, samples)
 		for _, cfg := range e.Oracle.Spec.Configs() {
-			real := e.Oracle.Measure(k.d, cfg)
+			real := e.MC.Measure(k.d, cfg)
 			pred, ok := kt.At(cfg)
 			if !ok {
 				continue

@@ -1,0 +1,111 @@
+package models
+
+import (
+	"testing"
+
+	"joss/internal/platform"
+)
+
+// TestDensePredictionsMatchMapPath asserts the dense config-indexed
+// table path (KernelTables.At over the flat slab, Predict2/Predict3
+// fast paths) returns values identical to recomputing each prediction
+// through the map-based public API for every configuration in the
+// grid.
+func TestDensePredictionsMatchMapPath(t *testing.T) {
+	o := platform.DefaultOracle()
+	s, err := TrainDefault(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := platform.TaskDemand{Kernel: "dense.kernel", Ops: 2.5e7, Bytes: 3e6,
+		ParEff: 0.85, Activity: 0.9}
+	samples := make(map[platform.Placement]SamplePair)
+	for _, pl := range o.Spec.Placements() {
+		ref := o.Measure(d, platform.Config{TC: pl.TC, NC: pl.NC, FC: RefFC, FM: RefFM})
+		alt := o.Measure(d, platform.Config{TC: pl.TC, NC: pl.NC, FC: AltFC, FM: RefFM})
+		samples[pl] = SamplePair{TimeRef: ref.TimeSec, TimeAlt: alt.TimeSec}
+	}
+	kt := s.BuildTables(d.Kernel, samples)
+
+	fRef := platform.CPUFreqsGHz[RefFC]
+	fAlt := platform.CPUFreqsGHz[AltFC]
+	fMRef := platform.MemFreqsGHz[RefFM]
+	for _, cfg := range o.Spec.Configs() {
+		pl := platform.Placement{TC: cfg.TC, NC: cfg.NC}
+		got, ok := kt.At(cfg)
+		if !ok {
+			t.Fatalf("dense table missing %v", cfg)
+		}
+		// Reference path: the seed's computation through the
+		// ByPlacement map and the allocating Predict.
+		pm := s.ByPlacement[pl]
+		if pm == nil {
+			t.Fatalf("no map entry for %v", pl)
+		}
+		sp := samples[pl]
+		mb := EstimateMB(sp.TimeRef, sp.TimeAlt, fRef, fAlt)
+		fPc := platform.CPUFreqsGHz[cfg.FC]
+		fPm := platform.MemFreqsGHz[cfg.FM]
+		wantTime := sp.TimeRef*(1-mb)*(fRef/fPc) +
+			sp.TimeRef*pm.Perf.Predict([]float64{mb, fRef / fPc, fMRef / fPm})
+		if wantTime < 1e-12 {
+			wantTime = 1e-12
+		}
+		wantCPU := pm.CPUPow.Predict([]float64{mb, fPc})
+		if wantCPU < 0 {
+			wantCPU = 0
+		}
+		wantMem := pm.MemPow.Predict([]float64{mb, fPc, fPm})
+		if wantMem < 0 {
+			wantMem = 0
+		}
+		if got.TimeSec != wantTime {
+			t.Fatalf("%v time: dense %.17g, map %.17g", cfg, got.TimeSec, wantTime)
+		}
+		if got.CPUDynW != wantCPU {
+			t.Fatalf("%v cpu: dense %.17g, map %.17g", cfg, got.CPUDynW, wantCPU)
+		}
+		if got.MemDynW != wantMem {
+			t.Fatalf("%v mem: dense %.17g, map %.17g", cfg, got.MemDynW, wantMem)
+		}
+	}
+
+	// At must reject unsampled placements.
+	if _, ok := kt.At(platform.Config{TC: platform.Denver, NC: 4, FC: 0, FM: 0}); ok {
+		t.Fatal("At returned a prediction for an unsampled placement")
+	}
+	// ...and non-power-of-two core counts (recruited NC, off the knob
+	// grid), which the dense index would otherwise collapse onto the
+	// log2-floor slot.
+	if _, ok := kt.At(platform.Config{TC: platform.A57, NC: 3, FC: 0, FM: 0}); ok {
+		t.Fatal("At returned a prediction for NC=3 (never sampled)")
+	}
+}
+
+// TestPredictFastPathsMatchPredict asserts Predict2/Predict3 equal the
+// general allocating Predict on the trained models.
+func TestPredictFastPathsMatchPredict(t *testing.T) {
+	o := platform.DefaultOracle()
+	s, err := TrainDefault(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe2 := [][2]float64{{0, 0.35}, {0.3, 1.11}, {1, 2.04}}
+	probe3 := [][3]float64{{0, 1, 1}, {0.4, 1.3, 1.4}, {1, 5.83, 2.34}}
+	for _, pm := range s.ByPlacement {
+		for _, p := range probe2 {
+			if got, want := pm.CPUPow.Predict2(p[0], p[1]), pm.CPUPow.Predict(p[:]); got != want {
+				t.Fatalf("Predict2%v = %.17g, Predict = %.17g", p, got, want)
+			}
+		}
+		for _, p := range probe3 {
+			if got, want := pm.Perf.Predict3(p[0], p[1], p[2]), pm.Perf.Predict(p[:]); got != want {
+				t.Fatalf("Perf.Predict3%v = %.17g, Predict = %.17g", p, got, want)
+			}
+			if got, want := pm.MemPow.Predict3(p[0], p[1], p[2]), pm.MemPow.Predict(p[:]); got != want {
+				t.Fatalf("MemPow.Predict3%v = %.17g, Predict = %.17g", p, got, want)
+			}
+		}
+	}
+}

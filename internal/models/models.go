@@ -79,6 +79,26 @@ type Set struct {
 	IdleCPUW [platform.NumCoreTypes][]float64
 	// IdleMemW[fm] is the measured memory background power.
 	IdleMemW []float64
+
+	// dense mirrors ByPlacement as a flat array indexed by
+	// Placement.Index, so the per-prediction hot path never hashes a
+	// placement. Maintained by Reindex.
+	dense [platform.NumPlacementSlots]*PlacementModels
+}
+
+// Reindex rebuilds the dense placement-indexed mirror of ByPlacement.
+// Train and Load call it; callers that mutate ByPlacement directly
+// must call it again before predicting.
+func (s *Set) Reindex() {
+	s.dense = [platform.NumPlacementSlots]*PlacementModels{}
+	for pl, pm := range s.ByPlacement {
+		s.dense[pl.Index()] = pm
+	}
+}
+
+// placement returns the dense entry for pl (nil if untrained).
+func (s *Set) placement(pl platform.Placement) *PlacementModels {
+	return s.dense[pl.Index()]
 }
 
 // Train fits the three models per placement from synthetic profiles
@@ -224,6 +244,7 @@ func Train(o *platform.Oracle, rows []synth.Row) (*Set, error) {
 		}
 		s.ByPlacement[pl] = &PlacementModels{Placement: pl, Perf: perf, CPUPow: cpu, MemPow: mem}
 	}
+	s.Reindex()
 	return s, nil
 }
 
@@ -237,13 +258,13 @@ func TrainDefault(o *platform.Oracle) (*Set, error) {
 // <fc, fm> given its reference-time sample (at RefFC, RefFM on the
 // same placement) and its MB.
 func (s *Set) PredictTime(pl platform.Placement, mb, refTimeSec float64, fc, fm int) float64 {
-	pm := s.ByPlacement[pl]
+	pm := s.placement(pl)
 	fRef := platform.CPUFreqsGHz[RefFC]
 	fMRef := platform.MemFreqsGHz[RefFM]
 	fPc := platform.CPUFreqsGHz[fc]
 	fPm := platform.MemFreqsGHz[fm]
 	comp := refTimeSec * (1 - mb) * (fRef / fPc)
-	stall := refTimeSec * pm.Perf.Predict([]float64{mb, fRef / fPc, fMRef / fPm})
+	stall := refTimeSec * pm.Perf.Predict3(mb, fRef/fPc, fMRef/fPm)
 	t := comp + stall
 	if t < 1e-12 {
 		t = 1e-12
@@ -253,7 +274,7 @@ func (s *Set) PredictTime(pl platform.Placement, mb, refTimeSec float64, fc, fm 
 
 // PredictCPUDynPower implements Eq. 4 (dynamic CPU power in W).
 func (s *Set) PredictCPUDynPower(pl platform.Placement, mb float64, fc int) float64 {
-	p := s.ByPlacement[pl].CPUPow.Predict([]float64{mb, platform.CPUFreqsGHz[fc]})
+	p := s.placement(pl).CPUPow.Predict2(mb, platform.CPUFreqsGHz[fc])
 	if p < 0 {
 		p = 0
 	}
@@ -262,8 +283,8 @@ func (s *Set) PredictCPUDynPower(pl platform.Placement, mb float64, fc int) floa
 
 // PredictMemDynPower implements Eq. 5 (dynamic memory power in W).
 func (s *Set) PredictMemDynPower(pl platform.Placement, mb float64, fc, fm int) float64 {
-	p := s.ByPlacement[pl].MemPow.Predict([]float64{
-		mb, platform.CPUFreqsGHz[fc], platform.MemFreqsGHz[fm]})
+	p := s.placement(pl).MemPow.Predict3(
+		mb, platform.CPUFreqsGHz[fc], platform.MemFreqsGHz[fm])
 	if p < 0 {
 		p = 0
 	}
@@ -292,15 +313,18 @@ type Prediction struct {
 // KernelTables are the per-kernel look-up tables of §5.1: for every
 // placement, measured reference samples (execution time at the two
 // sampling frequencies), the derived MB, and predictions across the
-// whole <fC, fM> grid.
+// whole <fC, fM> grid. Predictions live in one flat slab indexed by
+// Config.Index, so the search's energy/time closures never hash a
+// placement or walk nested slices.
 type KernelTables struct {
 	Kernel string
 	// MB[pl] is the estimated memory-boundness at placement pl.
 	MB map[platform.Placement]float64
 	// RefTime[pl] is the sampled execution time at <RefFC, RefFM>.
 	RefTime map[platform.Placement]float64
-	// Pred[pl][fc][fm] are model predictions.
-	Pred map[platform.Placement][][]Prediction
+
+	pred [platform.NumConfigSlots]Prediction
+	has  [platform.NumPlacementSlots]bool
 }
 
 // SamplePair is the pair of runtime time samples JOSS takes per
@@ -317,51 +341,58 @@ func (s *Set) BuildTables(kernel string, samples map[platform.Placement]SamplePa
 		Kernel:  kernel,
 		MB:      make(map[platform.Placement]float64),
 		RefTime: make(map[platform.Placement]float64),
-		Pred:    make(map[platform.Placement][][]Prediction),
 	}
 	fRef := platform.CPUFreqsGHz[RefFC]
 	fAlt := platform.CPUFreqsGHz[AltFC]
 	for pl, sp := range samples {
-		if _, ok := s.ByPlacement[pl]; !ok {
+		if s.placement(pl) == nil {
 			continue
 		}
 		mb := EstimateMB(sp.TimeRef, sp.TimeAlt, fRef, fAlt)
 		kt.MB[pl] = mb
 		kt.RefTime[pl] = sp.TimeRef
-		grid := make([][]Prediction, len(platform.CPUFreqsGHz))
-		for fc := range grid {
-			grid[fc] = make([]Prediction, len(platform.MemFreqsGHz))
-			for fm := range grid[fc] {
-				grid[fc][fm] = Prediction{
+		kt.has[pl.Index()] = true
+		for fc := 0; fc < platform.NumCPUFreqs; fc++ {
+			cpuW := s.PredictCPUDynPower(pl, mb, fc)
+			for fm := 0; fm < platform.NumMemFreqs; fm++ {
+				cfg := platform.Config{TC: pl.TC, NC: pl.NC, FC: fc, FM: fm}
+				kt.pred[cfg.Index()] = Prediction{
 					TimeSec:   s.PredictTime(pl, mb, sp.TimeRef, fc, fm),
-					CPUDynW:   s.PredictCPUDynPower(pl, mb, fc),
+					CPUDynW:   cpuW,
 					MemDynW:   s.PredictMemDynPower(pl, mb, fc, fm),
 					ValidTime: true,
 				}
 			}
 		}
-		kt.Pred[pl] = grid
 	}
 	return kt
 }
 
-// Placements returns the placements the tables cover.
+// Placements returns the placements the tables cover, in dense-index
+// order (deterministic, unlike the seed's map iteration).
 func (kt *KernelTables) Placements() []platform.Placement {
-	out := make([]platform.Placement, 0, len(kt.Pred))
-	for pl := range kt.Pred {
-		out = append(out, pl)
+	out := make([]platform.Placement, 0, len(kt.MB))
+	for i, ok := range kt.has {
+		if ok {
+			out = append(out, platform.PlacementFromIndex(i))
+		}
 	}
 	return out
 }
 
 // At returns the prediction for a full configuration; ok is false if
-// the placement was never sampled.
+// the placement was never sampled. Non-power-of-two NC (a recruited
+// core count rather than a knob-grid value) is never sampled, and is
+// rejected before indexing — the dense index would otherwise collapse
+// it onto its log2 floor's slot.
 func (kt *KernelTables) At(cfg platform.Config) (Prediction, bool) {
-	grid, ok := kt.Pred[platform.Placement{TC: cfg.TC, NC: cfg.NC}]
-	if !ok {
+	if cfg.NC <= 0 || cfg.NC&(cfg.NC-1) != 0 {
 		return Prediction{}, false
 	}
-	return grid[cfg.FC][cfg.FM], true
+	if !kt.has[platform.Placement{TC: cfg.TC, NC: cfg.NC}.Index()] {
+		return Prediction{}, false
+	}
+	return kt.pred[cfg.Index()], true
 }
 
 // EnergyEstimate returns the estimated total energy (J) of running the

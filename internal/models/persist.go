@@ -136,5 +136,6 @@ func Load(r io.Reader, spec platform.Spec) (*Set, error) {
 	if len(s.ByPlacement) == 0 {
 		return nil, fmt.Errorf("models: no placements in saved set")
 	}
+	s.Reindex()
 	return s, nil
 }

@@ -1,0 +1,60 @@
+package platform
+
+import "testing"
+
+// TestConfigIndexRoundTrip asserts Index/ConfigFromIndex are inverse
+// over the whole knob grid and that indices are unique and in range.
+func TestConfigIndexRoundTrip(t *testing.T) {
+	spec := TX2()
+	seen := make(map[int]Config)
+	for _, cfg := range spec.Configs() {
+		idx := cfg.Index()
+		if idx < 0 || idx >= NumConfigSlots {
+			t.Fatalf("%v index %d out of [0, %d)", cfg, idx, NumConfigSlots)
+		}
+		if prev, dup := seen[idx]; dup {
+			t.Fatalf("index collision: %v and %v both map to %d", prev, cfg, idx)
+		}
+		seen[idx] = cfg
+		if back := ConfigFromIndex(idx); back != cfg {
+			t.Fatalf("round trip %v -> %d -> %v", cfg, idx, back)
+		}
+	}
+	if len(seen) != 75 {
+		t.Fatalf("TX2 grid has %d configs, want 75", len(seen))
+	}
+}
+
+// TestPlacementIndexRoundTrip mirrors the config test for placements.
+func TestPlacementIndexRoundTrip(t *testing.T) {
+	for _, pl := range TX2().Placements() {
+		idx := pl.Index()
+		if idx < 0 || idx >= NumPlacementSlots {
+			t.Fatalf("%v index %d out of range", pl, idx)
+		}
+		if back := PlacementFromIndex(idx); back != pl {
+			t.Fatalf("round trip %v -> %d -> %v", pl, idx, back)
+		}
+	}
+}
+
+// TestMeasureCacheEquivalence asserts the dense-indexed cache returns
+// values identical to the direct oracle path for every config in the
+// grid — both on first (computing) and second (cached) access.
+func TestMeasureCacheEquivalence(t *testing.T) {
+	o := DefaultOracle()
+	mc := NewMeasureCache(o)
+	d := TaskDemand{Kernel: "dense.check", Ops: 3e7, Bytes: 2e6, ParEff: 0.9, Activity: 0.8}
+	for pass := 0; pass < 2; pass++ {
+		for _, cfg := range o.Spec.Configs() {
+			want := o.Measure(d, cfg)
+			got := mc.Measure(d, cfg)
+			if got != want {
+				t.Fatalf("pass %d: cache(%v) = %+v, want %+v", pass, cfg, got, want)
+			}
+		}
+	}
+	if mc.Len() != 1 {
+		t.Fatalf("cache holds %d demands, want 1", mc.Len())
+	}
+}

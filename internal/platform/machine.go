@@ -69,7 +69,20 @@ type Machine struct {
 	OnMemFreqChange     func()
 
 	Meter *Meter
+
+	clH clusterFreqHandler
+	mmH memFreqHandler
 }
+
+// clusterFreqHandler and memFreqHandler let DVFS transition
+// completions be scheduled without a closure allocation per request.
+type clusterFreqHandler struct{ m *Machine }
+
+func (h *clusterFreqHandler) OnEvent(cluster int, _ any) { h.m.completeClusterFreq(cluster) }
+
+type memFreqHandler struct{ m *Machine }
+
+func (h *memFreqHandler) OnEvent(int, any) { h.m.completeMemFreq() }
 
 // NewMachine builds a machine over the given oracle, with all clusters
 // and the memory at their highest frequencies (paper §6.1: frequencies
@@ -86,6 +99,8 @@ func NewMachine(eng *sim.Engine, o *Oracle) *Machine {
 		}
 		m.Clusters = append(m.Clusters, st)
 	}
+	m.clH.m = m
+	m.mmH.m = m
 	m.Meter = newMeter(m)
 	return m
 }
@@ -180,7 +195,7 @@ func (m *Machine) RequestClusterFreq(cluster, fc int) {
 	}
 	cl.pending = fc
 	cl.inFlite = true
-	m.Eng.After(m.Spec.CPUTransitionSec, func() { m.completeClusterFreq(cluster) })
+	m.Eng.AfterEvent(m.Spec.CPUTransitionSec, &m.clH, cluster, nil)
 }
 
 func (m *Machine) completeClusterFreq(cluster int) {
@@ -212,7 +227,7 @@ func (m *Machine) RequestMemFreq(fm int) {
 	}
 	m.fmPend = fm
 	m.fmFlite = true
-	m.Eng.After(m.Spec.MemTransitionSec, func() { m.completeMemFreq() })
+	m.Eng.AfterEvent(m.Spec.MemTransitionSec, &m.mmH, 0, nil)
 }
 
 func (m *Machine) completeMemFreq() {

@@ -1,0 +1,53 @@
+package platform
+
+import "sync"
+
+// measureEntry is one demand's dense per-config measurement slab.
+type measureEntry struct {
+	valid [NumConfigSlots]bool
+	meas  [NumConfigSlots]Measurement
+}
+
+// MeasureCache memoizes Oracle.Measure over the dense config grid.
+// Measure is deterministic (the jitter is a pure function of kernel
+// and configuration), so experiment drivers that sweep the same
+// kernels across figures — motivation, Figure 10, the overhead study —
+// can share one cache and pay the mechanistic model's math once per
+// ⟨demand, config⟩. Safe for concurrent use.
+type MeasureCache struct {
+	O *Oracle
+
+	mu      sync.Mutex
+	entries map[TaskDemand]*measureEntry
+}
+
+// NewMeasureCache returns an empty cache over o.
+func NewMeasureCache(o *Oracle) *MeasureCache {
+	return &MeasureCache{O: o, entries: make(map[TaskDemand]*measureEntry)}
+}
+
+// Measure returns the memoized Oracle.Measure(d, cfg), computing and
+// caching it on first use.
+func (mc *MeasureCache) Measure(d TaskDemand, cfg Config) Measurement {
+	idx := cfg.Index()
+	mc.mu.Lock()
+	e := mc.entries[d]
+	if e == nil {
+		e = &measureEntry{}
+		mc.entries[d] = e
+	}
+	if !e.valid[idx] {
+		e.meas[idx] = mc.O.Measure(d, cfg)
+		e.valid[idx] = true
+	}
+	m := e.meas[idx]
+	mc.mu.Unlock()
+	return m
+}
+
+// Len returns the number of distinct demands cached (for tests).
+func (mc *MeasureCache) Len() int {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return len(mc.entries)
+}

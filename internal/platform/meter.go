@@ -68,15 +68,20 @@ func (mt *Meter) StartSensor() {
 }
 
 func (mt *Meter) scheduleSample() {
-	mt.sensorEv = mt.m.Eng.After(SensorPeriodSec, func() {
-		if !mt.sensorOn {
-			return
-		}
-		mt.sensorCPUJ += mt.m.CPUPowerW() * SensorPeriodSec
-		mt.sensorMemJ += mt.m.MemPowerW() * SensorPeriodSec
-		mt.samples++
-		mt.scheduleSample()
-	})
+	mt.sensorEv = mt.m.Eng.AfterEvent(SensorPeriodSec, mt, 0, nil)
+}
+
+// OnEvent implements sim.Handler: it takes one INA3221-style power
+// sample and reschedules itself, without allocating a closure per
+// sampling period.
+func (mt *Meter) OnEvent(int, any) {
+	if !mt.sensorOn {
+		return
+	}
+	mt.sensorCPUJ += mt.m.CPUPowerW() * SensorPeriodSec
+	mt.sensorMemJ += mt.m.MemPowerW() * SensorPeriodSec
+	mt.samples++
+	mt.scheduleSample()
 }
 
 // StopSensor halts sampling (pending sample event is cancelled).

@@ -1,9 +1,6 @@
 package platform
 
-import (
-	"hash/fnv"
-	"math"
-)
+import "math"
 
 // TaskDemand describes a task's resource requirements, the inputs the
 // oracle needs to "execute" it. Demands are per task instance.
@@ -42,8 +39,8 @@ type TaskDemand struct {
 // leaves RowHit unset.
 const DefaultRowHit = 0.7
 
-// WithBytesScaled returns a copy with Ops and Bytes multiplied by s;
-// useful for building partitions of moldable tasks.
+// WithScale returns a copy with Ops and Bytes multiplied by s; useful
+// for building partitions of moldable tasks.
 func (d TaskDemand) WithScale(s float64) TaskDemand {
 	d.Ops *= s
 	d.Bytes *= s
@@ -172,18 +169,43 @@ func DefaultOracle() *Oracle {
 	return o
 }
 
+// FNV-1a 64-bit parameters (hash/fnv), inlined so the hot-path jitter
+// computation allocates nothing.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnvByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime64
+	return h
+}
+
 // jitter returns a deterministic multiplicative perturbation in
 // [1-JitterFrac, 1+JitterFrac] keyed by the kernel name, the knob
-// configuration and a salt distinguishing the perturbed quantity.
+// configuration and a salt distinguishing the perturbed quantity. The
+// digest is byte-for-byte the FNV-1a stream the seed implementation
+// fed through hash/fnv, computed without allocating.
 func (o *Oracle) jitter(kernel string, tc CoreType, nc, fc, fm int, salt string) float64 {
 	if o.JitterFrac == 0 {
 		return 1
 	}
-	h := fnv.New64a()
-	h.Write([]byte(kernel))
-	h.Write([]byte{byte(tc), byte(nc), byte(fc), byte(fm)})
-	h.Write([]byte(salt))
-	u := float64(h.Sum64()%1_000_003) / 1_000_003.0 // [0,1)
+	h := fnvString(uint64(fnvOffset64), kernel)
+	h = fnvByte(h, byte(tc))
+	h = fnvByte(h, byte(nc))
+	h = fnvByte(h, byte(fc))
+	h = fnvByte(h, byte(fm))
+	h = fnvString(h, salt)
+	u := float64(h%1_000_003) / 1_000_003.0 // [0,1)
 	return 1 + o.JitterFrac*(2*u-1)
 }
 

@@ -19,6 +19,7 @@ package platform
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // CoreType identifies a CPU cluster type (static asymmetry).
@@ -52,6 +53,79 @@ var CPUFreqsGHz = []float64{0.35, 0.65, 1.11, 1.57, 2.04}
 // MemFreqsGHz is the set of supported memory (EMC) frequencies in GHz
 // used in the paper.
 var MemFreqsGHz = []float64{0.80, 1.33, 1.87}
+
+// NumCPUFreqs and NumMemFreqs mirror len(CPUFreqsGHz) and
+// len(MemFreqsGHz) as constants so dense config-indexed tables can be
+// sized at compile time.
+const (
+	NumCPUFreqs = 5
+	NumMemFreqs = 3
+)
+
+// maxNCLog2 bounds the per-task core count the dense config index can
+// represent (NC up to 2^maxNCLog2 per cluster). Valid NC values are
+// powers of two (CoreCounts), so NC is indexed by its log2.
+const maxNCLog2 = 6
+
+// NumPlacementSlots is the size of the dense <TC, NC> index space.
+const NumPlacementSlots = int(NumCoreTypes) * (maxNCLog2 + 1)
+
+// NumConfigSlots is the size of the dense <TC, NC, fC, fM> index
+// space. Hot paths replace map[Config] lookups with flat slices of
+// this length indexed by Config.Index.
+const NumConfigSlots = NumPlacementSlots * NumCPUFreqs * NumMemFreqs
+
+func init() {
+	if len(CPUFreqsGHz) != NumCPUFreqs || len(MemFreqsGHz) != NumMemFreqs {
+		panic("platform: NumCPUFreqs/NumMemFreqs out of sync with frequency tables")
+	}
+}
+
+// ncSlot maps a power-of-two core count to its dense slot (log2). A
+// count beyond the grid's 2^maxNCLog2 bound would silently alias
+// another core type's slot range, so it fails loudly instead (the
+// seed's map-based tables handled any NC; the dense grid trades that
+// for speed and must not trade it for silent corruption).
+func ncSlot(nc int) int {
+	s := bits.Len(uint(nc)) - 1
+	if s < 0 || s > maxNCLog2 {
+		panic(fmt.Sprintf("platform: core count %d outside the dense index grid (max %d)",
+			nc, 1<<maxNCLog2))
+	}
+	return s
+}
+
+// Index returns the placement's dense index in [0, NumPlacementSlots).
+func (p Placement) Index() int {
+	return int(p.TC)*(maxNCLog2+1) + ncSlot(p.NC)
+}
+
+// PlacementFromIndex inverts Placement.Index.
+func PlacementFromIndex(idx int) Placement {
+	return Placement{
+		TC: CoreType(idx / (maxNCLog2 + 1)),
+		NC: 1 << (idx % (maxNCLog2 + 1)),
+	}
+}
+
+// Index returns the configuration's dense index in [0, NumConfigSlots):
+// the ⟨TC, NC, fC, fM⟩ space is a tiny fixed grid, so per-config state
+// lives in flat slices instead of map[Config] hashes. NC must be one
+// of the power-of-two counts CoreCounts yields (other values collide
+// with their log2 floor); state keyed on arbitrary recruited core
+// counts needs an exact-NC index (see Spec.MaxClusterCores).
+func (c Config) Index() int {
+	return (Placement{TC: c.TC, NC: c.NC}.Index()*NumCPUFreqs+c.FC)*NumMemFreqs + c.FM
+}
+
+// ConfigFromIndex inverts Config.Index.
+func ConfigFromIndex(idx int) Config {
+	fm := idx % NumMemFreqs
+	idx /= NumMemFreqs
+	fc := idx % NumCPUFreqs
+	pl := PlacementFromIndex(idx / NumCPUFreqs)
+	return Config{TC: pl.TC, NC: pl.NC, FC: fc, FM: fm}
+}
 
 // cpuVolt maps each CPU frequency index to the rail voltage in volts.
 // Like the TX2, the low operating points share a minimum-voltage
@@ -114,6 +188,19 @@ func (s Spec) TotalCores() int {
 	n := 0
 	for _, c := range s.Clusters {
 		n += c.NumCores
+	}
+	return n
+}
+
+// MaxClusterCores returns the largest per-cluster core count — the
+// upper bound on a task's recruited NC (which, unlike the knob grid,
+// can be any value up to the cluster size).
+func (s Spec) MaxClusterCores() int {
+	n := 0
+	for _, c := range s.Clusters {
+		if c.NumCores > n {
+			n = c.NumCores
+		}
 	}
 	return n
 }

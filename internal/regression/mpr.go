@@ -61,6 +61,31 @@ func (m *Model) Predict(x []float64) float64 {
 	return s
 }
 
+// Predict2 evaluates a K=2 model at (a, b) without allocating: the
+// coefficient order matches Expand([a, b]) = [1, a, b, a², b², ab].
+func (m *Model) Predict2(a, b float64) float64 {
+	if m.K != 2 {
+		panic(fmt.Sprintf("regression: Predict2 on model with K=%d", m.K))
+	}
+	// Parenthesisation matches Predict's Expand-then-multiply order so
+	// both paths are bit-identical.
+	c := m.Coef
+	return c[0] + c[1]*a + c[2]*b + c[3]*(a*a) + c[4]*(b*b) + c[5]*(a*b)
+}
+
+// Predict3 evaluates a K=3 model at (a, b, c) without allocating: the
+// coefficient order matches Expand([a, b, c]) =
+// [1, a, b, c, a², b², c², ab, ac, bc].
+func (m *Model) Predict3(a, b, c float64) float64 {
+	if m.K != 3 {
+		panic(fmt.Sprintf("regression: Predict3 on model with K=%d", m.K))
+	}
+	w := m.Coef
+	return w[0] + w[1]*a + w[2]*b + w[3]*c +
+		w[4]*(a*a) + w[5]*(b*b) + w[6]*(c*c) +
+		w[7]*(a*b) + w[8]*(a*c) + w[9]*(b*c)
+}
+
 // Fit performs least-squares MPR over observations (xs[i], ys[i]).
 // A small ridge term stabilises the normal equations when the design
 // is near-collinear (frequency ratios take few distinct values).

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math"
+	"sync"
 
 	"joss/internal/dag"
 	"joss/internal/models"
@@ -9,6 +10,50 @@ import (
 	"joss/internal/search"
 	"joss/internal/taskrt"
 )
+
+// CachedPlan is a kernel's selected configuration in a transferable
+// form (no pointers into a particular run).
+type CachedPlan struct {
+	Cfg          platform.Config
+	Fine         bool
+	Batch        int
+	PredictedSec float64
+}
+
+// PlanCache shares per-kernel selected configurations across runs of
+// schedulers with an identical goal and constraint — e.g. the repeat
+// loop of a sweep cell, where every seed re-samples and re-selects the
+// very same kernels. A run that adopts a cached plan skips the §5.1
+// sampling phase and the configuration search for that kernel. Safe
+// for concurrent use; keyed by kernel name.
+type PlanCache struct {
+	mu    sync.Mutex
+	plans map[string]CachedPlan
+}
+
+// NewPlanCache returns an empty cache. Share one only between
+// schedulers constructed with identical Options.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{plans: make(map[string]CachedPlan)}
+}
+
+// Lookup returns the cached plan for a kernel, if any.
+func (pc *PlanCache) Lookup(kernel string) (CachedPlan, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	p, ok := pc.plans[kernel]
+	return p, ok
+}
+
+// Store publishes a kernel's selected plan (first writer wins, so
+// later repeats reuse the earliest selection deterministically).
+func (pc *PlanCache) Store(kernel string, p CachedPlan) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if _, dup := pc.plans[kernel]; !dup {
+		pc.plans[kernel] = p
+	}
+}
 
 // Goal selects a model-based scheduler's objective.
 type Goal int
@@ -132,8 +177,9 @@ type ModelSched struct {
 	opt Options
 	rt  *taskrt.Runtime
 
-	samplers map[*dag.Kernel]*kernelSampler
-	plans    map[*dag.Kernel]*kernelPlan
+	samplers  map[*dag.Kernel]*kernelSampler
+	plans     map[*dag.Kernel]*kernelPlan
+	planCache *PlanCache
 
 	// TotalEvals counts configuration evaluations across all kernel
 	// selections (§7.4's overhead metric).
@@ -169,6 +215,14 @@ func NewModelSched(set *models.Set, opt Options) *ModelSched {
 	}
 }
 
+// SetPlanCache attaches a shared plan cache: kernels with a cached
+// plan skip sampling and selection, and freshly selected plans are
+// published for later runs. The caller must ensure every scheduler
+// sharing the cache was built with identical Options (goal, knobs,
+// constraint) — reusing a plan selected for a different objective
+// would silently change results.
+func (s *ModelSched) SetPlanCache(pc *PlanCache) { s.planCache = pc }
+
 // Name implements taskrt.Scheduler.
 func (s *ModelSched) Name() string { return s.opt.Name }
 
@@ -199,6 +253,22 @@ func (s *ModelSched) Decide(t *dag.Task) taskrt.Decision {
 			plan.pendingOverhead = 0
 		}
 		return dec
+	}
+	// Only consult the cache for kernels this run has never started
+	// sampling: after adaptive drift detection sends a kernel back
+	// through sampling, its sampler exists and the (stale) cached plan
+	// must not short-circuit the re-sampling.
+	if s.planCache != nil && s.samplers[t.Kernel] == nil {
+		if cp, ok := s.planCache.Lookup(t.Kernel.Name); ok {
+			plan := &kernelPlan{
+				cfg:          cp.Cfg,
+				fine:         cp.Fine,
+				batch:        cp.Batch,
+				predictedSec: cp.PredictedSec,
+			}
+			s.plans[t.Kernel] = plan
+			return s.Decide(t)
+		}
 	}
 	ks := s.samplers[t.Kernel]
 	if ks == nil {
@@ -345,6 +415,14 @@ func (s *ModelSched) selectConfig(k *dag.Kernel, ks *kernelSampler) {
 		}
 	}
 	s.plans[k] = plan
+	if s.planCache != nil {
+		s.planCache.Store(k.Name, CachedPlan{
+			Cfg:          plan.cfg,
+			Fine:         plan.fine,
+			Batch:        plan.batch,
+			PredictedSec: plan.predictedSec,
+		})
+	}
 }
 
 // SelectedConfig returns the configuration chosen for a kernel, if

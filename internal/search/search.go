@@ -29,20 +29,24 @@ type Result struct {
 	Found bool
 }
 
+// memo caches energy evaluations in a flat slab indexed by
+// Config.Index — the search hot path performs no map hashing.
 type memo struct {
 	fn    EnergyFn
-	cache map[platform.Config]float64
+	known [platform.NumConfigSlots]bool
+	val   [platform.NumConfigSlots]float64
 	evals int
 }
 
 func newMemo(fn EnergyFn) *memo {
-	return &memo{fn: fn, cache: make(map[platform.Config]float64)}
+	return &memo{fn: fn}
 }
 
 // get returns +Inf for unavailable configurations.
 func (m *memo) get(cfg platform.Config) float64 {
-	if v, ok := m.cache[cfg]; ok {
-		return v
+	idx := cfg.Index()
+	if m.known[idx] {
+		return m.val[idx]
 	}
 	v, ok := m.fn(cfg)
 	if !ok {
@@ -50,7 +54,8 @@ func (m *memo) get(cfg platform.Config) float64 {
 	} else {
 		m.evals++
 	}
-	m.cache[cfg] = v
+	m.known[idx] = true
+	m.val[idx] = v
 	return v
 }
 

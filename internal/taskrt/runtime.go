@@ -18,12 +18,17 @@
 //     running task is re-timed under the new configuration;
 //   - instantaneous task-concurrency tracking for idle-power
 //     attribution.
+//
+// The execution hot path is allocation-free in steady state: per-core
+// queues are growable ring deques, dispatch/wake/completion callbacks
+// are closure-free bound events, execution states and decision boxes
+// are pooled, and the oracle's per-⟨demand, config⟩ timing/occupancy
+// answers are memoized in dense config-indexed slabs.
 package taskrt
 
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"joss/internal/dag"
 	"joss/internal/platform"
@@ -161,10 +166,58 @@ type execState struct {
 	tag       any
 }
 
+// ringDeque is a growable ring buffer of tasks supporting the three
+// queue operations the runtime needs: push-back (enqueue), pop-back
+// (LIFO own-queue fetch) and pop-front (FIFO steal).
+type ringDeque struct {
+	buf  []*dag.Task
+	head int
+	n    int
+}
+
+func (q *ringDeque) len() int { return q.n }
+
+func (q *ringDeque) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]*dag.Task, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
+}
+
+func (q *ringDeque) pushBack(t *dag.Task) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = t
+	q.n++
+}
+
+func (q *ringDeque) popBack() *dag.Task {
+	q.n--
+	i := (q.head + q.n) & (len(q.buf) - 1)
+	t := q.buf[i]
+	q.buf[i] = nil
+	return t
+}
+
+func (q *ringDeque) popFront() *dag.Task {
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return t
+}
+
 type core struct {
 	id      int
 	cluster int
-	queue   []*dag.Task
+	queue   ringDeque
 	exec    *execState
 	wakeEv  *sim.Event
 }
@@ -187,6 +240,46 @@ func DefaultOptions() Options {
 	return Options{Seed: 1, Coord: CoordMean, DispatchOverheadSec: 1e-6}
 }
 
+// demandKey identifies a distinct effective task demand: the kernel
+// plus the task's demand scale (0 and 1 both mean "unscaled" and may
+// produce duplicate cache entries, which is harmless).
+type demandKey struct {
+	k     *dag.Kernel
+	scale float64
+}
+
+// demandCache holds the oracle's deterministic answers for one demand
+// across a dense config grid, so retiming a task under frequencies it
+// has already seen costs two array loads instead of the oracle's
+// transcendental math. Unlike platform.Config.Index, the runtime's
+// grid indexes NC exactly (recruitment can yield any core count up to
+// the cluster size, not just powers of two), so slabs are sized per
+// machine in New.
+type demandCache struct {
+	valid []bool
+	tb    []platform.TimeBreakdown
+	occ   []platform.CoreOccupancy
+}
+
+// Bound-event handlers: long-lived adapters that let the runtime
+// schedule its methods through sim.AfterEvent without a per-call
+// closure allocation.
+type enqueueHandler struct{ rt *Runtime }
+
+func (h *enqueueHandler) OnEvent(target int, p0 any) { h.rt.enqueue(target, p0.(*dag.Task)) }
+
+type wakeHandler struct{ rt *Runtime }
+
+func (h *wakeHandler) OnEvent(id int, _ any) {
+	c := h.rt.cores[id]
+	c.wakeEv = nil
+	h.rt.fetch(id)
+}
+
+type completeHandler struct{ rt *Runtime }
+
+func (h *completeHandler) OnEvent(_ int, p0 any) { h.rt.complete(p0.(*execState)) }
+
 // Runtime executes a task graph under a scheduler on the simulated
 // platform.
 type Runtime struct {
@@ -199,12 +292,26 @@ type Runtime struct {
 	rng       *rand.Rand
 	cores     []*core
 	byType    [platform.NumCoreTypes][]int
-	running   map[*execState]struct{}
+	allCores  []int
+	running   []*execState // ordered by execState.seq
 	execSeq   uint64
 	remaining int
 	stats     Stats
 	graph     *dag.Graph
 	finished  bool
+
+	// Pools and caches keeping the steady-state hot path
+	// allocation-free.
+	esPool      []*execState
+	decPool     []*Decision
+	dcache      map[demandKey]*demandCache
+	cfgSlots    int // size of the exact-NC config grid
+	maxNC       int
+	kernelStats [][platform.NumCoreTypes]int
+
+	enqH enqueueHandler
+	wakH wakeHandler
+	cmpH completeHandler
 
 	// Captured at the moment the last task completes, so trailing
 	// scheduler timers cannot inflate the measured run.
@@ -219,20 +326,26 @@ func New(o *platform.Oracle, s Scheduler, opt Options) *Runtime {
 	eng := sim.New()
 	m := platform.NewMachine(eng, o)
 	rt := &Runtime{
-		Eng:     eng,
-		M:       m,
-		O:       o,
-		Sched:   s,
-		Opt:     opt,
-		rng:     rand.New(rand.NewSource(opt.Seed)),
-		running: make(map[*execState]struct{}),
+		Eng:    eng,
+		M:      m,
+		O:      o,
+		Sched:  s,
+		Opt:    opt,
+		rng:    rand.New(rand.NewSource(opt.Seed)),
+		dcache: make(map[demandKey]*demandCache),
 	}
-	rt.stats.KernelType = make(map[string]*[platform.NumCoreTypes]int)
+	rt.enqH.rt = rt
+	rt.wakH.rt = rt
+	rt.cmpH.rt = rt
+	rt.maxNC = m.Spec.MaxClusterCores()
+	rt.cfgSlots = int(platform.NumCoreTypes) * (rt.maxNC + 1) *
+		platform.NumCPUFreqs * platform.NumMemFreqs
 	for id := 0; id < m.NumCores(); id++ {
 		ci := m.ClusterOfCore(id)
 		rt.cores = append(rt.cores, &core{id: id, cluster: ci})
 		tc := m.CoreType(id)
 		rt.byType[tc] = append(rt.byType[tc], id)
+		rt.allCores = append(rt.allCores, id)
 	}
 	m.OnClusterFreqChange = rt.onClusterFreqChange
 	m.OnMemFreqChange = rt.onMemFreqChange
@@ -279,7 +392,7 @@ func (rt *Runtime) After(d float64, fn func()) { rt.Eng.After(d, fn) }
 
 // QueueLen returns the number of queued tasks on a core (Aequitas's
 // work-queue-size signal).
-func (rt *Runtime) QueueLen(core int) int { return len(rt.cores[core].queue) }
+func (rt *Runtime) QueueLen(core int) int { return rt.cores[core].queue.len() }
 
 // CoreIsBusy reports whether a core is executing a task.
 func (rt *Runtime) CoreIsBusy(core int) bool { return rt.cores[core].exec != nil }
@@ -299,6 +412,7 @@ func (rt *Runtime) Run(g *dag.Graph) Report {
 	g.ResetRuntimeState()
 	rt.graph = g
 	rt.remaining = g.NumTasks()
+	rt.kernelStats = make([][platform.NumCoreTypes]int, len(g.Kernels))
 	rt.Sched.Attach(rt)
 	rt.M.Meter.Reset()
 	rt.M.Meter.StartSensor()
@@ -316,6 +430,19 @@ func (rt *Runtime) Run(g *dag.Graph) Report {
 
 	rt.stats.TransitionsCPU = rt.M.TransitionsCPU
 	rt.stats.TransitionsMem = rt.M.TransitionsMem
+	rt.stats.KernelType = make(map[string]*[platform.NumCoreTypes]int)
+	for i, k := range g.Kernels {
+		counts := rt.kernelStats[i]
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		kc := counts
+		rt.stats.KernelType[k.Name] = &kc
+	}
 	return Report{
 		Scheduler:   rt.Sched.Name(),
 		Graph:       g.Name,
@@ -325,6 +452,37 @@ func (rt *Runtime) Run(g *dag.Graph) Report {
 		Samples:     rt.endSamples,
 		Stats:       rt.stats,
 	}
+}
+
+// newDecision takes a Decision box from the pool.
+func (rt *Runtime) newDecision() *Decision {
+	if n := len(rt.decPool); n > 0 {
+		d := rt.decPool[n-1]
+		rt.decPool = rt.decPool[:n-1]
+		return d
+	}
+	return &Decision{}
+}
+
+func (rt *Runtime) freeDecision(d *Decision) {
+	*d = Decision{}
+	rt.decPool = append(rt.decPool, d)
+}
+
+// newExecState takes an execution state from the pool.
+func (rt *Runtime) newExecState() *execState {
+	if n := len(rt.esPool); n > 0 {
+		es := rt.esPool[n-1]
+		rt.esPool = rt.esPool[:n-1]
+		return es
+	}
+	return &execState{}
+}
+
+func (rt *Runtime) freeExecState(es *execState) {
+	cores := es.cores[:0]
+	*es = execState{cores: cores}
+	rt.esPool = append(rt.esPool, es)
 }
 
 // dispatch asks the scheduler for a decision and enqueues the ready
@@ -337,10 +495,12 @@ func (rt *Runtime) dispatch(t *dag.Task) {
 		panic(fmt.Sprintf("taskrt: no cores of type %v", pl.TC))
 	}
 	target := ids[rt.rng.Intn(len(ids))]
-	t.Decision = dec
+	pd := rt.newDecision()
+	*pd = dec
+	t.Decision = pd
 	delay := dec.OverheadSec + rt.Opt.DispatchOverheadSec
 	if delay > 0 {
-		rt.Eng.After(delay, func() { rt.enqueue(target, t) })
+		rt.Eng.AfterEvent(delay, &rt.enqH, target, t)
 	} else {
 		rt.enqueue(target, t)
 	}
@@ -348,33 +508,35 @@ func (rt *Runtime) dispatch(t *dag.Task) {
 
 func (rt *Runtime) enqueue(target int, t *dag.Task) {
 	c := rt.cores[target]
-	c.queue = append(c.queue, t)
+	c.queue.pushBack(t)
 	rt.wake(target)
 	// Wake an idle potential thief whenever queued work cannot start
 	// immediately on the home core (it is busy, or this enqueue burst
 	// has already given it a task), so no queue waits while cores in
 	// scope sleep.
-	if c.exec != nil || len(c.queue) > 1 {
+	if c.exec != nil || c.queue.len() > 1 {
 		if thief, ok := rt.idleCoreInScope(target); ok {
 			rt.wake(thief)
 		}
 	}
 }
 
+// stealPool returns the victim candidates for a core under the current
+// scope. Pools are precomputed — no per-scan allocation.
+func (rt *Runtime) stealPool(core int) []int {
+	if rt.Sched.Scope() == StealAll {
+		return rt.allCores
+	}
+	return rt.byType[rt.M.CoreType(core)]
+}
+
 // idleCoreInScope finds an idle core allowed to steal from `from`.
 func (rt *Runtime) idleCoreInScope(from int) (int, bool) {
-	var pool []int
-	if rt.Sched.Scope() == StealAll {
-		for _, c := range rt.cores {
-			pool = append(pool, c.id)
-		}
-	} else {
-		pool = rt.byType[rt.M.CoreType(from)]
-	}
+	pool := rt.stealPool(from)
 	start := rt.rng.Intn(len(pool))
 	for i := range pool {
 		id := pool[(start+i)%len(pool)]
-		if id != from && rt.cores[id].exec == nil && len(rt.cores[id].queue) == 0 {
+		if id != from && rt.cores[id].exec == nil && rt.cores[id].queue.len() == 0 {
 			return id, true
 		}
 	}
@@ -387,10 +549,7 @@ func (rt *Runtime) wake(id int) {
 	if c.exec != nil || c.wakeEv != nil {
 		return
 	}
-	c.wakeEv = rt.Eng.After(0, func() {
-		c.wakeEv = nil
-		rt.fetch(id)
-	})
+	c.wakeEv = rt.Eng.AfterEvent(0, &rt.wakH, id, nil)
 }
 
 // fetch makes an idle core look for work: own queue first (LIFO),
@@ -400,21 +559,12 @@ func (rt *Runtime) fetch(id int) {
 	if c.exec != nil {
 		return
 	}
-	if n := len(c.queue); n > 0 {
-		t := c.queue[n-1]
-		c.queue = c.queue[:n-1]
-		rt.start(id, t)
+	if c.queue.len() > 0 {
+		rt.start(id, c.queue.popBack())
 		return
 	}
 	// Steal.
-	var pool []int
-	if rt.Sched.Scope() == StealAll {
-		for _, cc := range rt.cores {
-			pool = append(pool, cc.id)
-		}
-	} else {
-		pool = rt.byType[rt.M.CoreType(id)]
-	}
+	pool := rt.stealPool(id)
 	start := rt.rng.Intn(len(pool))
 	for i := range pool {
 		vid := pool[(start+i)%len(pool)]
@@ -422,11 +572,10 @@ func (rt *Runtime) fetch(id int) {
 			continue
 		}
 		v := rt.cores[vid]
-		if len(v.queue) == 0 {
+		if v.queue.len() == 0 {
 			continue
 		}
-		t := v.queue[0]
-		v.queue = v.queue[1:]
+		t := v.queue.popFront()
 		rt.stats.Steals++
 		if so, ok := rt.Sched.(StealObserver); ok {
 			so.OnSteal(id, vid, t)
@@ -440,7 +589,10 @@ func (rt *Runtime) fetch(id int) {
 // start begins executing task t on core `lead`, recruiting idle
 // same-cluster cores for moldable execution.
 func (rt *Runtime) start(lead int, t *dag.Task) {
-	dec := t.Decision.(Decision)
+	pd := t.Decision.(*Decision)
+	dec := *pd
+	rt.freeDecision(pd)
+	t.Decision = nil
 	c := rt.cores[lead]
 	cluster := c.cluster
 
@@ -450,45 +602,43 @@ func (rt *Runtime) start(lead int, t *dag.Task) {
 	execPl := dec.Placement
 	execPl.TC = rt.M.Spec.Clusters[cluster].Type
 
-	cores := []int{lead}
+	rt.execSeq++
+	es := rt.newExecState()
+	es.seq = rt.execSeq
+	es.task = t
+	es.placement = execPl
+	es.cluster = cluster
+	es.remaining = 1
+	es.lastT = rt.Now()
+	es.startSec = rt.Now()
+	es.fcStart = rt.M.FC(cluster)
+	es.fmStart = rt.M.FM()
+	es.tag = dec.Tag
+	es.cores = append(es.cores, lead)
 	if dec.Placement.NC > 1 {
 		for _, id := range rt.M.Clusters[cluster].CoreIDs() {
-			if len(cores) >= dec.Placement.NC {
+			if len(es.cores) >= dec.Placement.NC {
 				break
 			}
 			if id == lead {
 				continue
 			}
 			cc := rt.cores[id]
-			if cc.exec == nil && len(cc.queue) == 0 {
+			if cc.exec == nil && cc.queue.len() == 0 {
 				if cc.wakeEv != nil {
 					cc.wakeEv.Cancel()
 					cc.wakeEv = nil
 				}
-				cores = append(cores, id)
+				es.cores = append(es.cores, id)
 				rt.stats.Recruitments++
 			}
 		}
 	}
 
-	rt.execSeq++
-	es := &execState{
-		seq:       rt.execSeq,
-		task:      t,
-		placement: execPl,
-		cores:     cores,
-		cluster:   cluster,
-		remaining: 1,
-		lastT:     rt.Now(),
-		startSec:  rt.Now(),
-		fcStart:   rt.M.FC(cluster),
-		fmStart:   rt.M.FM(),
-		tag:       dec.Tag,
-	}
-	for _, id := range cores {
+	for _, id := range es.cores {
 		rt.cores[id].exec = es
 	}
-	rt.running[es] = struct{}{}
+	rt.running = append(rt.running, es)
 
 	// DVFS requests with frequency coordination (§5.3).
 	if dec.SetFreq {
@@ -505,7 +655,7 @@ func (rt *Runtime) requestFreqs(es *execState, dec Decision) {
 	if !dec.ExactFreq && rt.Opt.Coord != CoordOverride {
 		// Other tasks currently share the cluster?
 		othersOnCluster := false
-		for other := range rt.running {
+		for _, other := range rt.running {
 			if other != es && other.cluster == es.cluster {
 				othersOnCluster = true
 				break
@@ -572,6 +722,33 @@ func (rt *Runtime) effConfig(es *execState) platform.Config {
 	}
 }
 
+// oracleAt returns the memoized time breakdown and per-core occupancy
+// for a task's effective demand at cfg. The oracle is deterministic,
+// so each ⟨demand, config⟩ cell is computed once per run and then
+// served from a dense config-indexed slab.
+func (rt *Runtime) oracleAt(t *dag.Task, cfg platform.Config) (platform.TimeBreakdown, platform.CoreOccupancy) {
+	key := demandKey{k: t.Kernel, scale: t.DemandScale}
+	dc := rt.dcache[key]
+	if dc == nil {
+		dc = &demandCache{
+			valid: make([]bool, rt.cfgSlots),
+			tb:    make([]platform.TimeBreakdown, rt.cfgSlots),
+			occ:   make([]platform.CoreOccupancy, rt.cfgSlots),
+		}
+		rt.dcache[key] = dc
+	}
+	idx := ((int(cfg.TC)*(rt.maxNC+1)+cfg.NC)*platform.NumCPUFreqs+cfg.FC)*
+		platform.NumMemFreqs + cfg.FM
+	if !dc.valid[idx] {
+		d := t.EffectiveDemand()
+		tb := rt.O.TaskTime(d, cfg)
+		dc.tb[idx] = tb
+		dc.occ[idx] = rt.occupancyFor(d, cfg, tb)
+		dc.valid[idx] = true
+	}
+	return dc.tb[idx], dc.occ[idx]
+}
+
 // retime recomputes a running task's completion under the current
 // frequencies, updating per-core occupancies and the completion event.
 func (rt *Runtime) retime(es *execState) {
@@ -585,11 +762,9 @@ func (rt *Runtime) retime(es *execState) {
 	es.lastT = now
 
 	cfg := rt.effConfig(es)
-	d := es.task.EffectiveDemand()
-	tb := rt.O.TaskTime(d, cfg)
+	tb, occ := rt.oracleAt(es.task, cfg)
 	es.rate = 1 / tb.TotalSec
 
-	occ := rt.occupancyFor(d, cfg, tb)
 	for _, id := range es.cores {
 		if rt.M.CoreBusy(id) {
 			rt.M.UpdateOccupancy(id, occ)
@@ -601,7 +776,7 @@ func (rt *Runtime) retime(es *execState) {
 	if es.ev != nil {
 		es.ev.Cancel()
 	}
-	es.ev = rt.Eng.After(es.remaining*tb.TotalSec, func() { rt.complete(es) })
+	es.ev = rt.Eng.AfterEvent(es.remaining*tb.TotalSec, &rt.cmpH, 0, es)
 }
 
 // occupancyFor converts the oracle's task-level account into per-core
@@ -638,7 +813,14 @@ func (rt *Runtime) complete(es *execState) {
 		EndSec:    rt.Now(),
 		Tag:       es.tag,
 	}
-	delete(rt.running, es)
+	for i, r := range rt.running {
+		if r == es {
+			copy(rt.running[i:], rt.running[i+1:])
+			rt.running[len(rt.running)-1] = nil
+			rt.running = rt.running[:len(rt.running)-1]
+			break
+		}
+	}
 	for _, id := range es.cores {
 		rt.cores[id].exec = nil
 		rt.M.SetCoreIdle(id)
@@ -656,18 +838,15 @@ func (rt *Runtime) complete(es *execState) {
 	}
 	rt.stats.TasksExecuted++
 	rt.stats.TasksByType[es.placement.TC]++
-	kname := es.task.Kernel.Name
-	kt := rt.stats.KernelType[kname]
-	if kt == nil {
-		kt = new([platform.NumCoreTypes]int)
-		rt.stats.KernelType[kname] = kt
-	}
-	kt[es.placement.TC]++
+	rt.kernelStats[es.task.Kernel.Index][es.placement.TC]++
 
 	rt.remaining--
+	task := es.task
+	cores := es.cores
+	es.ev = nil
 	rt.Sched.TaskDone(rec)
 
-	for _, s := range es.task.Succs {
+	for _, s := range task.Succs {
 		if s.DecrementPred() {
 			rt.dispatch(s)
 		}
@@ -679,16 +858,20 @@ func (rt *Runtime) complete(es *execState) {
 		rt.endMakespan = rt.M.Meter.Elapsed()
 		rt.endExact = rt.M.Meter.Exact()
 		rt.endSensor, rt.endSamples = rt.M.Meter.Sensor()
+		rt.freeExecState(es)
 		return
 	}
 
 	// Freed cores look for more work.
-	for _, id := range es.cores {
+	for _, id := range cores {
 		rt.wake(id)
 	}
+	rt.freeExecState(es)
 }
 
 // onClusterFreqChange rescales every task running on the cluster.
+// rt.running is kept in creation (seq) order, so iteration order can
+// never depend on map layout — runs stay reproducible.
 func (rt *Runtime) onClusterFreqChange(cluster int) {
 	if tr := rt.Opt.Trace; tr != nil {
 		tr.AddFreq(trace.FreqEvent{
@@ -696,23 +879,11 @@ func (rt *Runtime) onClusterFreqChange(cluster int) {
 			Freq: rt.M.FC(cluster),
 		})
 	}
-	for _, es := range rt.runningOrdered() {
+	for _, es := range rt.running {
 		if es.cluster == cluster {
 			rt.retime(es)
 		}
 	}
-}
-
-// runningOrdered returns the running set in creation order: map
-// iteration order must never influence event sequencing, or runs stop
-// being reproducible.
-func (rt *Runtime) runningOrdered() []*execState {
-	out := make([]*execState, 0, len(rt.running))
-	for es := range rt.running {
-		out = append(out, es)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
-	return out
 }
 
 // onMemFreqChange rescales every running task.
@@ -720,7 +891,7 @@ func (rt *Runtime) onMemFreqChange() {
 	if tr := rt.Opt.Trace; tr != nil {
 		tr.AddFreq(trace.FreqEvent{AtSec: rt.Now(), Domain: "mem", Freq: rt.M.FM()})
 	}
-	for _, es := range rt.runningOrdered() {
+	for _, es := range rt.running {
 		rt.retime(es)
 	}
 }

@@ -345,8 +345,12 @@ func SLU(scale float64) *dag.Graph {
 	for i := range last {
 		last[i] = make([]*dag.Task, n)
 	}
+	// dep filters nil writers into a reused scratch buffer; AddTask
+	// consumes the slice immediately, so reuse is safe and the builder
+	// avoids one allocation per task.
+	depScratch := make([]*dag.Task, 0, 3)
 	dep := func(ts ...*dag.Task) []*dag.Task {
-		var out []*dag.Task
+		out := depScratch[:0]
 		for _, t := range ts {
 			if t != nil {
 				out = append(out, t)
