@@ -21,12 +21,12 @@ test:
 
 # bench runs the perf-tracking benchmarks with allocation stats.
 bench:
-	$(GO) test -run=NONE -bench='BenchmarkRuntimeThroughput|BenchmarkFig8$$' -benchmem -benchtime=2s .
+	$(GO) test -run=NONE -bench='BenchmarkRuntimeThroughput|BenchmarkSweepReuse|BenchmarkFig8$$' -benchmem -benchtime=2s .
 
 # bench-json writes a machine-readable BENCH_<timestamp>.json via the
-# jossbench bench subcommand.
+# jossbench bench subcommand (cold and warm-worker numbers).
 bench-json:
-	$(GO) run ./cmd/jossbench bench
+	$(GO) run ./cmd/jossbench -reuse bench
 
 clean:
 	rm -f BENCH_*.json

@@ -246,13 +246,47 @@ func BenchmarkAblationSampling(b *testing.B) {
 }
 
 // BenchmarkRuntimeThroughput measures raw simulator throughput: tasks
-// executed per second of wall time under the cheapest scheduler.
+// executed per second of wall time under the cheapest scheduler. Each
+// iteration pays the full cold-start cost (fresh Runtime, Machine and
+// graph) — the baseline BenchmarkSweepReuse amortises.
 func BenchmarkRuntimeThroughput(b *testing.B) {
 	e := benchEnv(b)
 	b.ResetTimer()
 	tasks := 0
 	for i := 0; i < b.N; i++ {
 		rep := e.Run("GRWS", workloads.SLU(0.05))
+		tasks += rep.Stats.TasksExecuted
+	}
+	b.ReportMetric(float64(tasks)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+// BenchmarkSweepReuse measures the same simulation as
+// BenchmarkRuntimeThroughput executed the way a warm sweep worker runs
+// it: the Runtime is rewound with Reset (retaining engine event pool,
+// machine, exec-state/decision pools and the oracle memo) and the
+// graph is rebuilt into recycled arenas. allocs/op is the headline —
+// it must sit far below the ~422/op cold-start figure.
+func BenchmarkSweepReuse(b *testing.B) {
+	e := benchEnv(b)
+	var slu workloads.Config
+	for _, c := range workloads.Fig8Configs() {
+		if c.Name == "SLU" {
+			slu = c
+		}
+	}
+	g := slu.Build(0.05)
+	opt := taskrt.DefaultOptions()
+	opt.Seed = e.Seed
+	rt := taskrt.New(e.Oracle, sched.NewGRWS(), opt)
+	rt.Run(g) // warm the worker
+	b.ReportAllocs()
+	b.ResetTimer()
+	tasks := 0
+	for i := 0; i < b.N; i++ {
+		g = slu.BuildReuse(g, 0.05)
+		rt.Sched = sched.NewGRWS()
+		rt.Reset(g)
+		rep := rt.Run(g)
 		tasks += rep.Stats.TasksExecuted
 	}
 	b.ReportMetric(float64(tasks)/b.Elapsed().Seconds(), "tasks/s")

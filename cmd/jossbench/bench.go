@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"joss/internal/exp"
+	"joss/internal/sched"
+	"joss/internal/taskrt"
 	"joss/internal/workloads"
 )
 
@@ -35,8 +37,11 @@ type BenchReport struct {
 // runBench runs the simulator micro-benchmark suite via
 // testing.Benchmark and writes the JSON report, so performance
 // regressions are visible between PRs without parsing `go test -bench`
-// text output.
-func runBench(outPath string) error {
+// text output. With reuse set it additionally runs warm-worker
+// variants (Reset-reused runtime, recycled graph arenas, shared
+// plans), so the report captures both the cold and the warm numbers
+// the sweep executor actually achieves.
+func runBench(outPath string, reuse bool) error {
 	now := time.Now()
 	if outPath == "" {
 		outPath = fmt.Sprintf("BENCH_%s.json", now.Format("20060102T150405"))
@@ -110,6 +115,63 @@ func runBench(outPath string) error {
 			e.Run("JOSS", workloads.SLU(0.05))
 		}
 	})
+
+	if reuse {
+		// The same simulations executed the way a warm sweep worker
+		// runs them: Reset-reused runtime, graph rebuilt into recycled
+		// arenas. The allocs/op gap to the cold benchmarks above is
+		// the amortised per-run setup.
+		var slu workloads.Config
+		for _, c := range workloads.Fig8Configs() {
+			if c.Name == "SLU" {
+				slu = c
+			}
+		}
+		warm := func(schedName string) func(b *testing.B) {
+			return func(b *testing.B) {
+				g := slu.Build(0.05)
+				opt := taskrt.DefaultOptions()
+				opt.Seed = e.Seed
+				rt := taskrt.New(e.Oracle, e.NewScheduler(schedName), opt)
+				rt.Run(g)
+				b.ResetTimer()
+				totalTasks = 0
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					g = slu.BuildReuse(g, 0.05)
+					rt.Sched = e.NewScheduler(schedName)
+					rt.Reset(g)
+					rep := rt.Run(g)
+					totalTasks += rep.Stats.TasksExecuted
+				}
+				elapsed = time.Since(start)
+			}
+		}
+		add("RuntimeThroughputWarm", func(testing.BenchmarkResult) map[string]float64 {
+			return map[string]float64{
+				"tasks_per_s": float64(totalTasks) / elapsed.Seconds(),
+			}
+		}, warm("GRWS"))
+		add("JOSSRunWarm", nil, warm("JOSS"))
+
+		// The Figure 8 sweep with every reuse lever on: worker-pool
+		// runtimes plus the cross-sweep plan cache. Same trained
+		// environment as the cold benchmarks (the oracle and model set
+		// are immutable), with its own empty plan cache.
+		eShared := *e
+		eShared.SharePlans = true
+		eShared.Plans = sched.NewPlanCache()
+		var fig8Warm *exp.Fig8Result
+		add("Fig8SharedPlans", func(testing.BenchmarkResult) map[string]float64 {
+			return map[string]float64{
+				"joss_vs_grws": fig8Warm.GeoMean["JOSS"],
+			}
+		}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fig8Warm = eShared.Fig8()
+			}
+		})
+	}
 
 	// The headline Figure 8 sweep at bench scale.
 	var fig8 *exp.Fig8Result

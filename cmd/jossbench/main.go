@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	jossbench [-scale F] [-parallel N] [-csv] [-shareplans] fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|bench|all
+//	jossbench [-scale F] [-parallel N] [-csv] [-shareplans] [-reuse] fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|bench|all
 //
 // Each subcommand prints the corresponding experiment's rows (see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for measured
 // vs paper numbers). The bench subcommand runs the simulator
 // micro-benchmarks and writes a machine-readable BENCH_<timestamp>.json
-// so the perf trajectory is tracked across PRs.
+// so the perf trajectory is tracked across PRs; with -reuse it also
+// captures warm-worker numbers (Reset-reused runtimes, recycled graph
+// arenas, shared plans) next to the cold ones.
 package main
 
 import (
@@ -29,9 +31,11 @@ func main() {
 	repeats := flag.Int("repeats", 1, "seeds per sweep cell, averaged (paper: 10)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	sharePlans := flag.Bool("shareplans", false,
-		"reuse trained per-kernel plans across sweep repeats (faster; repeats after the first skip sampling)")
+		"share trained per-kernel plans across the whole sweep — repeats, sibling cells and later figures skip sampling for kernels already trained under the same scheduler options (faster, but results differ from the sampled-every-run default, even at -repeats 1)")
 	benchOut := flag.String("benchout", "",
 		"bench mode: output path (default BENCH_<timestamp>.json)")
+	benchReuse := flag.Bool("reuse", false,
+		"bench mode: also run warm-worker variants (Reset-reused runtime, recycled graph arenas) so the report captures cold and warm numbers")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: jossbench [flags] fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|bench|all\n")
 		flag.PrintDefaults()
@@ -41,11 +45,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Reject invalid sweep parameters up front rather than clamping
+	// them somewhere deep inside a sweep (-parallel 0 means GOMAXPROCS
+	// and is the flag default; negative is an error).
+	if *repeats < 1 {
+		fmt.Fprintf(os.Stderr, "jossbench: -repeats must be >= 1, got %d\n", *repeats)
+		os.Exit(2)
+	}
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "jossbench: -parallel must be >= 0, got %d\n", *parallel)
+		os.Exit(2)
+	}
 
 	// bench builds its own fixed-scale environment; dispatch before
 	// paying the full-scale profile-and-train below.
 	if flag.Arg(0) == "bench" {
-		if err := runBench(*benchOut); err != nil {
+		if err := runBench(*benchOut, *benchReuse); err != nil {
 			fmt.Fprintln(os.Stderr, "jossbench:", err)
 			os.Exit(1)
 		}

@@ -128,14 +128,11 @@ func main() {
 	for tc := platform.CoreType(0); tc < platform.NumCoreTypes; tc++ {
 		fmt.Printf("  %-8s %d\n", tc.String(), rep.Stats.TasksByType[tc])
 	}
-	var kernels []string
-	for k := range rep.Stats.KernelType {
-		kernels = append(kernels, k)
-	}
-	sort.Strings(kernels)
+	kernels := append([]taskrt.KernelCount(nil), rep.Stats.Kernels...)
+	sort.Slice(kernels, func(i, j int) bool { return kernels[i].Name < kernels[j].Name })
 	fmt.Printf("\nper-kernel core-type split:\n")
-	for _, k := range kernels {
-		kt := rep.Stats.KernelType[k]
-		fmt.Printf("  %-14s Denver %-7d A57 %d\n", k, kt[platform.Denver], kt[platform.A57])
+	for _, kc := range kernels {
+		fmt.Printf("  %-14s Denver %-7d A57 %d\n",
+			kc.Name, kc.ByType[platform.Denver], kc.ByType[platform.A57])
 	}
 }

@@ -70,40 +70,70 @@ type Graph struct {
 	kernelByName map[string]*Kernel
 	kernelCount  map[*Kernel]int
 
-	// taskArena and edgeArena are chunked backing stores for tasks and
-	// initial Succs/Preds slices: large graphs (SLU at paper scale has
-	// 11440 tasks and ~3 edges each) are built with a handful of
-	// allocations instead of one per task and per edge-append. Arena
-	// chunks are never moved, so task pointers stay valid.
-	taskArena []Task
-	edgeArena []*Task
+	// taskChunks and edgeChunks are chunked backing stores for tasks
+	// and initial Succs/Preds slices: large graphs (SLU at paper scale
+	// has 11440 tasks and ~3 edges each) are built with a handful of
+	// allocations instead of one per task and per edge-append. Chunks
+	// are never moved, so task pointers stay valid — and they are
+	// retained by Reuse, so rebuilding a workload into a recycled graph
+	// allocates nothing once the arenas have grown to size.
+	taskChunks [][]Task
+	taskUsed   int // tasks handed out across all chunks
+	edgeChunks [][]*Task
+	edgeUsed   int // edge-arena slots handed out across all chunks
 }
 
-// taskChunk and edgeChunk size the arena chunks; initialEdgeCap is the
-// starting capacity of a task's Succs/Preds slice (growth beyond it
+// taskChunk and edgeChunkSlots size the arena chunks; initialEdgeCap is
+// the starting capacity of a task's Succs/Preds slice (growth beyond it
 // falls back to the regular allocator).
 const (
 	taskChunk      = 512
 	edgeChunkSlots = 1024
 	initialEdgeCap = 4
+	edgeChunkLen   = initialEdgeCap * edgeChunkSlots
 )
 
 func (g *Graph) newTask() *Task {
-	if len(g.taskArena) == 0 {
-		g.taskArena = make([]Task, taskChunk)
+	ci, off := g.taskUsed/taskChunk, g.taskUsed%taskChunk
+	if ci == len(g.taskChunks) {
+		g.taskChunks = append(g.taskChunks, make([]Task, taskChunk))
 	}
-	t := &g.taskArena[0]
-	g.taskArena = g.taskArena[1:]
+	g.taskUsed++
+	t := &g.taskChunks[ci][off]
+	*t = Task{} // chunks are recycled by Reuse; drop any stale state
 	return t
 }
 
-func (g *Graph) newEdgeSlice() []*Task {
-	if len(g.edgeArena) < initialEdgeCap {
-		g.edgeArena = make([]*Task, initialEdgeCap*edgeChunkSlots)
+// edgeSlice allocates a zero-length, capacity-c slot from the edge
+// arena (c a multiple of initialEdgeCap, at most edgeChunkLen). A slot
+// never straddles chunks; a chunk tail too small for the request is
+// abandoned.
+func (g *Graph) edgeSlice(c int) []*Task {
+	if rem := edgeChunkLen - g.edgeUsed%edgeChunkLen; rem < c {
+		g.edgeUsed += rem
 	}
-	s := g.edgeArena[:0:initialEdgeCap]
-	g.edgeArena = g.edgeArena[initialEdgeCap:]
-	return s
+	ci, off := g.edgeUsed/edgeChunkLen, g.edgeUsed%edgeChunkLen
+	if ci == len(g.edgeChunks) {
+		g.edgeChunks = append(g.edgeChunks, make([]*Task, edgeChunkLen))
+	}
+	g.edgeUsed += c
+	return g.edgeChunks[ci][off : off : off+c]
+}
+
+func (g *Graph) newEdgeSlice() []*Task { return g.edgeSlice(initialEdgeCap) }
+
+// appendEdge appends t to an edge slice, growing through the arena
+// (doubling, like append) so high fan-out tasks also rebuild
+// allocation-free into a recycled graph. The abandoned smaller slot
+// stays dead until Reuse; slices that would outgrow a whole chunk fall
+// back to the regular allocator.
+func (g *Graph) appendEdge(s []*Task, t *Task) []*Task {
+	if len(s) < cap(s) || cap(s)*2 > edgeChunkLen {
+		return append(s, t)
+	}
+	ns := g.edgeSlice(cap(s) * 2)[:len(s)]
+	copy(ns, s)
+	return append(ns, t)
 }
 
 // New creates an empty graph.
@@ -113,6 +143,33 @@ func New(name string) *Graph {
 		kernelByName: make(map[string]*Kernel),
 		kernelCount:  make(map[*Kernel]int),
 	}
+}
+
+// Reuse empties the graph for rebuilding under a new name while
+// retaining its task and edge arena chunks, so repeat builds of a
+// workload recycle storage instead of allocating. The previous build's
+// tasks and kernels become invalid; the caller must ensure no runtime
+// still executes them. Edge slices that grew beyond the arena's initial
+// capacity were ordinary allocations and are simply dropped.
+func (g *Graph) Reuse(name string) {
+	g.Name = name
+	g.Kernels = g.Kernels[:0]
+	g.Tasks = g.Tasks[:0]
+	clear(g.kernelByName)
+	clear(g.kernelCount)
+	g.taskUsed = 0
+	g.edgeUsed = 0
+}
+
+// Renew returns g rewound (via Reuse) and renamed when g is non-nil,
+// or a fresh graph otherwise — the builder-side entry point for arena
+// recycling.
+func Renew(g *Graph, name string) *Graph {
+	if g == nil {
+		return New(name)
+	}
+	g.Reuse(name)
+	return g
 }
 
 // AddKernel registers a kernel; the name must be unique in the graph.
@@ -154,11 +211,11 @@ func (g *Graph) AddDep(pred, succ *Task) {
 	if pred.Succs == nil {
 		pred.Succs = g.newEdgeSlice()
 	}
-	pred.Succs = append(pred.Succs, succ)
+	pred.Succs = g.appendEdge(pred.Succs, succ)
 	if succ.Preds == nil {
 		succ.Preds = g.newEdgeSlice()
 	}
-	succ.Preds = append(succ.Preds, pred)
+	succ.Preds = g.appendEdge(succ.Preds, pred)
 	succ.npred++
 }
 

@@ -260,3 +260,70 @@ func TestWriteDOT(t *testing.T) {
 		t.Fatal("truncation marker missing")
 	}
 }
+
+// TestReuseRebuildEquivalence proves arena recycling is invisible: a
+// graph rebuilt into recycled chunks is structurally identical to a
+// freshly built one, including high fan-out edge lists that grew
+// through the arena.
+func TestReuseRebuildEquivalence(t *testing.T) {
+	build := func(g *Graph) *Graph {
+		g = Renew(g, "star")
+		k := g.AddKernel("k", platform.TaskDemand{Ops: 1e6, Bytes: 1e5})
+		hub := g.AddTask(k)
+		var leaves []*Task
+		for i := 0; i < 40; i++ { // hub fan-out far beyond initialEdgeCap
+			leaves = append(leaves, g.AddTask(k, hub))
+		}
+		g.AddTask(k, leaves...) // join with fan-in beyond initialEdgeCap
+		return g
+	}
+	fresh := build(nil)
+	reused := build(build(nil)) // second build recycles the first's arenas
+	if err := reused.Validate(); err != nil {
+		t.Fatalf("reused graph invalid: %v", err)
+	}
+	if fresh.NumTasks() != reused.NumTasks() || len(fresh.Kernels) != len(reused.Kernels) {
+		t.Fatalf("shape differs: %d/%d tasks, %d/%d kernels",
+			fresh.NumTasks(), reused.NumTasks(), len(fresh.Kernels), len(reused.Kernels))
+	}
+	for i, ft := range fresh.Tasks {
+		rt := reused.Tasks[i]
+		if ft.ID != rt.ID || ft.Kernel.Name != rt.Kernel.Name || ft.Seq != rt.Seq ||
+			len(ft.Succs) != len(rt.Succs) || len(ft.Preds) != len(rt.Preds) ||
+			ft.NumPred() != rt.NumPred() {
+			t.Fatalf("task %d differs after arena reuse", i)
+		}
+		for j := range ft.Succs {
+			if ft.Succs[j].ID != rt.Succs[j].ID {
+				t.Fatalf("task %d succ %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestReuseRebuildAllocFree asserts the point of the arena rewind:
+// rebuilding an identical workload into a recycled graph performs no
+// task/edge allocations (only kernel registration and builder-local
+// bookkeeping remain).
+func TestReuseRebuildAllocFree(t *testing.T) {
+	var g *Graph
+	build := func() {
+		g = Renew(g, "chains")
+		k := g.AddKernel("k", platform.TaskDemand{Ops: 1e6, Bytes: 1e5})
+		var prev *Task
+		for i := 0; i < 600; i++ { // spans multiple task chunks
+			if prev == nil {
+				prev = g.AddTask(k)
+			} else {
+				prev = g.AddTask(k, prev)
+			}
+		}
+	}
+	build()
+	allocs := testing.AllocsPerRun(20, build)
+	// One kernel struct per rebuild plus map-bucket noise; the 600
+	// tasks and their edges must come from the recycled arenas.
+	if allocs > 4 {
+		t.Fatalf("rebuild into recycled graph = %.1f allocs, want <= 4", allocs)
+	}
+}

@@ -41,17 +41,27 @@ type Env struct {
 	// Repeats is the number of seeds each sweep cell is run with;
 	// reported energies are arithmetic means across repeats, as in
 	// the paper (§6.1: each experiment repeated 10 times, arithmetic
-	// average reported). 0 or 1 means a single run.
+	// average reported). Must be ≥ 1; sweeps reject other values.
 	Repeats int
-	// Parallel bounds concurrent simulation runs in sweeps.
+	// Parallel is the number of sweep workers (each owning a
+	// long-lived Runtime and graph arena). Must be ≥ 1; sweeps reject
+	// other values.
 	Parallel int
 	// SharePlans lets model-driven schedulers reuse trained per-kernel
-	// plans across the repeats of one sweep cell (same scheduler
-	// options, same workload): repeats after the first skip the §5.1
-	// sampling phase. Off by default because skipping sampling changes
-	// per-repeat trajectories — enable it for throughput-oriented
-	// sweeps, not for reproducing the paper's repeat-averaged numbers.
+	// plans through Plans, the environment's cross-sweep cache: a
+	// kernel trained once — by an earlier repeat, a sibling cell, or a
+	// previous sweep on this Env — skips the §5.1 sampling phase in
+	// every later run under the same scheduler options. Off by default
+	// because skipping sampling changes per-run trajectories (and,
+	// under concurrent workers, which run trains first): enable it for
+	// throughput-oriented sweeps, not for reproducing the paper's
+	// repeat-averaged numbers.
 	SharePlans bool
+	// Plans is the cross-sweep plan cache consulted when SharePlans is
+	// set; NewEnv initialises it. Plans are keyed by
+	// ⟨kernel+demand, scheduler, goal, constraint, scale⟩, so sharing
+	// one cache across schedulers and figures is safe.
+	Plans *sched.PlanCache
 }
 
 // NewEnv profiles and trains a fresh environment.
@@ -70,7 +80,9 @@ func NewEnv(scale float64) (*Env, error) {
 		ERASE:    sched.BuildERASETable(rows),
 		Scale:    scale,
 		Seed:     1,
+		Repeats:  1,
 		Parallel: runtime.GOMAXPROCS(0),
+		Plans:    sched.NewPlanCache(),
 	}, nil
 }
 
@@ -127,83 +139,109 @@ type sweepJob struct {
 	mk    func() taskrt.Scheduler
 }
 
-// sweep runs jobs concurrently (each with its own graph and runtime —
-// simulations never share state) and returns reports keyed by
-// workload name then label. With Repeats > 1 each cell is run under
-// several seeds and the energies/makespans averaged.
-func (e *Env) sweep(jobs []sweepJob) map[string]map[string]taskrt.Report {
-	repeats := e.Repeats
-	if repeats < 1 {
-		repeats = 1
+// sweepWorker is the long-lived execution environment one sweep worker
+// owns: a Runtime whose engine, machine, pools and oracle memo are
+// recycled with Reset between runs, and a graph whose task/edge arenas
+// are recycled with BuildReuse between cells. Both are lazily built on
+// the worker's first job and amortised over every job it drains.
+type sweepWorker struct {
+	env *Env
+	rt  *taskrt.Runtime
+	g   *dag.Graph
+}
+
+// runCell executes one sweep cell: Repeats seeded runs of one workload
+// under one scheduler constructor, averaged. The workload is built
+// once (Runtime.Run rewinds the graph's predecessor counters itself,
+// so repeats re-run the same DAG) into the worker's recycled arenas.
+func (w *sweepWorker) runCell(j sweepJob) taskrt.Report {
+	e := w.env
+	w.g = j.wl.BuildReuse(w.g, e.Scale)
+	var agg taskrt.Report
+	for r := 0; r < e.Repeats; r++ {
+		s := j.mk()
+		if e.SharePlans {
+			if ms, ok := s.(*sched.ModelSched); ok {
+				ms.SetPlanCache(e.Plans, e.Scale)
+			}
+		}
+		seed := e.Seed + int64(r)
+		if w.rt == nil {
+			opt := taskrt.DefaultOptions()
+			opt.Seed = seed
+			w.rt = taskrt.New(e.Oracle, s, opt)
+		} else {
+			w.rt.Sched = s
+			w.rt.Opt.Seed = seed
+			w.rt.Reset(w.g)
+		}
+		rep := w.rt.Run(w.g)
+		if r == 0 {
+			agg = rep
+		} else {
+			agg.MakespanSec += rep.MakespanSec
+			agg.Sensor.CPUJ += rep.Sensor.CPUJ
+			agg.Sensor.MemJ += rep.Sensor.MemJ
+			agg.Exact.CPUJ += rep.Exact.CPUJ
+			agg.Exact.MemJ += rep.Exact.MemJ
+			agg.Samples += rep.Samples
+		}
 	}
-	out := make(map[string]map[string]taskrt.Report)
-	var mu sync.Mutex
+	if e.Repeats > 1 {
+		n := float64(e.Repeats)
+		agg.MakespanSec /= n
+		agg.Sensor.CPUJ /= n
+		agg.Sensor.MemJ /= n
+		agg.Exact.CPUJ /= n
+		agg.Exact.MemJ /= n
+		agg.Samples /= e.Repeats
+	}
+	return agg
+}
+
+// sweep runs jobs on a fixed pool of Parallel workers, each owning a
+// long-lived Runtime/graph-arena pair that every job it drains reuses
+// — per-run environment construction is paid once per worker, not
+// once per cell × repeat. Cells are independent deterministic
+// simulations, so results do not depend on which worker runs a cell
+// (with the opt-in exception of SharePlans, which trades that
+// independence for skipped sampling). Reports are keyed by workload
+// name then label.
+func (e *Env) sweep(jobs []sweepJob) map[string]map[string]taskrt.Report {
+	if e.Parallel < 1 {
+		panic(fmt.Sprintf("exp: Env.Parallel must be >= 1, got %d", e.Parallel))
+	}
+	if e.Repeats < 1 {
+		panic(fmt.Sprintf("exp: Env.Repeats must be >= 1, got %d", e.Repeats))
+	}
+	reports := make([]taskrt.Report, len(jobs))
+	next := make(chan int)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, max(1, e.Parallel))
-	for _, j := range jobs {
-		j := j
+	workers := min(e.Parallel, len(jobs))
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			// With SharePlans, repeats of this cell share one plan
-			// cache: the scheduler constructor is identical across
-			// repeats, so the goal/constraint is identical too.
-			var pc *sched.PlanCache
-			if e.SharePlans && repeats > 1 {
-				pc = sched.NewPlanCache()
+			w := &sweepWorker{env: e}
+			for idx := range next {
+				reports[idx] = w.runCell(jobs[idx])
 			}
-			var agg taskrt.Report
-			for r := 0; r < repeats; r++ {
-				g := j.wl.Build(e.Scale)
-				opt := taskrt.DefaultOptions()
-				opt.Seed = e.Seed + int64(r)
-				s := j.mk()
-				if pc != nil {
-					if ms, ok := s.(*sched.ModelSched); ok {
-						ms.SetPlanCache(pc)
-					}
-				}
-				rt := taskrt.New(e.Oracle, s, opt)
-				rep := rt.Run(g)
-				if r == 0 {
-					agg = rep
-				} else {
-					agg.MakespanSec += rep.MakespanSec
-					agg.Sensor.CPUJ += rep.Sensor.CPUJ
-					agg.Sensor.MemJ += rep.Sensor.MemJ
-					agg.Exact.CPUJ += rep.Exact.CPUJ
-					agg.Exact.MemJ += rep.Exact.MemJ
-					agg.Samples += rep.Samples
-				}
-			}
-			if repeats > 1 {
-				n := float64(repeats)
-				agg.MakespanSec /= n
-				agg.Sensor.CPUJ /= n
-				agg.Sensor.MemJ /= n
-				agg.Exact.CPUJ /= n
-				agg.Exact.MemJ /= n
-				agg.Samples /= repeats
-			}
-			mu.Lock()
-			if out[j.wl.Name] == nil {
-				out[j.wl.Name] = make(map[string]taskrt.Report)
-			}
-			out[j.wl.Name][j.label] = agg
-			mu.Unlock()
 		}()
 	}
-	wg.Wait()
-	return out
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
+	for idx := range jobs {
+		next <- idx
 	}
-	return b
+	close(next)
+	wg.Wait()
+
+	out := make(map[string]map[string]taskrt.Report)
+	for idx, j := range jobs {
+		if out[j.wl.Name] == nil {
+			out[j.wl.Name] = make(map[string]taskrt.Report)
+		}
+		out[j.wl.Name][j.label] = reports[idx]
+	}
+	return out
 }
 
 // EnergyOf returns the report's sensor-sampled energy, falling back to

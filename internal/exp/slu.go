@@ -29,7 +29,7 @@ func (e *Env) SLUAnalysis() *Table {
 		g := workloads.SLU(e.Scale)
 		rep := e.RunSched(s, g)
 
-		kt := rep.Stats.KernelType["BMOD"]
+		kt := rep.Stats.KernelType("BMOD")
 		var den, a57 int
 		if kt != nil {
 			den, a57 = kt[platform.Denver], kt[platform.A57]

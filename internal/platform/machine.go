@@ -105,6 +105,33 @@ func NewMachine(eng *sim.Engine, o *Oracle) *Machine {
 	return m
 }
 
+// Reset restores the machine to its just-constructed state so one
+// Machine can serve an unbounded stream of runs: every cluster and the
+// memory subsystem return to their highest frequencies with no
+// transition in flight (paper §6.1: frequencies are set to max before
+// executing a benchmark), all cores go idle, transition counters zero
+// and the meter rewinds. The caller must reset the engine first —
+// pending DVFS-completion and sensor events die with the old event
+// queue, which is exactly what makes dropping the in-flight flags
+// sound.
+func (m *Machine) Reset() {
+	for _, cl := range m.Clusters {
+		cl.FC = MaxFC
+		cl.pending = 0
+		cl.inFlite = false
+	}
+	m.fm = MaxFM
+	m.fmPend = 0
+	m.fmFlite = false
+	for i := range m.cores {
+		m.cores[i].busy = false
+		m.cores[i].occ = CoreOccupancy{}
+	}
+	m.TransitionsCPU = 0
+	m.TransitionsMem = 0
+	m.Meter.rewind()
+}
+
 // NumCores returns the total core count.
 func (m *Machine) NumCores() int { return len(m.cores) }
 

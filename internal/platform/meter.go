@@ -58,6 +58,21 @@ func (mt *Meter) Reset() {
 	mt.lastT = mt.startT
 }
 
+// rewind restores the meter to its just-constructed state at the
+// engine's current time without integrating the interval since the
+// last advance. Machine.Reset calls it after the engine has been
+// rewound (the pending sensor event, if any, died with the old event
+// queue, so only the handle is dropped here).
+func (mt *Meter) rewind() {
+	mt.sensorOn = false
+	mt.sensorEv = nil
+	mt.cpuJ, mt.memJ = 0, 0
+	mt.sensorCPUJ, mt.sensorMemJ = 0, 0
+	mt.samples = 0
+	mt.startT = mt.m.Eng.Now()
+	mt.lastT = mt.startT
+}
+
 // StartSensor begins 5 ms sampling. Idempotent.
 func (mt *Meter) StartSensor() {
 	if mt.sensorOn {

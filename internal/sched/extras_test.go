@@ -148,8 +148,8 @@ func TestCATASplitsByCriticality(t *testing.T) {
 	if rep.Stats.TasksExecuted != g.NumTasks() {
 		t.Fatal("CATA lost tasks")
 	}
-	spine := rep.Stats.KernelType["spine_k"]
-	sideC := rep.Stats.KernelType["side_k"]
+	spine := rep.Stats.KernelType("spine_k")
+	sideC := rep.Stats.KernelType("side_k")
 	if spine[platform.Denver] < 50 {
 		t.Fatalf("critical spine mostly off Denver: %v", spine)
 	}

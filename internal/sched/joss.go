@@ -20,39 +20,70 @@ type CachedPlan struct {
 	PredictedSec float64
 }
 
-// PlanCache shares per-kernel selected configurations across runs of
-// schedulers with an identical goal and constraint — e.g. the repeat
-// loop of a sweep cell, where every seed re-samples and re-selects the
-// very same kernels. A run that adopts a cached plan skips the §5.1
+// PlanKey identifies a trained plan unambiguously across sweeps. Two
+// schedulers may share a plan only when everything that shaped the
+// selection matches: the kernel itself (name alone is not identity —
+// the three Heat Diffusion sizes all register a "Jacobi" kernel with
+// different demands, so the demand is part of the key), the scheduler
+// and its goal/knob-set/constraint/search family, and the workload
+// scale the sweep runs at (task counts change sampling concurrency).
+// In particular JOSS and JOSS_NoMemDVFS never share a plan.
+type PlanKey struct {
+	Kernel     string
+	Demand     platform.TaskDemand
+	Sched      string
+	Goal       Goal
+	MemDVFS    bool
+	Speedup    float64
+	Exhaustive bool
+	// CoarsenThresholdSec and CoarsenWindowSec shape the cached
+	// Fine/Batch fields, so schedulers with different coarsening knobs
+	// must not share plans even when everything else matches.
+	CoarsenThresholdSec float64
+	CoarsenWindowSec    float64
+	Scale               float64
+}
+
+// PlanCache shares per-kernel selected configurations across every run
+// of a sweep — the repeats of one cell, sibling cells of one figure
+// that reuse a kernel (the four MM configurations share mm_tile), and
+// whole sweeps executed on the same environment (Fig 8 ↔ Fig 9 ↔ the
+// overhead study). A run that adopts a cached plan skips the §5.1
 // sampling phase and the configuration search for that kernel. Safe
-// for concurrent use; keyed by kernel name.
+// for concurrent use by the sweep executor's workers.
 type PlanCache struct {
-	mu    sync.Mutex
-	plans map[string]CachedPlan
+	mu    sync.RWMutex
+	plans map[PlanKey]CachedPlan
 }
 
-// NewPlanCache returns an empty cache. Share one only between
-// schedulers constructed with identical Options.
+// NewPlanCache returns an empty cache.
 func NewPlanCache() *PlanCache {
-	return &PlanCache{plans: make(map[string]CachedPlan)}
+	return &PlanCache{plans: make(map[PlanKey]CachedPlan)}
 }
 
-// Lookup returns the cached plan for a kernel, if any.
-func (pc *PlanCache) Lookup(kernel string) (CachedPlan, bool) {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	p, ok := pc.plans[kernel]
+// Lookup returns the cached plan for a key, if any.
+func (pc *PlanCache) Lookup(k PlanKey) (CachedPlan, bool) {
+	pc.mu.RLock()
+	defer pc.mu.RUnlock()
+	p, ok := pc.plans[k]
 	return p, ok
 }
 
 // Store publishes a kernel's selected plan (first writer wins, so
-// later repeats reuse the earliest selection deterministically).
-func (pc *PlanCache) Store(kernel string, p CachedPlan) {
+// later runs reuse the earliest selection).
+func (pc *PlanCache) Store(k PlanKey, p CachedPlan) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	if _, dup := pc.plans[kernel]; !dup {
-		pc.plans[kernel] = p
+	if _, dup := pc.plans[k]; !dup {
+		pc.plans[k] = p
 	}
+}
+
+// Len returns the number of cached plans.
+func (pc *PlanCache) Len() int {
+	pc.mu.RLock()
+	defer pc.mu.RUnlock()
+	return len(pc.plans)
 }
 
 // Goal selects a model-based scheduler's objective.
@@ -177,9 +208,13 @@ type ModelSched struct {
 	opt Options
 	rt  *taskrt.Runtime
 
-	samplers  map[*dag.Kernel]*kernelSampler
-	plans     map[*dag.Kernel]*kernelPlan
+	// samplers and plans are dense Kernel.Index-indexed slices, sized
+	// in Attach once the graph's kernel count is known (nil slot = no
+	// sampler started / no plan selected yet).
+	samplers  []*kernelSampler
+	plans     []*kernelPlan
 	planCache *PlanCache
+	planScale float64
 
 	// TotalEvals counts configuration evaluations across all kernel
 	// selections (§7.4's overhead metric).
@@ -207,27 +242,47 @@ type kernelPlan struct {
 
 // NewModelSched builds a scheduler from a trained model set.
 func NewModelSched(set *models.Set, opt Options) *ModelSched {
-	return &ModelSched{
-		set:      set,
-		opt:      defaults(opt),
-		samplers: make(map[*dag.Kernel]*kernelSampler),
-		plans:    make(map[*dag.Kernel]*kernelPlan),
-	}
+	return &ModelSched{set: set, opt: defaults(opt)}
 }
 
-// SetPlanCache attaches a shared plan cache: kernels with a cached
-// plan skip sampling and selection, and freshly selected plans are
-// published for later runs. The caller must ensure every scheduler
-// sharing the cache was built with identical Options (goal, knobs,
-// constraint) — reusing a plan selected for a different objective
-// would silently change results.
-func (s *ModelSched) SetPlanCache(pc *PlanCache) { s.planCache = pc }
+// SetPlanCache attaches a shared cross-sweep plan cache: kernels with
+// a cached plan skip sampling and selection, and freshly selected
+// plans are published for later runs. Plans are keyed by PlanKey —
+// kernel identity, this scheduler's goal/knobs/constraint and the
+// given workload scale — so schedulers with different objectives can
+// safely share one cache.
+func (s *ModelSched) SetPlanCache(pc *PlanCache, scale float64) {
+	s.planCache = pc
+	s.planScale = scale
+}
+
+// planKey builds the cache key for one kernel under this scheduler's
+// options.
+func (s *ModelSched) planKey(k *dag.Kernel) PlanKey {
+	return PlanKey{
+		Kernel:              k.Name,
+		Demand:              k.Demand,
+		Sched:               s.opt.Name,
+		Goal:                s.opt.Goal,
+		MemDVFS:             s.opt.MemDVFS,
+		Speedup:             s.opt.Speedup,
+		Exhaustive:          s.opt.Exhaustive,
+		CoarsenThresholdSec: s.opt.CoarsenThresholdSec,
+		CoarsenWindowSec:    s.opt.CoarsenWindowSec,
+		Scale:               s.planScale,
+	}
+}
 
 // Name implements taskrt.Scheduler.
 func (s *ModelSched) Name() string { return s.opt.Name }
 
 // Attach implements taskrt.Scheduler.
-func (s *ModelSched) Attach(rt *taskrt.Runtime) { s.rt = rt }
+func (s *ModelSched) Attach(rt *taskrt.Runtime) {
+	s.rt = rt
+	nk := rt.NumKernels()
+	s.samplers = make([]*kernelSampler, nk)
+	s.plans = make([]*kernelPlan, nk)
+}
 
 // Scope implements taskrt.Scheduler: tasks stay on the selected core
 // type (stealing within the type keeps load balanced, §5.3).
@@ -235,7 +290,7 @@ func (s *ModelSched) Scope() taskrt.StealScope { return taskrt.StealSameType }
 
 // Decide implements taskrt.Scheduler.
 func (s *ModelSched) Decide(t *dag.Task) taskrt.Decision {
-	if plan, ok := s.plans[t.Kernel]; ok {
+	if plan := s.plans[t.Kernel.Index]; plan != nil {
 		dec := taskrt.Decision{
 			Placement: platform.Placement{TC: plan.cfg.TC, NC: plan.cfg.NC},
 			SetFreq:   true,
@@ -258,22 +313,22 @@ func (s *ModelSched) Decide(t *dag.Task) taskrt.Decision {
 	// sampling: after adaptive drift detection sends a kernel back
 	// through sampling, its sampler exists and the (stale) cached plan
 	// must not short-circuit the re-sampling.
-	if s.planCache != nil && s.samplers[t.Kernel] == nil {
-		if cp, ok := s.planCache.Lookup(t.Kernel.Name); ok {
+	if s.planCache != nil && s.samplers[t.Kernel.Index] == nil {
+		if cp, ok := s.planCache.Lookup(s.planKey(t.Kernel)); ok {
 			plan := &kernelPlan{
 				cfg:          cp.Cfg,
 				fine:         cp.Fine,
 				batch:        cp.Batch,
 				predictedSec: cp.PredictedSec,
 			}
-			s.plans[t.Kernel] = plan
+			s.plans[t.Kernel.Index] = plan
 			return s.Decide(t)
 		}
 	}
-	ks := s.samplers[t.Kernel]
+	ks := s.samplers[t.Kernel.Index]
 	if ks == nil {
 		ks = newKernelSampler(s.rt.Spec().Placements(), true)
-		s.samplers[t.Kernel] = ks
+		s.samplers[t.Kernel.Index] = ks
 	}
 	return ks.decide()
 }
@@ -285,13 +340,13 @@ func (s *ModelSched) Decide(t *dag.Task) taskrt.Decision {
 // mismatch.
 func (s *ModelSched) TaskDone(rec taskrt.ExecRecord) {
 	k := rec.Task.Kernel
-	if plan, done := s.plans[k]; done {
+	if plan := s.plans[k.Index]; plan != nil {
 		if s.opt.Adaptive {
 			s.checkDrift(k, plan, rec)
 		}
 		return
 	}
-	ks := s.samplers[k]
+	ks := s.samplers[k.Index]
 	if ks == nil || !ks.record(rec) {
 		return
 	}
@@ -319,8 +374,8 @@ func (s *ModelSched) checkDrift(k *dag.Kernel, plan *kernelPlan, rec taskrt.Exec
 		plan.driftStreak = 0
 	}
 	if plan.driftStreak >= s.opt.DriftWindow {
-		delete(s.plans, k)
-		s.samplers[k] = newKernelSampler(s.rt.Spec().Placements(), true)
+		s.plans[k.Index] = nil
+		s.samplers[k.Index] = newKernelSampler(s.rt.Spec().Placements(), true)
 		s.Resamples++
 	}
 }
@@ -414,9 +469,9 @@ func (s *ModelSched) selectConfig(k *dag.Kernel, ks *kernelSampler) {
 			plan.batch = 1
 		}
 	}
-	s.plans[k] = plan
+	s.plans[k.Index] = plan
 	if s.planCache != nil {
-		s.planCache.Store(k.Name, CachedPlan{
+		s.planCache.Store(s.planKey(k), CachedPlan{
 			Cfg:          plan.cfg,
 			Fine:         plan.fine,
 			Batch:        plan.batch,
@@ -428,11 +483,10 @@ func (s *ModelSched) selectConfig(k *dag.Kernel, ks *kernelSampler) {
 // SelectedConfig returns the configuration chosen for a kernel, if
 // selection has happened (for tests and analysis).
 func (s *ModelSched) SelectedConfig(k *dag.Kernel) (platform.Config, bool) {
-	p, ok := s.plans[k]
-	if !ok {
+	if k.Index >= len(s.plans) || s.plans[k.Index] == nil {
 		return platform.Config{}, false
 	}
-	return p.cfg, true
+	return s.plans[k.Index].cfg, true
 }
 
 func trimFloat(f float64) string {

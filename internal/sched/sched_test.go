@@ -168,7 +168,7 @@ func TestCoarseningTriggersOnFineGrainedTasks(t *testing.T) {
 		t.Fatal("JOSS lost FB tasks")
 	}
 	leaf := g.KernelByName("fib_leaf")
-	plan := s.plans[leaf]
+	plan := s.plans[leaf.Index]
 	if plan == nil {
 		t.Fatal("no plan for fib_leaf")
 	}

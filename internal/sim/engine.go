@@ -221,6 +221,23 @@ func (e *Engine) AfterEvent(d float64, h Handler, i0 int, p0 any) *Event {
 	return e.AtEvent(e.now+d, h, i0, p0)
 }
 
+// Reset rewinds the engine to time 0 for another simulation: pending
+// events (fired or not) are drained into the free list and the clock,
+// sequence counter and processed count start over. The pooled events
+// and the heap's backing array are retained, so a reset engine
+// schedules its first events without allocating. Handles to drained
+// events are invalid after Reset, exactly as after firing.
+func (e *Engine) Reset() {
+	for i, ev := range e.pq {
+		e.release(ev)
+		e.pq[i] = nil
+	}
+	e.pq = e.pq[:0]
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+}
+
 // Step executes the next event, advancing the clock. It returns false
 // if no events remain.
 func (e *Engine) Step() bool {

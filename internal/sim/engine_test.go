@@ -245,3 +245,51 @@ func TestPropertyClockMonotonic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReset(t *testing.T) {
+	e := New()
+	var fired []int
+	e.After(1, func() { fired = append(fired, 1) })
+	e.After(2, func() { fired = append(fired, 2) })
+	e.Step()
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Processed() != 0 {
+		t.Fatalf("reset engine not pristine: now=%v pending=%d processed=%d",
+			e.Now(), e.Pending(), e.Processed())
+	}
+	// The pending event at t=2 died with the queue; only new events fire.
+	e.After(3, func() { fired = append(fired, 3) })
+	e.Run()
+	want := []int{1, 3}
+	if len(fired) != 2 || fired[0] != want[0] || fired[1] != want[1] {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestResetRetainsEventPool(t *testing.T) {
+	e := New()
+	// Warm the pool and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		e.After(float64(i), func() {})
+	}
+	e.Run()
+	e.Reset()
+	h := &nopHandler{}
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Reset()
+		for i := 0; i < 32; i++ {
+			e.AfterEvent(float64(i), h, i, nil)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("reset+schedule+run allocated %.1f/op, want 0", allocs)
+	}
+}
+
+type nopHandler struct{ n int }
+
+func (h *nopHandler) OnEvent(int, any) { h.n++ }

@@ -23,7 +23,12 @@
 // queues are growable ring deques, dispatch/wake/completion callbacks
 // are closure-free bound events, execution states and decision boxes
 // are pooled, and the oracle's per-⟨demand, config⟩ timing/occupancy
-// answers are memoized in dense config-indexed slabs.
+// answers are memoized in dense config-indexed slabs reached through
+// each kernel's dense index. A Runtime is reusable: Reset rewinds the
+// engine, machine, deques, pools and stats — retaining the warmed
+// pools and any oracle memo whose kernels are unchanged — so a sweep
+// worker executes an unbounded stream of runs while paying environment
+// construction once.
 package taskrt
 
 import (
@@ -121,6 +126,12 @@ type StealObserver interface {
 	OnSteal(thief, victim int, t *dag.Task)
 }
 
+// KernelCount reports one kernel's task executions per core type.
+type KernelCount struct {
+	Name   string
+	ByType [platform.NumCoreTypes]int
+}
+
 // Stats counts runtime events during one execution.
 type Stats struct {
 	TasksExecuted int
@@ -133,8 +144,22 @@ type Stats struct {
 	TransitionsMem int
 	// TasksByType[tc] counts tasks executed per core type.
 	TasksByType [platform.NumCoreTypes]int
-	// KernelType counts task executions per kernel per core type.
-	KernelType map[string]*[platform.NumCoreTypes]int
+	// Kernels counts task executions per kernel per core type, in
+	// graph kernel order (kernels that executed no task are omitted).
+	// The dense slice replaces the per-run map the report used to
+	// carry; use KernelType for name lookups.
+	Kernels []KernelCount
+}
+
+// KernelType returns the per-core-type execution counts for a kernel
+// name, or nil if the kernel executed no task.
+func (s *Stats) KernelType(name string) *[platform.NumCoreTypes]int {
+	for i := range s.Kernels {
+		if s.Kernels[i].Name == name {
+			return &s.Kernels[i].ByType
+		}
+	}
+	return nil
 }
 
 // Report is the outcome of one application execution.
@@ -176,6 +201,17 @@ type ringDeque struct {
 }
 
 func (q *ringDeque) len() int { return q.n }
+
+// reset empties the deque, retaining its buffer. Pops nil out their
+// slots as they go, so only the live window needs clearing — a no-op
+// after a completed run, which drains every queue.
+func (q *ringDeque) reset() {
+	for ; q.n > 0; q.n-- {
+		q.buf[q.head] = nil
+		q.head = (q.head + 1) & (len(q.buf) - 1)
+	}
+	q.head = 0
+}
 
 func (q *ringDeque) grow() {
 	size := len(q.buf) * 2
@@ -240,14 +276,6 @@ func DefaultOptions() Options {
 	return Options{Seed: 1, Coord: CoordMean, DispatchOverheadSec: 1e-6}
 }
 
-// demandKey identifies a distinct effective task demand: the kernel
-// plus the task's demand scale (0 and 1 both mean "unscaled" and may
-// produce duplicate cache entries, which is harmless).
-type demandKey struct {
-	k     *dag.Kernel
-	scale float64
-}
-
 // demandCache holds the oracle's deterministic answers for one demand
 // across a dense config grid, so retiming a task under frequencies it
 // has already seen costs two array loads instead of the oracle's
@@ -259,6 +287,22 @@ type demandCache struct {
 	valid []bool
 	tb    []platform.TimeBreakdown
 	occ   []platform.CoreOccupancy
+}
+
+// kernelCache is the per-kernel slot of the runtime's oracle memo,
+// indexed by dag.Kernel.Index (dense — no map on the hot path). The
+// oracle is a pure function of ⟨demand, config⟩, so entries survive
+// Runtime.Reset as long as the kernel at that index keeps the same
+// name and demand: the repeat loop of a sweep cell rebuilds the same
+// workload and pays the oracle's transcendental math only once per
+// worker, not once per run. Tasks whose DemandScale is neither unset
+// nor 1 get their own slab per distinct scale (the Biomarker
+// heterogeneity), keyed off the dense path.
+type kernelCache struct {
+	name   string
+	demand platform.TaskDemand
+	base   *demandCache             // unscaled demand (DemandScale 0 or 1)
+	scaled map[float64]*demandCache // by DemandScale, lazily built
 }
 
 // Bound-event handlers: long-lived adapters that let the runtime
@@ -304,8 +348,9 @@ type Runtime struct {
 	// allocation-free.
 	esPool      []*execState
 	decPool     []*Decision
-	dcache      map[demandKey]*demandCache
-	cfgSlots    int // size of the exact-NC config grid
+	kcache      []kernelCache  // oracle memo, indexed by Kernel.Index
+	slabPool    []*demandCache // recycled slabs for kcache entries
+	cfgSlots    int            // size of the exact-NC config grid
 	maxNC       int
 	kernelStats [][platform.NumCoreTypes]int
 
@@ -326,13 +371,12 @@ func New(o *platform.Oracle, s Scheduler, opt Options) *Runtime {
 	eng := sim.New()
 	m := platform.NewMachine(eng, o)
 	rt := &Runtime{
-		Eng:    eng,
-		M:      m,
-		O:      o,
-		Sched:  s,
-		Opt:    opt,
-		rng:    rand.New(rand.NewSource(opt.Seed)),
-		dcache: make(map[demandKey]*demandCache),
+		Eng:   eng,
+		M:     m,
+		O:     o,
+		Sched: s,
+		Opt:   opt,
+		rng:   rand.New(rand.NewSource(opt.Seed)),
 	}
 	rt.enqH.rt = rt
 	rt.wakH.rt = rt
@@ -404,15 +448,115 @@ func (rt *Runtime) CoresOfType(tc platform.CoreType) []int { return rt.byType[tc
 // stop periodic timers).
 func (rt *Runtime) Finished() bool { return rt.finished }
 
-// Run executes the graph to completion and returns the report.
+// NumKernels returns the number of kernels of the graph being executed
+// (valid from Scheduler.Attach onward); schedulers use it to size
+// Kernel.Index-indexed state.
+func (rt *Runtime) NumKernels() int { return len(rt.graph.Kernels) }
+
+// Reset rewinds the runtime so it can execute another run: the engine
+// returns to time 0 (retaining its pooled events), the machine to max
+// frequencies with the meter rewound, the deques, pools and stats to
+// their initial state, and the RNG is re-seeded from Opt.Seed. The
+// oracle memo is reconciled against g: entries whose kernel identity
+// (name and demand) is unchanged at the same index are retained —
+// deterministic oracle answers cannot go stale — and the rest are
+// recycled. Callers may assign a new Sched and Opt.Seed before Reset;
+// a Reset-reused Runtime reproduces a fresh Runtime's report
+// byte for byte.
+func (rt *Runtime) Reset(g *dag.Graph) {
+	rt.Eng.Reset()
+	rt.M.Reset()
+	rt.rng.Seed(rt.Opt.Seed)
+	for _, c := range rt.cores {
+		c.queue.reset()
+		c.exec = nil
+		c.wakeEv = nil
+	}
+	rt.running = rt.running[:0]
+	rt.execSeq = 0
+	rt.stats = Stats{}
+	rt.finished = false
+	rt.graph = nil
+	rt.prepareCaches(g)
+}
+
+// prepareCaches reconciles the oracle memo with g's kernel list and
+// sizes the per-kernel stats buffer. Run calls it unconditionally:
+// graphs are rebuilt in place by dag.Renew, so pointer identity says
+// nothing about kernel identity — only this name+demand walk does.
+// It is idempotent and cheap when the kernel set is unchanged (the
+// sweep repeat loop).
+func (rt *Runtime) prepareCaches(g *dag.Graph) {
+	nk := len(g.Kernels)
+	for i, k := range g.Kernels {
+		if i < len(rt.kcache) {
+			kc := &rt.kcache[i]
+			if kc.name == k.Name && kc.demand == k.Demand {
+				continue // identical kernel: memoized answers stay valid
+			}
+			rt.recycleKernelCache(kc)
+			*kc = kernelCache{name: k.Name, demand: k.Demand}
+			continue
+		}
+		rt.kcache = append(rt.kcache, kernelCache{name: k.Name, demand: k.Demand})
+	}
+	for i := nk; i < len(rt.kcache); i++ {
+		rt.recycleKernelCache(&rt.kcache[i])
+		rt.kcache[i] = kernelCache{}
+	}
+	rt.kcache = rt.kcache[:nk]
+
+	if cap(rt.kernelStats) < nk {
+		rt.kernelStats = make([][platform.NumCoreTypes]int, nk)
+	}
+	rt.kernelStats = rt.kernelStats[:nk]
+	for i := range rt.kernelStats {
+		rt.kernelStats[i] = [platform.NumCoreTypes]int{}
+	}
+}
+
+// recycleKernelCache returns a stale entry's slabs to the pool.
+func (rt *Runtime) recycleKernelCache(kc *kernelCache) {
+	if kc.base != nil {
+		rt.freeSlab(kc.base)
+		kc.base = nil
+	}
+	for s, dc := range kc.scaled {
+		rt.freeSlab(dc)
+		delete(kc.scaled, s)
+	}
+}
+
+func (rt *Runtime) freeSlab(dc *demandCache) {
+	for i := range dc.valid {
+		dc.valid[i] = false
+	}
+	rt.slabPool = append(rt.slabPool, dc)
+}
+
+func (rt *Runtime) newSlab() *demandCache {
+	if n := len(rt.slabPool); n > 0 {
+		dc := rt.slabPool[n-1]
+		rt.slabPool = rt.slabPool[:n-1]
+		return dc
+	}
+	return &demandCache{
+		valid: make([]bool, rt.cfgSlots),
+		tb:    make([]platform.TimeBreakdown, rt.cfgSlots),
+		occ:   make([]platform.CoreOccupancy, rt.cfgSlots),
+	}
+}
+
+// Run executes the graph to completion and returns the report. A
+// finished Runtime must be rewound with Reset before it can Run again.
 func (rt *Runtime) Run(g *dag.Graph) Report {
 	if rt.finished {
-		panic("taskrt: Runtime is single-use; construct a new one per run")
+		panic("taskrt: Runtime has finished a run; call Reset before reusing it")
 	}
 	g.ResetRuntimeState()
 	rt.graph = g
 	rt.remaining = g.NumTasks()
-	rt.kernelStats = make([][platform.NumCoreTypes]int, len(g.Kernels))
+	rt.prepareCaches(g)
 	rt.Sched.Attach(rt)
 	rt.M.Meter.Reset()
 	rt.M.Meter.StartSensor()
@@ -430,7 +574,6 @@ func (rt *Runtime) Run(g *dag.Graph) Report {
 
 	rt.stats.TransitionsCPU = rt.M.TransitionsCPU
 	rt.stats.TransitionsMem = rt.M.TransitionsMem
-	rt.stats.KernelType = make(map[string]*[platform.NumCoreTypes]int)
 	for i, k := range g.Kernels {
 		counts := rt.kernelStats[i]
 		total := 0
@@ -440,8 +583,7 @@ func (rt *Runtime) Run(g *dag.Graph) Report {
 		if total == 0 {
 			continue
 		}
-		kc := counts
-		rt.stats.KernelType[k.Name] = &kc
+		rt.stats.Kernels = append(rt.stats.Kernels, KernelCount{Name: k.Name, ByType: counts})
 	}
 	return Report{
 		Scheduler:   rt.Sched.Name(),
@@ -724,18 +866,26 @@ func (rt *Runtime) effConfig(es *execState) platform.Config {
 
 // oracleAt returns the memoized time breakdown and per-core occupancy
 // for a task's effective demand at cfg. The oracle is deterministic,
-// so each ⟨demand, config⟩ cell is computed once per run and then
-// served from a dense config-indexed slab.
+// so each ⟨demand, config⟩ cell is computed once per Runtime lifetime
+// — not per run — and then served from a dense config-indexed slab
+// reached through the kernel's dense index.
 func (rt *Runtime) oracleAt(t *dag.Task, cfg platform.Config) (platform.TimeBreakdown, platform.CoreOccupancy) {
-	key := demandKey{k: t.Kernel, scale: t.DemandScale}
-	dc := rt.dcache[key]
-	if dc == nil {
-		dc = &demandCache{
-			valid: make([]bool, rt.cfgSlots),
-			tb:    make([]platform.TimeBreakdown, rt.cfgSlots),
-			occ:   make([]platform.CoreOccupancy, rt.cfgSlots),
+	kc := &rt.kcache[t.Kernel.Index]
+	var dc *demandCache
+	if s := t.DemandScale; s == 0 || s == 1 {
+		if kc.base == nil {
+			kc.base = rt.newSlab()
 		}
-		rt.dcache[key] = dc
+		dc = kc.base
+	} else {
+		dc = kc.scaled[s]
+		if dc == nil {
+			if kc.scaled == nil {
+				kc.scaled = make(map[float64]*demandCache)
+			}
+			dc = rt.newSlab()
+			kc.scaled[s] = dc
+		}
 	}
 	idx := ((int(cfg.TC)*(rt.maxNC+1)+cfg.NC)*platform.NumCPUFreqs+cfg.FC)*
 		platform.NumMemFreqs + cfg.FM

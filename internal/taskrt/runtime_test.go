@@ -251,16 +251,52 @@ func TestStealScopeSameTypeRespected(t *testing.T) {
 	}
 }
 
-func TestRuntimeSingleUse(t *testing.T) {
+func TestRunRequiresResetAfterFinish(t *testing.T) {
 	s := &fixedSched{dec: maxDec(platform.A57, 1)}
 	rt := New(platform.DefaultOracle(), s, DefaultOptions())
 	rt.Run(dag.Chains("x", demand(1e6, 1e5), 1, 2))
 	defer func() {
 		if recover() == nil {
-			t.Fatal("second Run did not panic")
+			t.Fatal("Run on a finished Runtime without Reset did not panic")
 		}
 	}()
 	rt.Run(dag.Chains("y", demand(1e6, 1e5), 1, 2))
+}
+
+// TestResetReusesRuntime checks the Reset contract at the taskrt
+// level: after Reset a Runtime runs again (including a different
+// graph), reproduces a fresh runtime's report exactly, and rewinds
+// the machine to max frequencies.
+func TestResetReusesRuntime(t *testing.T) {
+	o := platform.DefaultOracle()
+	mkDec := func() Decision {
+		return Decision{
+			Placement: platform.Placement{TC: platform.Denver, NC: 1},
+			SetFreq:   true, FC: 1, FM: 0, ExactFreq: true,
+		}
+	}
+	fresh := New(o, &fixedSched{dec: maxDec(platform.A57, 2)}, DefaultOptions())
+	want := fresh.Run(dag.Chains("w", demand(8e6, 3e6), 4, 20))
+
+	rt := New(o, &fixedSched{dec: mkDec()}, DefaultOptions())
+	rt.Run(dag.Chains("throttle", demand(20e6, 2e6), 1, 5))
+	if got := rt.M.FC(rt.M.ClusterByType(platform.Denver)); got != 1 {
+		t.Fatalf("pre-reset Denver FC = %d, want 1", got)
+	}
+	g := dag.Chains("w", demand(8e6, 3e6), 4, 20)
+	rt.Sched = &fixedSched{dec: maxDec(platform.A57, 2)}
+	rt.Reset(g)
+	if got := rt.M.FC(rt.M.ClusterByType(platform.Denver)); got != platform.MaxFC {
+		t.Fatalf("Reset left Denver FC = %d, want max", got)
+	}
+	if rt.Now() != 0 {
+		t.Fatalf("Reset left clock at %v", rt.Now())
+	}
+	rep := rt.Run(g)
+	if rep.MakespanSec != want.MakespanSec || rep.Exact != want.Exact ||
+		rep.Sensor != want.Sensor || rep.Stats.Steals != want.Stats.Steals {
+		t.Fatalf("reset-reused report differs:\nfresh: %+v\nreused: %+v", want, rep)
+	}
 }
 
 func TestDeterminism(t *testing.T) {
@@ -280,7 +316,7 @@ func TestKernelTypeStats(t *testing.T) {
 	g := dag.Chains("kstats", demand(2e6, 2e5), 2, 5)
 	rt := New(platform.DefaultOracle(), s, DefaultOptions())
 	rep := rt.Run(g)
-	kt := rep.Stats.KernelType["kstats.kernel"]
+	kt := rep.Stats.KernelType("kstats.kernel")
 	if kt == nil || kt[platform.Denver] != 10 {
 		t.Fatalf("kernel/type stats wrong: %+v", kt)
 	}

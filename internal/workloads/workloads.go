@@ -47,7 +47,9 @@ const (
 // with two kernels, Copy and Jacobi. Per Table 1 the smaller the
 // resolution, the more (and finer) tasks: 320032 (small) / 32032
 // (big) / 16032 (huge).
-func HD(size HDSize, scale float64) *dag.Graph {
+func HD(size HDSize, scale float64) *dag.Graph { return hdInto(nil, size, scale) }
+
+func hdInto(reuse *dag.Graph, size HDSize, scale float64) *dag.Graph {
 	const blocks = 16
 	var name string
 	var iters, points int
@@ -61,7 +63,7 @@ func HD(size HDSize, scale float64) *dag.Graph {
 	}
 	iters = scaled(iters, scale, 4)
 
-	g := dag.New(name)
+	g := dag.Renew(reuse, name)
 	jac := g.AddKernel("Jacobi", platform.TaskDemand{
 		Ops:      6 * float64(points),
 		Bytes:    2.2 * 8 * float64(points),
@@ -102,10 +104,12 @@ func HD(size HDSize, scale float64) *dag.Graph {
 // DP builds Dot Product: 100 iterations over a blocked vector pair
 // with a per-iteration reduction (Table 1: VectorSize 6.4M, BlockSize
 // 32000, 20200 tasks).
-func DP(scale float64) *dag.Graph {
+func DP(scale float64) *dag.Graph { return dpInto(nil, scale) }
+
+func dpInto(reuse *dag.Graph, scale float64) *dag.Graph {
 	const blocksPerIter = 200
 	iters := scaled(100, scale, 2)
-	g := dag.New("DP")
+	g := dag.Renew(reuse, "DP")
 	work := g.AddKernel("dotblock", platform.TaskDemand{
 		Ops:      2 * 32000,
 		Bytes:    2 * 32000 * 8,
@@ -139,7 +143,9 @@ func DP(scale float64) *dag.Graph {
 // 57314 tasks): a binary spawn tree down to the grain with a combine
 // task per internal node. Its tasks are fine-grained — the workload
 // that exercises the paper's task-coarsening path (§5.3).
-func FB(scale float64) *dag.Graph {
+func FB(scale float64) *dag.Graph { return fbInto(nil, scale) }
+
+func fbInto(reuse *dag.Graph, scale float64) *dag.Graph {
 	term, grain := 55, 34
 	if scale < 1 {
 		// Shrink the term so the task count scales ≈ linearly
@@ -149,7 +155,7 @@ func FB(scale float64) *dag.Graph {
 			term = grain + 2
 		}
 	}
-	g := dag.New("FB")
+	g := dag.Renew(reuse, "FB")
 	leaf := g.AddKernel("fib_leaf", platform.TaskDemand{
 		Ops:      45e3,
 		Bytes:    4e3,
@@ -196,9 +202,11 @@ var vggLayers = []struct {
 // VG builds the Darknet VGG-16 CNN inference DAG: 16 layers, each a
 // fork of per-block kernel tasks joined by a layer barrier, iterated
 // 10 times.
-func VG(scale float64) *dag.Graph {
+func VG(scale float64) *dag.Graph { return vgInto(nil, scale) }
+
+func vgInto(reuse *dag.Graph, scale float64) *dag.Graph {
 	iters := scaled(10, scale, 1)
-	g := dag.New("VG")
+	g := dag.Renew(reuse, "VG")
 	var kernels []*dag.Kernel
 	for _, l := range vggLayers {
 		d := platform.TaskDemand{
@@ -242,9 +250,11 @@ func VG(scale float64) *dag.Graph {
 // biomarker combinations to predict symptoms (Table 1: sample size 2,
 // 6217 tasks). The combinations are independent and heterogeneous; a
 // final aggregation joins them.
-func BI(scale float64) *dag.Graph {
+func BI(scale float64) *dag.Graph { return biInto(nil, scale) }
+
+func biInto(reuse *dag.Graph, scale float64) *dag.Graph {
 	n := scaled(6216, scale, 12)
-	g := dag.New("BI")
+	g := dag.Renew(reuse, "BI")
 	small := g.AddKernel("combo_small", platform.TaskDemand{
 		Ops: 2e6, Bytes: 0.4e6, ParEff: 0.6, Activity: 0.8, RowHit: 0.6,
 	})
@@ -282,10 +292,12 @@ func BI(scale float64) *dag.Graph {
 // iterations of per-partition sparse assembly/solve tasks with halo
 // dependencies on neighbouring partitions. Sparse matrix access is
 // irregular — low row-buffer locality.
-func AL(scale float64) *dag.Graph {
+func AL(scale float64) *dag.Graph { return alInto(nil, scale) }
+
+func alInto(reuse *dag.Graph, scale float64) *dag.Graph {
 	const parts = 64
 	iters := scaled(747, scale, 4)
-	g := dag.New("AY")
+	g := dag.Renew(reuse, "AY")
 	spmv := g.AddKernel("mesh_spmv", platform.TaskDemand{
 		Ops:      2 * 200e3 / parts * 10,
 		Bytes:    200e3 / parts * 20 * 8,
@@ -315,7 +327,9 @@ func AL(scale float64) *dag.Graph {
 // SLU builds Sparse LU factorisation over an N×N block matrix with the
 // four kernels of Table 1: LU0, FWD, BDIV and BMOD. N=32 reproduces
 // the paper's totals: 11440 tasks of which BMOD is 91% (§7.1).
-func SLU(scale float64) *dag.Graph {
+func SLU(scale float64) *dag.Graph { return sluInto(nil, scale) }
+
+func sluInto(reuse *dag.Graph, scale float64) *dag.Graph {
 	n := 32
 	if scale < 1 {
 		n = int(math.Round(32 * math.Cbrt(scale)))
@@ -323,7 +337,7 @@ func SLU(scale float64) *dag.Graph {
 			n = 6
 		}
 	}
-	g := dag.New("SLU")
+	g := dag.Renew(reuse, "SLU")
 	lu0 := g.AddKernel("LU0", platform.TaskDemand{
 		Ops: 22e6, Bytes: 1.4e6, ParEff: 0.7, Activity: 0.9, RowHit: 0.7,
 	})
@@ -378,7 +392,9 @@ func SLU(scale float64) *dag.Graph {
 // MM builds the synthetic Matrix Multiplication benchmark: independent
 // chains of tile-GEMM tasks with configurable DAG parallelism
 // (Table 1: tile 256 → 10000 tasks, tile 512 → 2000 tasks).
-func MM(tile, dop int, scale float64) *dag.Graph {
+func MM(tile, dop int, scale float64) *dag.Graph { return mmInto(nil, tile, dop, scale) }
+
+func mmInto(reuse *dag.Graph, tile, dop int, scale float64) *dag.Graph {
 	total := 10000
 	d := platform.TaskDemand{
 		Ops: 2 * 256 * 256 * 256, Bytes: 0.9e6, ParEff: 0.95, Activity: 1.0, RowHit: 0.9,
@@ -389,14 +405,15 @@ func MM(tile, dop int, scale float64) *dag.Graph {
 		d.Bytes = 3.5e6
 	}
 	total = scaled(total, scale, dop*2)
-	g := buildChains(fmt.Sprintf("MM_%d_dop%d", tile, dop), "mm_tile", d, dop, total)
-	return g
+	return buildChains(reuse, fmt.Sprintf("MM_%d_dop%d", tile, dop), "mm_tile", d, dop, total)
 }
 
 // MC builds the synthetic Matrix Copy benchmark: streaming tasks that
 // continuously read and write main memory (Table 1: 4096 → 20000
 // tasks, 8192 → 10000 tasks).
-func MC(size, dop int, scale float64) *dag.Graph {
+func MC(size, dop int, scale float64) *dag.Graph { return mcInto(nil, size, dop, scale) }
+
+func mcInto(reuse *dag.Graph, size, dop int, scale float64) *dag.Graph {
 	total := 20000
 	bytes := 3.0e6
 	if size == 8192 {
@@ -407,13 +424,15 @@ func MC(size, dop int, scale float64) *dag.Graph {
 		Ops: 0.3e6, Bytes: bytes, ParEff: 0.9, Activity: 0.4, RowHit: 0.95,
 	}
 	total = scaled(total, scale, dop*2)
-	return buildChains(fmt.Sprintf("MC_%d_dop%d", size, dop), "mc_copy", d, dop, total)
+	return buildChains(reuse, fmt.Sprintf("MC_%d_dop%d", size, dop), "mc_copy", d, dop, total)
 }
 
 // ST builds the synthetic Stencil benchmark: repeated neighbour
 // updates on a multi-dimensional grid (Table 1: 512 and 2048 grids,
 // 50000 tasks each).
-func ST(size, dop int, scale float64) *dag.Graph {
+func ST(size, dop int, scale float64) *dag.Graph { return stInto(nil, size, dop, scale) }
+
+func stInto(reuse *dag.Graph, size, dop int, scale float64) *dag.Graph {
 	total := 50000
 	d := platform.TaskDemand{
 		Ops: 1.8e6, Bytes: 1.1e6, ParEff: 0.9, Activity: 0.75, RowHit: 0.8,
@@ -423,11 +442,11 @@ func ST(size, dop int, scale float64) *dag.Graph {
 		d.Bytes = 4.5e6
 	}
 	total = scaled(total, scale, dop*2)
-	return buildChains(fmt.Sprintf("ST_%d_dop%d", size, dop), "st_update", d, dop, total)
+	return buildChains(reuse, fmt.Sprintf("ST_%d_dop%d", size, dop), "st_update", d, dop, total)
 }
 
-func buildChains(name, kernel string, d platform.TaskDemand, width, total int) *dag.Graph {
-	g := dag.New(name)
+func buildChains(reuse *dag.Graph, name, kernel string, d platform.TaskDemand, width, total int) *dag.Graph {
+	g := dag.Renew(reuse, name)
 	k := g.AddKernel(kernel, d)
 	depth := total / width
 	if depth < 1 {
@@ -451,33 +470,55 @@ func buildChains(name, kernel string, d platform.TaskDemand, width, total int) *
 type Config struct {
 	Name  string
 	Build func(scale float64) *dag.Graph
+	// into, when set, rebuilds the workload recycling an existing
+	// graph's arenas (see Config.BuildReuse). Configs constructed
+	// outside this package leave it nil and fall back to Build.
+	into func(reuse *dag.Graph, scale float64) *dag.Graph
+}
+
+// BuildReuse rebuilds the workload, recycling old's task and edge
+// arenas when old is non-nil (old must no longer be executing). The
+// result is structurally identical to Build(scale) — sweep workers use
+// it to rebuild graphs without allocating once their arenas are warm.
+func (c Config) BuildReuse(old *dag.Graph, scale float64) *dag.Graph {
+	if c.into == nil {
+		return c.Build(scale)
+	}
+	return c.into(old, scale)
 }
 
 // Fig8Configs returns the 21 benchmark configurations of Figure 8 in
 // the paper's x-axis order.
 func Fig8Configs() []Config {
+	cfg := func(name string, into func(reuse *dag.Graph, s float64) *dag.Graph) Config {
+		return Config{
+			Name:  name,
+			Build: func(s float64) *dag.Graph { return into(nil, s) },
+			into:  into,
+		}
+	}
 	return []Config{
-		{"HT_Small", func(s float64) *dag.Graph { return HD(HDSmall, s) }},
-		{"HT_Big", func(s float64) *dag.Graph { return HD(HDBig, s) }},
-		{"HT_Huge", func(s float64) *dag.Graph { return HD(HDHuge, s) }},
-		{"DP", DP},
-		{"FB", FB},
-		{"VG", VG},
-		{"BI", BI},
-		{"AY", AL},
-		{"SLU", SLU},
-		{"MM_256_dop4", func(s float64) *dag.Graph { return MM(256, 4, s) }},
-		{"MM_256_dop16", func(s float64) *dag.Graph { return MM(256, 16, s) }},
-		{"MM_512_dop4", func(s float64) *dag.Graph { return MM(512, 4, s) }},
-		{"MM_512_dop16", func(s float64) *dag.Graph { return MM(512, 16, s) }},
-		{"MC_4096_dop4", func(s float64) *dag.Graph { return MC(4096, 4, s) }},
-		{"MC_4096_dop16", func(s float64) *dag.Graph { return MC(4096, 16, s) }},
-		{"MC_8192_dop4", func(s float64) *dag.Graph { return MC(8192, 4, s) }},
-		{"MC_8192_dop16", func(s float64) *dag.Graph { return MC(8192, 16, s) }},
-		{"ST_512_dop4", func(s float64) *dag.Graph { return ST(512, 4, s) }},
-		{"ST_512_dop16", func(s float64) *dag.Graph { return ST(512, 16, s) }},
-		{"ST_2048_dop4", func(s float64) *dag.Graph { return ST(2048, 4, s) }},
-		{"ST_2048_dop16", func(s float64) *dag.Graph { return ST(2048, 16, s) }},
+		cfg("HT_Small", func(g *dag.Graph, s float64) *dag.Graph { return hdInto(g, HDSmall, s) }),
+		cfg("HT_Big", func(g *dag.Graph, s float64) *dag.Graph { return hdInto(g, HDBig, s) }),
+		cfg("HT_Huge", func(g *dag.Graph, s float64) *dag.Graph { return hdInto(g, HDHuge, s) }),
+		cfg("DP", dpInto),
+		cfg("FB", fbInto),
+		cfg("VG", vgInto),
+		cfg("BI", biInto),
+		cfg("AY", alInto),
+		cfg("SLU", sluInto),
+		cfg("MM_256_dop4", func(g *dag.Graph, s float64) *dag.Graph { return mmInto(g, 256, 4, s) }),
+		cfg("MM_256_dop16", func(g *dag.Graph, s float64) *dag.Graph { return mmInto(g, 256, 16, s) }),
+		cfg("MM_512_dop4", func(g *dag.Graph, s float64) *dag.Graph { return mmInto(g, 512, 4, s) }),
+		cfg("MM_512_dop16", func(g *dag.Graph, s float64) *dag.Graph { return mmInto(g, 512, 16, s) }),
+		cfg("MC_4096_dop4", func(g *dag.Graph, s float64) *dag.Graph { return mcInto(g, 4096, 4, s) }),
+		cfg("MC_4096_dop16", func(g *dag.Graph, s float64) *dag.Graph { return mcInto(g, 4096, 16, s) }),
+		cfg("MC_8192_dop4", func(g *dag.Graph, s float64) *dag.Graph { return mcInto(g, 8192, 4, s) }),
+		cfg("MC_8192_dop16", func(g *dag.Graph, s float64) *dag.Graph { return mcInto(g, 8192, 16, s) }),
+		cfg("ST_512_dop4", func(g *dag.Graph, s float64) *dag.Graph { return stInto(g, 512, 4, s) }),
+		cfg("ST_512_dop16", func(g *dag.Graph, s float64) *dag.Graph { return stInto(g, 512, 16, s) }),
+		cfg("ST_2048_dop4", func(g *dag.Graph, s float64) *dag.Graph { return stInto(g, 2048, 4, s) }),
+		cfg("ST_2048_dop16", func(g *dag.Graph, s float64) *dag.Graph { return stInto(g, 2048, 16, s) }),
 	}
 }
 
