@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test bench bench-json clean
+# PERF_BASELINE is the committed BENCH_*.json the perf gate compares
+# against; update it when a PR intentionally moves the baseline.
+PERF_BASELINE ?= BENCH_20260726T211221.json
+
+.PHONY: tier1 vet build test bench bench-json perfgate clean
 
 # tier1 is the repo's merge gate: vet, build, full test suite and the
 # short benchmark smoke (one iteration per benchmark proves the bench
@@ -28,5 +32,12 @@ bench:
 bench-json:
 	$(GO) run ./cmd/jossbench -reuse bench
 
+# perfgate is the CI perf regression gate: regenerate the bench report
+# and fail if tasks/s dropped >20% against the committed baseline on
+# any benchmark both report it for.
+perfgate:
+	$(GO) run ./cmd/jossbench -reuse -benchout BENCH_perfgate.json bench
+	$(GO) run ./cmd/perfgate -baseline $(PERF_BASELINE) BENCH_perfgate.json
+
 clean:
-	rm -f BENCH_*.json
+	rm -f BENCH_perfgate.json

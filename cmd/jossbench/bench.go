@@ -127,19 +127,31 @@ func runBench(outPath string, reuse bool) error {
 				slu = c
 			}
 		}
+		// warm mirrors the sweep executor's worker exactly: Reset-reused
+		// runtime, recycled graph arenas, and — for model-driven
+		// schedulers — a Reset-recycled scheduler instead of a fresh
+		// construction per run (samplers, kernel tables and search
+		// scratch retained). The JOSSRunWarm row's allocs/op is the
+		// warm-JOSS column tracked across BENCH_*.json files.
 		warm := func(schedName string) func(b *testing.B) {
 			return func(b *testing.B) {
 				g := slu.Build(0.05)
 				opt := taskrt.DefaultOptions()
 				opt.Seed = e.Seed
-				rt := taskrt.New(e.Oracle, e.NewScheduler(schedName), opt)
+				s := e.NewScheduler(schedName)
+				rt := taskrt.New(e.Oracle, s, opt)
 				rt.Run(g)
 				b.ResetTimer()
 				totalTasks = 0
 				start := time.Now()
 				for i := 0; i < b.N; i++ {
 					g = slu.BuildReuse(g, 0.05)
-					rt.Sched = e.NewScheduler(schedName)
+					if ms, ok := s.(*sched.ModelSched); ok {
+						ms.Reset(nil)
+					} else {
+						s = e.NewScheduler(schedName)
+					}
+					rt.Sched = s
 					rt.Reset(g)
 					rep := rt.Run(g)
 					totalTasks += rep.Stats.TasksExecuted
@@ -152,7 +164,11 @@ func runBench(outPath string, reuse bool) error {
 				"tasks_per_s": float64(totalTasks) / elapsed.Seconds(),
 			}
 		}, warm("GRWS"))
-		add("JOSSRunWarm", nil, warm("JOSS"))
+		add("JOSSRunWarm", func(testing.BenchmarkResult) map[string]float64 {
+			return map[string]float64{
+				"tasks_per_s": float64(totalTasks) / elapsed.Seconds(),
+			}
+		}, warm("JOSS"))
 
 		// The Figure 8 sweep with every reuse lever on: worker-pool
 		// runtimes plus the cross-sweep plan cache. Same trained

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	jossbench [-scale F] [-parallel N] [-csv] [-shareplans] [-reuse] fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|bench|all
+//	jossbench [-scale F] [-parallel N] [-csv] [-shareplans] [-planstore FILE]
+//	          [-sensorperiod S] [-nosensor] [-reuse] fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|bench|all
 //
 // Each subcommand prints the corresponding experiment's rows (see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for measured
@@ -32,6 +33,12 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	sharePlans := flag.Bool("shareplans", false,
 		"share trained per-kernel plans across the whole sweep — repeats, sibling cells and later figures skip sampling for kernels already trained under the same scheduler options (faster, but results differ from the sampled-every-run default, even at -repeats 1)")
+	planStore := flag.String("planstore", "",
+		"path to a persistent plan store: trained plans are loaded before the sweep (a process started after another one trained performs zero plan searches for known kernels) and the merged store is written back on completion; implies -shareplans")
+	sensorPeriod := flag.Float64("sensorperiod", 0,
+		"power sensor sampling period in seconds (0 = the paper's 5 ms); coarser periods cut simulation events on large sweeps")
+	noSensor := flag.Bool("nosensor", false,
+		"disable the sampled power sensor for throughput sweeps; energies fall back to the event-exact integral")
 	benchOut := flag.String("benchout", "",
 		"bench mode: output path (default BENCH_<timestamp>.json)")
 	benchReuse := flag.Bool("reuse", false,
@@ -56,10 +63,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "jossbench: -parallel must be >= 0, got %d\n", *parallel)
 		os.Exit(2)
 	}
+	if *sensorPeriod < 0 {
+		fmt.Fprintf(os.Stderr, "jossbench: -sensorperiod must be >= 0, got %g\n", *sensorPeriod)
+		os.Exit(2)
+	}
 
 	// bench builds its own fixed-scale environment; dispatch before
-	// paying the full-scale profile-and-train below.
+	// paying the full-scale profile-and-train below. Sweep-only knobs
+	// are rejected rather than silently ignored.
 	if flag.Arg(0) == "bench" {
+		if *planStore != "" || *sensorPeriod != 0 || *noSensor {
+			fmt.Fprintln(os.Stderr,
+				"jossbench: -planstore/-sensorperiod/-nosensor apply to sweeps, not the bench subcommand")
+			os.Exit(2)
+		}
 		if err := runBench(*benchOut, *benchReuse); err != nil {
 			fmt.Fprintln(os.Stderr, "jossbench:", err)
 			os.Exit(1)
@@ -77,6 +94,19 @@ func main() {
 	}
 	e.Repeats = *repeats
 	e.SharePlans = *sharePlans
+	e.SensorPeriodSec = *sensorPeriod
+	e.SensorOff = *noSensor
+	if *planStore != "" {
+		e.SharePlans = true
+		n, err := e.LoadPlanStore(*planStore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jossbench:", err)
+			os.Exit(1)
+		}
+		if !*csv {
+			fmt.Printf("[plan store: %d plans loaded from %s]\n", n, *planStore)
+		}
+	}
 
 	emit := func(t *exp.Table) {
 		if *csv {
@@ -122,11 +152,28 @@ func main() {
 		}
 	}
 
+	// flushPlans writes the merged plan store back once the sweeps are
+	// done, so the next -planstore process starts warm.
+	flushPlans := func() {
+		if *planStore == "" {
+			return
+		}
+		if err := e.SavePlanStore(*planStore); err != nil {
+			fmt.Fprintln(os.Stderr, "jossbench:", err)
+			os.Exit(1)
+		}
+		if !*csv {
+			fmt.Printf("[plan store: %d plans saved to %s]\n", e.Plans.Len(), *planStore)
+		}
+	}
+
 	if flag.Arg(0) == "all" {
 		for _, name := range []string{"table1", "fig1", "fig2", "fig5", "fig8", "fig8split", "fig9", "fig10", "overhead", "extras", "dopsweep", "slu"} {
 			run(name)
 		}
+		flushPlans()
 		return
 	}
 	run(flag.Arg(0))
+	flushPlans()
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	jossrun [-scale F] [-seed N] [-speedup S] -bench NAME -sched NAME
+//	jossrun [-scale F] [-seed N] [-speedup S] [-planstore FILE] -bench NAME -sched NAME
 //
 // Benchmarks: the 21 Figure 8 configurations (e.g. SLU, MM_256_dop4).
 // Schedulers: GRWS, ERASE, Aequitas, STEER, JOSS, JOSS_NoMemDVFS,
@@ -32,6 +32,8 @@ func main() {
 	scale := flag.Float64("scale", workloads.DefaultScale, "task-count scale")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	speedup := flag.Float64("speedup", 0, "JOSS performance constraint (e.g. 1.4)")
+	planStore := flag.String("planstore", "",
+		"path to a persistent plan store shared with jossbench: known plans are adopted (skipping sampling and search) and newly trained ones written back")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file")
 	gantt := flag.Bool("gantt", false, "print a text Gantt chart of the run")
 	dotOut := flag.String("dot", "", "write the task DAG in Graphviz DOT format (truncated to 400 tasks)")
@@ -69,6 +71,19 @@ func main() {
 		s = e.NewScheduler(*schedName)
 	}
 
+	if *planStore != "" {
+		e.SharePlans = true
+		n, err := e.LoadPlanStore(*planStore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jossrun:", err)
+			os.Exit(1)
+		}
+		if ms, ok := s.(*sched.ModelSched); ok {
+			ms.SetPlanCache(e.Plans, *scale)
+		}
+		fmt.Printf("[plan store: %d plans loaded from %s]\n", n, *planStore)
+	}
+
 	g := wl.Build(*scale)
 	if *dotOut != "" {
 		f, err := os.Create(*dotOut)
@@ -93,6 +108,14 @@ func main() {
 	}
 	rt := taskrt.New(e.Oracle, s, opt)
 	rep := rt.Run(g)
+
+	if *planStore != "" {
+		if err := e.SavePlanStore(*planStore); err != nil {
+			fmt.Fprintln(os.Stderr, "jossrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[plan store: %d plans saved to %s]\n", e.Plans.Len(), *planStore)
+	}
 
 	en := exp.EnergyOf(rep)
 	fmt.Printf("\nmakespan        %.4f s\n", rep.MakespanSec)

@@ -1,0 +1,137 @@
+// Command perfgate is the CI performance regression gate: it compares
+// a freshly generated BENCH_*.json (see `jossbench bench`) against the
+// committed baseline and exits non-zero when simulator throughput
+// drops by more than the threshold on any benchmark both files report
+// tasks_per_s for.
+//
+// Usage:
+//
+//	perfgate -baseline BASELINE.json [-threshold 0.20] [CANDIDATE.json]
+//
+// Without an explicit candidate, the newest BENCH_*.json in the
+// working directory that is not the baseline is compared.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// benchFile mirrors the fields of jossbench's BenchReport that the
+// gate reads; unknown fields are ignored so the formats can evolve
+// independently.
+type benchFile struct {
+	Timestamp  string `json:"timestamp"`
+	Benchmarks []struct {
+		Name    string             `json:"name"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"benchmarks"`
+}
+
+func readBench(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &bf, nil
+}
+
+// newestBench finds the most recent BENCH_*.json (lexicographic on the
+// timestamped name, which matches recency) that is not the baseline.
+func newestBench(baseline string) (string, error) {
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		if filepath.Clean(matches[i]) != filepath.Clean(baseline) {
+			return matches[i], nil
+		}
+	}
+	return "", fmt.Errorf("no BENCH_*.json candidate found (baseline %s)", baseline)
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline BENCH_*.json (required)")
+	threshold := flag.Float64("threshold", 0.20,
+		"maximum tolerated fractional tasks/s drop before the gate fails")
+	flag.Parse()
+	if *baseline == "" || flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: perfgate -baseline BASELINE.json [-threshold F] [CANDIDATE.json]")
+		os.Exit(2)
+	}
+
+	candidate := ""
+	if flag.NArg() == 1 {
+		candidate = flag.Arg(0)
+	} else {
+		var err error
+		candidate, err = newestBench(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfgate:", err)
+			os.Exit(2)
+		}
+	}
+
+	base, err := readBench(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+	cand, err := readBench(candidate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+
+	candRate := make(map[string]float64)
+	for _, b := range cand.Benchmarks {
+		if v, ok := b.Metrics["tasks_per_s"]; ok {
+			candRate[b.Name] = v
+		}
+	}
+
+	fmt.Printf("perfgate: %s (baseline) vs %s, threshold %.0f%% tasks/s drop\n",
+		*baseline, candidate, *threshold*100)
+	failed := false
+	compared := 0
+	for _, b := range base.Benchmarks {
+		baseV, ok := b.Metrics["tasks_per_s"]
+		if !ok || baseV <= 0 {
+			continue
+		}
+		candV, ok := candRate[b.Name]
+		if !ok {
+			fmt.Printf("  FAIL %-24s missing from candidate\n", b.Name)
+			failed = true
+			continue
+		}
+		compared++
+		drop := 1 - candV/baseV
+		status := "ok  "
+		if drop > *threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("  %s %-24s %12.0f -> %12.0f tasks/s (%+.1f%%)\n",
+			status, b.Name, baseV, candV, -drop*100)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "perfgate: baseline carries no tasks_per_s metrics")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Println("perfgate: FAILED — throughput regressed beyond the threshold")
+		os.Exit(1)
+	}
+	fmt.Println("perfgate: passed")
+}

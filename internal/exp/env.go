@@ -8,7 +8,11 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 
@@ -60,8 +64,16 @@ type Env struct {
 	// Plans is the cross-sweep plan cache consulted when SharePlans is
 	// set; NewEnv initialises it. Plans are keyed by
 	// ⟨kernel+demand, scheduler, goal, constraint, scale⟩, so sharing
-	// one cache across schedulers and figures is safe.
+	// one cache across schedulers and figures is safe. LoadPlanStore /
+	// SavePlanStore persist it across processes.
 	Plans *sched.PlanCache
+	// SensorPeriodSec overrides the simulated INA3221's 5 ms sampling
+	// period for every run the Env executes (0 = paper default), and
+	// SensorOff removes the sensor entirely — reports then carry only
+	// the event-exact integral, which EnergyOf falls back to. Both are
+	// throughput levers; leave unset to reproduce the paper.
+	SensorPeriodSec float64
+	SensorOff       bool
 }
 
 // NewEnv profiles and trains a fresh environment.
@@ -111,19 +123,25 @@ func (e *Env) NewScheduler(name string) taskrt.Scheduler {
 	panic("exp: unknown scheduler " + name)
 }
 
+// runOptions builds the runtime options every Env-driven run uses:
+// the given seed plus the Env's sensor configuration.
+func (e *Env) runOptions(seed int64) taskrt.Options {
+	opt := taskrt.DefaultOptions()
+	opt.Seed = seed
+	opt.SensorPeriodSec = e.SensorPeriodSec
+	opt.SensorOff = e.SensorOff
+	return opt
+}
+
 // Run executes one workload graph under the named scheduler.
 func (e *Env) Run(schedName string, g *dag.Graph) taskrt.Report {
-	opt := taskrt.DefaultOptions()
-	opt.Seed = e.Seed
-	rt := taskrt.New(e.Oracle, e.NewScheduler(schedName), opt)
+	rt := taskrt.New(e.Oracle, e.NewScheduler(schedName), e.runOptions(e.Seed))
 	return rt.Run(g)
 }
 
 // RunSched executes a workload under a caller-constructed scheduler.
 func (e *Env) RunSched(s taskrt.Scheduler, g *dag.Graph) taskrt.Report {
-	opt := taskrt.DefaultOptions()
-	opt.Seed = e.Seed
-	rt := taskrt.New(e.Oracle, s, opt)
+	rt := taskrt.New(e.Oracle, s, e.runOptions(e.Seed))
 	return rt.Run(g)
 }
 
@@ -141,72 +159,84 @@ type sweepJob struct {
 
 // sweepWorker is the long-lived execution environment one sweep worker
 // owns: a Runtime whose engine, machine, pools and oracle memo are
-// recycled with Reset between runs, and a graph whose task/edge arenas
-// are recycled with BuildReuse between cells. Both are lazily built on
-// the worker's first job and amortised over every job it drains.
+// recycled with Reset between runs, a graph whose task/edge arenas are
+// recycled with BuildReuse between cells, and a per-label cache of
+// model-driven schedulers recycled with ModelSched.Reset between runs.
+// Everything is lazily built on the worker's first unit and amortised
+// over every unit it drains.
 type sweepWorker struct {
-	env *Env
-	rt  *taskrt.Runtime
-	g   *dag.Graph
+	env     *Env
+	rt      *taskrt.Runtime
+	g       *dag.Graph
+	lastJob int
+	scheds  map[string]*sched.ModelSched
 }
 
-// runCell executes one sweep cell: Repeats seeded runs of one workload
-// under one scheduler constructor, averaged. The workload is built
-// once (Runtime.Run rewinds the graph's predecessor counters itself,
-// so repeats re-run the same DAG) into the worker's recycled arenas.
-func (w *sweepWorker) runCell(j sweepJob) taskrt.Report {
+// scheduler returns the unit's scheduler. Model-driven schedulers are
+// recycled per label via ModelSched.Reset — a warm worker switching
+// cells (or repeats) stops rebuilding samplers, kernel tables and
+// search scratch — which is safe because a Reset ModelSched drives a
+// run byte-for-byte like a fresh one, and because within one sweep a
+// label always denotes the same constructor (every driver builds jobs
+// that way). Other schedulers carry run state with no reset contract
+// (ERASE's kernel maps, CATA's level memo), so they are constructed
+// fresh per unit, exactly as before.
+func (w *sweepWorker) scheduler(j sweepJob) taskrt.Scheduler {
 	e := w.env
-	w.g = j.wl.BuildReuse(w.g, e.Scale)
-	var agg taskrt.Report
-	for r := 0; r < e.Repeats; r++ {
-		s := j.mk()
+	if ms, ok := w.scheds[j.label]; ok {
+		ms.Reset(e.Set)
 		if e.SharePlans {
-			if ms, ok := s.(*sched.ModelSched); ok {
-				ms.SetPlanCache(e.Plans, e.Scale)
-			}
+			ms.SetPlanCache(e.Plans, e.Scale)
 		}
-		seed := e.Seed + int64(r)
-		if w.rt == nil {
-			opt := taskrt.DefaultOptions()
-			opt.Seed = seed
-			w.rt = taskrt.New(e.Oracle, s, opt)
-		} else {
-			w.rt.Sched = s
-			w.rt.Opt.Seed = seed
-			w.rt.Reset(w.g)
+		return ms
+	}
+	s := j.mk()
+	if ms, ok := s.(*sched.ModelSched); ok {
+		if w.scheds == nil {
+			w.scheds = make(map[string]*sched.ModelSched)
 		}
-		rep := w.rt.Run(w.g)
-		if r == 0 {
-			agg = rep
-		} else {
-			agg.MakespanSec += rep.MakespanSec
-			agg.Sensor.CPUJ += rep.Sensor.CPUJ
-			agg.Sensor.MemJ += rep.Sensor.MemJ
-			agg.Exact.CPUJ += rep.Exact.CPUJ
-			agg.Exact.MemJ += rep.Exact.MemJ
-			agg.Samples += rep.Samples
+		w.scheds[j.label] = ms
+		if e.SharePlans {
+			ms.SetPlanCache(e.Plans, e.Scale)
 		}
 	}
-	if e.Repeats > 1 {
-		n := float64(e.Repeats)
-		agg.MakespanSec /= n
-		agg.Sensor.CPUJ /= n
-		agg.Sensor.MemJ /= n
-		agg.Exact.CPUJ /= n
-		agg.Exact.MemJ /= n
-		agg.Samples /= e.Repeats
+	return s
+}
+
+// runUnit executes one run unit — a single seeded repeat of one cell —
+// on the worker's recycled environment. The workload is rebuilt into
+// the worker's arenas only when the unit belongs to a different cell
+// than the previous one (Runtime.Run rewinds predecessor counters
+// itself, so same-cell units re-run the built DAG).
+func (w *sweepWorker) runUnit(j sweepJob, job, repeat int) taskrt.Report {
+	e := w.env
+	if w.g == nil || w.lastJob != job {
+		w.g = j.wl.BuildReuse(w.g, e.Scale)
+		w.lastJob = job
 	}
-	return agg
+	s := w.scheduler(j)
+	seed := e.Seed + int64(repeat)
+	if w.rt == nil {
+		w.rt = taskrt.New(e.Oracle, s, e.runOptions(seed))
+	} else {
+		w.rt.Sched = s
+		w.rt.Opt.Seed = seed
+		w.rt.Reset(w.g)
+	}
+	return w.rt.Run(w.g)
 }
 
 // sweep runs jobs on a fixed pool of Parallel workers, each owning a
-// long-lived Runtime/graph-arena pair that every job it drains reuses
-// — per-run environment construction is paid once per worker, not
-// once per cell × repeat. Cells are independent deterministic
-// simulations, so results do not depend on which worker runs a cell
-// (with the opt-in exception of SharePlans, which trades that
-// independence for skipped sampling). Reports are keyed by workload
-// name then label.
+// long-lived Runtime/graph-arena/scheduler set that every unit it
+// drains reuses. The schedulable unit is one ⟨cell, repeat, seed⟩
+// triple rather than a whole cell, so the repeats of one large-DAG
+// cell spread across workers instead of serialising on one — the
+// wall-clock balancer at high Parallel. Each unit is an independent
+// deterministic simulation and cells merge their repeats in repeat
+// order (taskrt.MeanReport), so results do not depend on which worker
+// runs which unit (with the opt-in exception of SharePlans, which
+// trades that independence for skipped sampling). Reports are keyed by
+// workload name then label.
 func (e *Env) sweep(jobs []sweepJob) map[string]map[string]taskrt.Report {
 	if e.Parallel < 1 {
 		panic(fmt.Sprintf("exp: Env.Parallel must be >= 1, got %d", e.Parallel))
@@ -214,21 +244,23 @@ func (e *Env) sweep(jobs []sweepJob) map[string]map[string]taskrt.Report {
 	if e.Repeats < 1 {
 		panic(fmt.Sprintf("exp: Env.Repeats must be >= 1, got %d", e.Repeats))
 	}
-	reports := make([]taskrt.Report, len(jobs))
+	nUnits := len(jobs) * e.Repeats
+	unitReports := make([]taskrt.Report, nUnits)
 	next := make(chan int)
 	var wg sync.WaitGroup
-	workers := min(e.Parallel, len(jobs))
+	workers := min(e.Parallel, nUnits)
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := &sweepWorker{env: e}
+			w := &sweepWorker{env: e, lastJob: -1}
 			for idx := range next {
-				reports[idx] = w.runCell(jobs[idx])
+				job, repeat := idx/e.Repeats, idx%e.Repeats
+				unitReports[idx] = w.runUnit(jobs[job], job, repeat)
 			}
 		}()
 	}
-	for idx := range jobs {
+	for idx := 0; idx < nUnits; idx++ {
 		next <- idx
 	}
 	close(next)
@@ -239,9 +271,52 @@ func (e *Env) sweep(jobs []sweepJob) map[string]map[string]taskrt.Report {
 		if out[j.wl.Name] == nil {
 			out[j.wl.Name] = make(map[string]taskrt.Report)
 		}
-		out[j.wl.Name][j.label] = reports[idx]
+		out[j.wl.Name][j.label] = taskrt.MeanReport(unitReports[idx*e.Repeats : (idx+1)*e.Repeats])
 	}
 	return out
+}
+
+// LoadPlanStore merges a persisted plan store (written by
+// SavePlanStore, or by another process) into e.Plans, so model-driven
+// runs with SharePlans skip plan search entirely for kernels a
+// previous process already trained. A missing file is not an error —
+// the first process starts cold, trains, and saves. Returns the
+// number of plans loaded.
+func (e *Env) LoadPlanStore(path string) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("exp: opening plan store: %w", err)
+	}
+	defer f.Close()
+	return e.Plans.Load(f)
+}
+
+// SavePlanStore writes e.Plans as a versioned plan store, atomically
+// (temp file + rename), so a concurrent LoadPlanStore in another
+// process never observes a torn file.
+func (e *Env) SavePlanStore(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("exp: writing plan store: %w", err)
+	}
+	if err := e.Plans.Save(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: writing plan store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: writing plan store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("exp: writing plan store: %w", err)
+	}
+	return nil
 }
 
 // EnergyOf returns the report's sensor-sampled energy, falling back to

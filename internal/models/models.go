@@ -337,11 +337,28 @@ type SamplePair struct {
 // BuildTables computes a kernel's look-up tables from its runtime
 // samples. Placements without samples are absent from the tables.
 func (s *Set) BuildTables(kernel string, samples map[platform.Placement]SamplePair) *KernelTables {
-	kt := &KernelTables{
-		Kernel:  kernel,
-		MB:      make(map[platform.Placement]float64),
-		RefTime: make(map[platform.Placement]float64),
+	return s.BuildTablesInto(nil, kernel, samples)
+}
+
+// BuildTablesInto is BuildTables writing into a caller-owned, reusable
+// tables value (nil allocates a fresh one): the maps are cleared and
+// retained, the dense prediction slab is rewound via its validity
+// bits. Schedulers that build one table per kernel selection recycle
+// ~25 KB per kernel this way.
+func (s *Set) BuildTablesInto(kt *KernelTables, kernel string, samples map[platform.Placement]SamplePair) *KernelTables {
+	if kt == nil {
+		kt = &KernelTables{
+			MB:      make(map[platform.Placement]float64),
+			RefTime: make(map[platform.Placement]float64),
+		}
+	} else {
+		clear(kt.MB)
+		clear(kt.RefTime)
+		// Stale pred entries are unreachable once has is cleared: At
+		// consults has before indexing the slab.
+		kt.has = [platform.NumPlacementSlots]bool{}
 	}
+	kt.Kernel = kernel
 	fRef := platform.CPUFreqsGHz[RefFC]
 	fAlt := platform.CPUFreqsGHz[AltFC]
 	for pl, sp := range samples {

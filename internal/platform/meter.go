@@ -27,10 +27,32 @@ type Meter struct {
 	sensorCPUJ float64
 	sensorMemJ float64
 	samples    int
+
+	// period is the sampling interval (SensorPeriodSec unless
+	// reconfigured); disabled turns the sensor off entirely. Both are
+	// configuration, not run state: Reset and rewind keep them.
+	period   float64
+	disabled bool
 }
 
 func newMeter(m *Machine) *Meter {
-	return &Meter{m: m, lastT: m.Eng.Now(), startT: m.Eng.Now()}
+	return &Meter{m: m, lastT: m.Eng.Now(), startT: m.Eng.Now(), period: SensorPeriodSec}
+}
+
+// ConfigureSensor sets the sampling period (0 restores the paper's
+// 5 ms; negative periods are rejected) and whether the sensor is
+// disabled. A disabled sensor takes no samples at all — runs report
+// Samples == 0 and consumers fall back to the exact energy integral —
+// which removes the periodic sampling events from throughput sweeps.
+func (mt *Meter) ConfigureSensor(periodSec float64, off bool) {
+	if periodSec < 0 {
+		panic("platform: sensor period must be >= 0")
+	}
+	if periodSec == 0 {
+		periodSec = SensorPeriodSec
+	}
+	mt.period = periodSec
+	mt.disabled = off
 }
 
 // advance integrates power from the last integration point to now.
@@ -73,9 +95,10 @@ func (mt *Meter) rewind() {
 	mt.lastT = mt.startT
 }
 
-// StartSensor begins 5 ms sampling. Idempotent.
+// StartSensor begins periodic sampling (the paper's 5 ms unless
+// reconfigured; a no-op when the sensor is disabled). Idempotent.
 func (mt *Meter) StartSensor() {
-	if mt.sensorOn {
+	if mt.sensorOn || mt.disabled {
 		return
 	}
 	mt.sensorOn = true
@@ -83,7 +106,7 @@ func (mt *Meter) StartSensor() {
 }
 
 func (mt *Meter) scheduleSample() {
-	mt.sensorEv = mt.m.Eng.AfterEvent(SensorPeriodSec, mt, 0, nil)
+	mt.sensorEv = mt.m.Eng.AfterEvent(mt.period, mt, 0, nil)
 }
 
 // OnEvent implements sim.Handler: it takes one INA3221-style power
@@ -93,8 +116,8 @@ func (mt *Meter) OnEvent(int, any) {
 	if !mt.sensorOn {
 		return
 	}
-	mt.sensorCPUJ += mt.m.CPUPowerW() * SensorPeriodSec
-	mt.sensorMemJ += mt.m.MemPowerW() * SensorPeriodSec
+	mt.sensorCPUJ += mt.m.CPUPowerW() * mt.period
+	mt.sensorMemJ += mt.m.MemPowerW() * mt.period
 	mt.samples++
 	mt.scheduleSample()
 }

@@ -278,13 +278,19 @@ func (p Placement) String() string { return fmt.Sprintf("<%s, %d>", p.TC, p.NC) 
 // Placements enumerates all <TC, NC> combinations for the platform
 // (Denver: 1,2; A57: 1,2,4 on the TX2 — five in total).
 func (s Spec) Placements() []Placement {
-	var out []Placement
+	return AppendPlacements(nil, s)
+}
+
+// AppendPlacements is the allocation-free form of Placements for hot
+// paths that own a reusable buffer: it appends every <TC, NC>
+// combination (CoreCounts per cluster, in cluster order) to dst.
+func AppendPlacements(dst []Placement, s Spec) []Placement {
 	for _, cl := range s.Clusters {
-		for _, n := range CoreCounts(cl.NumCores) {
-			out = append(out, Placement{TC: cl.Type, NC: n})
+		for n := 1; n <= cl.NumCores; n *= 2 { // CoreCounts, sans allocation
+			dst = append(dst, Placement{TC: cl.Type, NC: n})
 		}
 	}
-	return out
+	return dst
 }
 
 // Configs enumerates the full configuration space (75 points on the

@@ -216,6 +216,23 @@ type ModelSched struct {
 	planCache *PlanCache
 	planScale float64
 
+	// Run-to-run recycled scratch, the scheduler-side counterpart of
+	// taskrt.Runtime's pools: sampler/plan free lists, the platform's
+	// placement list, the sample-pair and kernel-table buffers one
+	// selection works in, the search scratch, and the bound energy/
+	// time functions the searches evaluate (curKT/curConc carry the
+	// selection-in-progress context those functions read).
+	samplerPool []*kernelSampler
+	planPool    []*kernelPlan
+	pls         []platform.Placement
+	pairBuf     map[platform.Placement]models.SamplePair
+	ktBuf       *models.KernelTables
+	searcher    search.Searcher
+	curKT       *models.KernelTables
+	curConc     int
+	energyFn    search.EnergyFn
+	timeFn      search.TimeFn
+
 	// TotalEvals counts configuration evaluations across all kernel
 	// selections (§7.4's overhead metric).
 	TotalEvals int
@@ -243,6 +260,61 @@ type kernelPlan struct {
 // NewModelSched builds a scheduler from a trained model set.
 func NewModelSched(set *models.Set, opt Options) *ModelSched {
 	return &ModelSched{set: set, opt: defaults(opt)}
+}
+
+// Reset rewinds the scheduler so it can drive another run, the way
+// taskrt.Runtime.Reset rewinds a runtime: per-kernel samplers and
+// selected plans are recycled into free lists (their maps, slot
+// tables and boxed tags retained), the kernel-table and search
+// scratch stay warm, and the overhead counters return to zero. A
+// Reset scheduler reproduces a freshly constructed one's run byte for
+// byte (TestModelSchedResetEquivalence). A non-nil set switches the
+// trained models (same platform only); nil keeps the current set. Any
+// attached plan cache is dropped — call SetPlanCache again after
+// Reset if cross-run plan sharing is wanted.
+func (s *ModelSched) Reset(set *models.Set) {
+	if set != nil {
+		s.set = set
+	}
+	for i, ks := range s.samplers {
+		if ks != nil {
+			s.samplerPool = append(s.samplerPool, ks)
+			s.samplers[i] = nil
+		}
+	}
+	for i, p := range s.plans {
+		if p != nil {
+			s.planPool = append(s.planPool, p)
+			s.plans[i] = nil
+		}
+	}
+	s.planCache = nil
+	s.planScale = 0
+	s.TotalEvals = 0
+	s.Resamples = 0
+	s.LastSelectionSec = 0
+}
+
+// takeSampler pops a recycled sampler (or builds the first ones).
+func (s *ModelSched) takeSampler() *kernelSampler {
+	if n := len(s.samplerPool); n > 0 {
+		ks := s.samplerPool[n-1]
+		s.samplerPool = s.samplerPool[:n-1]
+		ks.reuse(s.pls, true)
+		return ks
+	}
+	return newKernelSampler(s.pls, true)
+}
+
+// takePlan pops a zeroed recycled plan (or allocates the first ones).
+func (s *ModelSched) takePlan() *kernelPlan {
+	if n := len(s.planPool); n > 0 {
+		p := s.planPool[n-1]
+		s.planPool = s.planPool[:n-1]
+		*p = kernelPlan{}
+		return p
+	}
+	return &kernelPlan{}
 }
 
 // SetPlanCache attaches a shared cross-sweep plan cache: kernels with
@@ -276,12 +348,21 @@ func (s *ModelSched) planKey(k *dag.Kernel) PlanKey {
 // Name implements taskrt.Scheduler.
 func (s *ModelSched) Name() string { return s.opt.Name }
 
-// Attach implements taskrt.Scheduler.
+// Attach implements taskrt.Scheduler. The dense per-kernel slices and
+// the placement list reuse their buffers across runs (a Reset
+// scheduler attaches allocation-free once warm).
 func (s *ModelSched) Attach(rt *taskrt.Runtime) {
 	s.rt = rt
+	s.pls = platform.AppendPlacements(s.pls[:0], rt.Spec())
 	nk := rt.NumKernels()
-	s.samplers = make([]*kernelSampler, nk)
-	s.plans = make([]*kernelPlan, nk)
+	if cap(s.samplers) < nk {
+		s.samplers = make([]*kernelSampler, nk)
+		s.plans = make([]*kernelPlan, nk)
+	}
+	s.samplers = s.samplers[:nk]
+	clear(s.samplers)
+	s.plans = s.plans[:nk]
+	clear(s.plans)
 }
 
 // Scope implements taskrt.Scheduler: tasks stay on the selected core
@@ -315,19 +396,18 @@ func (s *ModelSched) Decide(t *dag.Task) taskrt.Decision {
 	// must not short-circuit the re-sampling.
 	if s.planCache != nil && s.samplers[t.Kernel.Index] == nil {
 		if cp, ok := s.planCache.Lookup(s.planKey(t.Kernel)); ok {
-			plan := &kernelPlan{
-				cfg:          cp.Cfg,
-				fine:         cp.Fine,
-				batch:        cp.Batch,
-				predictedSec: cp.PredictedSec,
-			}
+			plan := s.takePlan()
+			plan.cfg = cp.Cfg
+			plan.fine = cp.Fine
+			plan.batch = cp.Batch
+			plan.predictedSec = cp.PredictedSec
 			s.plans[t.Kernel.Index] = plan
 			return s.Decide(t)
 		}
 	}
 	ks := s.samplers[t.Kernel.Index]
 	if ks == nil {
-		ks = newKernelSampler(s.rt.Spec().Placements(), true)
+		ks = s.takeSampler()
 		s.samplers[t.Kernel.Index] = ks
 	}
 	return ks.decide()
@@ -375,55 +455,75 @@ func (s *ModelSched) checkDrift(k *dag.Kernel, plan *kernelPlan, rec taskrt.Exec
 	}
 	if plan.driftStreak >= s.opt.DriftWindow {
 		s.plans[k.Index] = nil
-		s.samplers[k.Index] = newKernelSampler(s.rt.Spec().Placements(), true)
+		s.planPool = append(s.planPool, plan)
+		if old := s.samplers[k.Index]; old != nil {
+			s.samplerPool = append(s.samplerPool, old)
+		}
+		s.samplers[k.Index] = s.takeSampler()
 		s.Resamples++
 	}
+}
+
+// evalEnergy scores one configuration for the selection in progress
+// (curKT/curConc); it is bound once into energyFn so searches evaluate
+// it without a per-selection closure.
+func (s *ModelSched) evalEnergy(cfg platform.Config) (float64, bool) {
+	if !s.opt.MemDVFS && cfg.FM != platform.MaxFM {
+		return 0, false
+	}
+	switch s.opt.Goal {
+	case GoalMinCPUEnergy:
+		return s.set.CPUEnergyEstimate(s.curKT, cfg, s.curConc)
+	case GoalMinEDP:
+		e, ok := s.set.EnergyEstimate(s.curKT, cfg, s.curConc)
+		if !ok {
+			return 0, false
+		}
+		p, ok := s.curKT.At(cfg)
+		if !ok {
+			return 0, false
+		}
+		return e * p.TimeSec, true
+	default:
+		return s.set.EnergyEstimate(s.curKT, cfg, s.curConc)
+	}
+}
+
+// evalTime predicts one configuration's time for the selection in
+// progress; bound once into timeFn like evalEnergy.
+func (s *ModelSched) evalTime(cfg platform.Config) (float64, bool) {
+	if !s.opt.MemDVFS && cfg.FM != platform.MaxFM {
+		return 0, false
+	}
+	p, ok := s.curKT.At(cfg)
+	if !ok {
+		return 0, false
+	}
+	return p.TimeSec, true
 }
 
 // selectConfig builds the kernel's look-up tables and searches for the
 // configuration satisfying the trade-off goal (§5.2).
 func (s *ModelSched) selectConfig(k *dag.Kernel, ks *kernelSampler) {
-	pairs := ks.samplePairs()
-	if len(pairs) == 0 {
+	if s.pairBuf == nil {
+		s.pairBuf = make(map[platform.Placement]models.SamplePair)
+	}
+	ks.samplePairsInto(s.pairBuf)
+	if len(s.pairBuf) == 0 {
 		return
 	}
-	kt := s.set.BuildTables(k.Name, pairs)
+	s.ktBuf = s.set.BuildTablesInto(s.ktBuf, k.Name, s.pairBuf)
+	kt := s.ktBuf
 	conc := s.rt.RunningTasks()
 	if conc < 1 {
 		conc = 1
 	}
-
-	energy := func(cfg platform.Config) (float64, bool) {
-		if !s.opt.MemDVFS && cfg.FM != platform.MaxFM {
-			return 0, false
-		}
-		switch s.opt.Goal {
-		case GoalMinCPUEnergy:
-			return s.set.CPUEnergyEstimate(kt, cfg, conc)
-		case GoalMinEDP:
-			e, ok := s.set.EnergyEstimate(kt, cfg, conc)
-			if !ok {
-				return 0, false
-			}
-			p, ok := kt.At(cfg)
-			if !ok {
-				return 0, false
-			}
-			return e * p.TimeSec, true
-		default:
-			return s.set.EnergyEstimate(kt, cfg, conc)
-		}
+	s.curKT, s.curConc = kt, conc
+	if s.energyFn == nil {
+		s.energyFn = s.evalEnergy
+		s.timeFn = s.evalTime
 	}
-	time := func(cfg platform.Config) (float64, bool) {
-		if !s.opt.MemDVFS && cfg.FM != platform.MaxFM {
-			return 0, false
-		}
-		p, ok := kt.At(cfg)
-		if !ok {
-			return 0, false
-		}
-		return p.TimeSec, true
-	}
+	energy, time := s.energyFn, s.timeFn
 
 	spec := s.rt.Spec()
 	var res search.Result
@@ -433,30 +533,29 @@ func (s *ModelSched) selectConfig(k *dag.Kernel, ks *kernelSampler) {
 	case s.opt.Speedup > 1:
 		var base search.Result
 		if s.opt.Exhaustive {
-			base = search.Exhaustive(spec, energy)
+			base = s.searcher.Exhaustive(spec, energy)
 		} else {
-			base = search.SteepestDescent(spec, energy)
+			base = s.searcher.SteepestDescent(spec, energy)
 		}
 		if !base.Found {
 			return
 		}
 		baseT, _ := time(base.Cfg)
-		res = search.UnderConstraint(spec, energy, time, baseT/s.opt.Speedup, !s.opt.Exhaustive)
+		res = s.searcher.UnderConstraint(spec, energy, time, baseT/s.opt.Speedup, !s.opt.Exhaustive)
 		res.Evals += base.Evals
 	case s.opt.Exhaustive:
-		res = search.Exhaustive(spec, energy)
+		res = s.searcher.Exhaustive(spec, energy)
 	default:
-		res = search.SteepestDescent(spec, energy)
+		res = s.searcher.SteepestDescent(spec, energy)
 	}
 	if !res.Found {
 		return
 	}
 	s.TotalEvals += res.Evals
 
-	plan := &kernelPlan{
-		cfg:             res.Cfg,
-		pendingOverhead: float64(res.Evals) * EvalCostSec,
-	}
+	plan := s.takePlan()
+	plan.cfg = res.Cfg
+	plan.pendingOverhead = float64(res.Evals) * EvalCostSec
 	if p, ok := kt.At(res.Cfg); ok {
 		plan.predictedSec = p.TimeSec
 	}

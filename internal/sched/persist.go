@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The §5.1 sampling phase and the §5.2 configuration search are pure
+// functions of ⟨kernel, scheduler options, scale⟩, so their outcome —
+// the selected plan — is as cacheable across processes as the trained
+// models are. This file is the persistence half of that observation,
+// the PlanCache counterpart of models.Persist: a trained cache can be
+// serialised to versioned JSON and reloaded by any later process (or
+// a service), which then performs zero plan searches for known keys.
+
+// persistPlanEntry is one ⟨key, plan⟩ pair of the store. PlanKey and
+// CachedPlan are plain exported-field structs, so they round-trip
+// through JSON exactly (float64 encoding is shortest-round-trip).
+type persistPlanEntry struct {
+	Key  PlanKey    `json:"key"`
+	Plan CachedPlan `json:"plan"`
+}
+
+type persistPlanStore struct {
+	Version int                `json:"version"`
+	Plans   []persistPlanEntry `json:"plans"`
+}
+
+// planStoreVersion gates the on-disk format: Load rejects stores
+// written by an incompatible PlanKey/CachedPlan layout rather than
+// silently adopting plans keyed by different semantics.
+const planStoreVersion = 1
+
+// Save serialises the cache as a versioned JSON plan store. Entries
+// are emitted in a deterministic order (sorted by encoded key), so
+// saving an unchanged cache is byte-stable.
+func (pc *PlanCache) Save(w io.Writer) error {
+	pc.mu.RLock()
+	ps := persistPlanStore{Version: planStoreVersion}
+	for k, p := range pc.plans {
+		ps.Plans = append(ps.Plans, persistPlanEntry{Key: k, Plan: p})
+	}
+	pc.mu.RUnlock()
+	keyStr := make([]string, len(ps.Plans))
+	for i := range ps.Plans {
+		b, err := json.Marshal(ps.Plans[i].Key)
+		if err != nil {
+			return fmt.Errorf("sched: encoding plan key: %w", err)
+		}
+		keyStr[i] = string(b)
+	}
+	sort.Sort(&planEntrySorter{entries: ps.Plans, keys: keyStr})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ps)
+}
+
+type planEntrySorter struct {
+	entries []persistPlanEntry
+	keys    []string
+}
+
+func (s *planEntrySorter) Len() int           { return len(s.entries) }
+func (s *planEntrySorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *planEntrySorter) Swap(i, j int) {
+	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// Load merges a store written by Save into the cache, returning the
+// number of plans read. Existing entries win over loaded ones (the
+// same first-writer-wins rule as Store), so loading never clobbers
+// plans the process has already trained. Version mismatches and
+// malformed stores are rejected without touching the cache.
+func (pc *PlanCache) Load(r io.Reader) (int, error) {
+	var ps persistPlanStore
+	if err := json.NewDecoder(r).Decode(&ps); err != nil {
+		return 0, fmt.Errorf("sched: decoding plan store: %w", err)
+	}
+	if ps.Version != planStoreVersion {
+		return 0, fmt.Errorf("sched: unsupported plan store version %d (want %d)",
+			ps.Version, planStoreVersion)
+	}
+	for _, e := range ps.Plans {
+		if e.Key.Kernel == "" {
+			return 0, fmt.Errorf("sched: plan store entry with empty kernel name")
+		}
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for _, e := range ps.Plans {
+		if _, dup := pc.plans[e.Key]; !dup {
+			pc.plans[e.Key] = e.Plan
+		}
+	}
+	return len(ps.Plans), nil
+}

@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"joss/internal/platform"
+)
+
+func storeKey(kernel string, sched string, scale float64) PlanKey {
+	return PlanKey{
+		Kernel:              kernel,
+		Demand:              platform.TaskDemand{Kernel: kernel, Ops: 1e6, Bytes: 32e3, ParEff: 0.9, Activity: 0.7},
+		Sched:               sched,
+		Goal:                GoalMinEnergy,
+		MemDVFS:             sched == "JOSS",
+		CoarsenThresholdSec: 200e-6,
+		CoarsenWindowSec:    1e-3,
+		Scale:               scale,
+	}
+}
+
+func storePlan(fc int) CachedPlan {
+	return CachedPlan{
+		Cfg:          platform.Config{TC: platform.A57, NC: 2, FC: fc, FM: 1},
+		Fine:         true,
+		Batch:        7,
+		PredictedSec: 1.25e-4,
+	}
+}
+
+// TestPlanStoreRoundTrip saves a populated cache and reloads it into
+// an empty one: every key must come back with an identical plan, and
+// Save must be byte-deterministic so unchanged stores do not churn.
+func TestPlanStoreRoundTrip(t *testing.T) {
+	pc := NewPlanCache()
+	keys := []PlanKey{
+		storeKey("mm_tile", "JOSS", 1),
+		storeKey("mm_tile", "JOSS_NoMemDVFS", 1), // same kernel, different knob set
+		storeKey("jacobi", "JOSS", 0.05),
+	}
+	for i, k := range keys {
+		pc.Store(k, storePlan(i))
+	}
+
+	var buf bytes.Buffer
+	if err := pc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := pc.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two saves of the same cache differ byte-wise")
+	}
+
+	loaded := NewPlanCache()
+	n, err := loaded.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(keys) || loaded.Len() != len(keys) {
+		t.Fatalf("loaded %d plans (Len %d), want %d", n, loaded.Len(), len(keys))
+	}
+	for i, k := range keys {
+		got, ok := loaded.Lookup(k)
+		if !ok {
+			t.Fatalf("key %d missing after round trip", i)
+		}
+		if !reflect.DeepEqual(got, storePlan(i)) {
+			t.Errorf("key %d: plan mutated in round trip:\nwant %+v\ngot  %+v", i, storePlan(i), got)
+		}
+	}
+}
+
+// TestPlanStoreVersionMismatch asserts the version gate: a store
+// claiming a different format version is rejected without mutating
+// the cache.
+func TestPlanStoreVersionMismatch(t *testing.T) {
+	raw, err := json.Marshal(map[string]any{"version": 99, "plans": []any{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewPlanCache()
+	if _, err := pc.Load(bytes.NewReader(raw)); err == nil {
+		t.Fatal("version 99 store accepted")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("error does not mention the version: %v", err)
+	}
+	if pc.Len() != 0 {
+		t.Fatal("rejected store still populated the cache")
+	}
+}
+
+// TestPlanStoreLoadFirstWriterWins asserts Load follows the cache's
+// first-writer-wins rule: plans the process already trained are not
+// clobbered by loaded ones.
+func TestPlanStoreLoadFirstWriterWins(t *testing.T) {
+	k := storeKey("mm_tile", "JOSS", 1)
+
+	saved := NewPlanCache()
+	saved.Store(k, storePlan(0))
+	var buf bytes.Buffer
+	if err := saved.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	pc := NewPlanCache()
+	pc.Store(k, storePlan(4))
+	if _, err := pc.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := pc.Lookup(k)
+	if got != storePlan(4) {
+		t.Fatalf("Load clobbered an existing plan: %+v", got)
+	}
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"joss/internal/models"
+	"joss/internal/taskrt"
+	"joss/internal/workloads"
+)
+
+// modelSchedVariants covers every ModelSched shape: both JOSS Figure 8
+// variants, STEER, and the constrained / MAXP / EDP extensions (each
+// exercises a different search path inside selectConfig).
+func modelSchedVariants(set *models.Set) map[string]func() *ModelSched {
+	return map[string]func() *ModelSched{
+		"JOSS":           func() *ModelSched { return NewJOSS(set) },
+		"JOSS_NoMemDVFS": func() *ModelSched { return NewJOSSNoMemDVFS(set) },
+		"STEER":          func() *ModelSched { return NewSTEER(set) },
+		"JOSS+1.4X":      func() *ModelSched { return NewJOSSConstrained(set, 1.4) },
+		"JOSS+MAXP":      func() *ModelSched { return NewJOSSMaxP(set) },
+		"JOSS+EDP":       func() *ModelSched { return NewJOSSEDP(set) },
+	}
+}
+
+// TestModelSchedResetEquivalence mirrors TestRuntimeResetEquivalence
+// one layer up: a ModelSched that already drove a different workload
+// and was rewound with Reset must drive a run byte-for-byte
+// identically to a freshly constructed scheduler — same sampling
+// decisions, same selections, same report. This is the correctness
+// bar for the sweep executor recycling schedulers across run units.
+func TestModelSchedResetEquivalence(t *testing.T) {
+	o, set, _ := testModels(t)
+	const scale = 0.02
+	for name, mk := range modelSchedVariants(set) {
+		t.Run(name, func(t *testing.T) {
+			opt := taskrt.DefaultOptions()
+
+			fresh := taskrt.New(o, mk(), opt)
+			want := fresh.Run(workloads.SLU(scale))
+
+			// The reused scheduler first drives a different workload
+			// (different kernels, demands and selection history), then is
+			// rewound and pointed at SLU on a Reset-reused runtime.
+			reused := mk()
+			rt := taskrt.New(o, reused, opt)
+			rt.Run(workloads.VG(scale))
+			reused.Reset(set)
+			g := workloads.SLU(scale)
+			rt.Reset(g)
+			got := rt.Run(g)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("reset-reused scheduler differs from fresh:\nfresh: %+v\nreused: %+v", want, got)
+			}
+
+			// A second rewind over the same graph must reproduce the run
+			// again (pools and scratch must not drift).
+			reused.Reset(nil)
+			rt.Reset(g)
+			again := rt.Run(g)
+			if !reflect.DeepEqual(want, again) {
+				t.Errorf("second reset run differs from fresh:\nfresh: %+v\nagain: %+v", want, again)
+			}
+			if reused.TotalEvals == 0 {
+				t.Error("reset scheduler performed no configuration evaluations (selection never ran?)")
+			}
+		})
+	}
+}
+
+// TestModelSchedResetDropsPlanCache asserts the documented contract:
+// Reset detaches any shared plan cache, so a recycled scheduler never
+// leaks plan adoption into a run that did not ask for it.
+func TestModelSchedResetDropsPlanCache(t *testing.T) {
+	_, set, _ := testModels(t)
+	s := NewJOSS(set)
+	pc := NewPlanCache()
+	s.SetPlanCache(pc, 1)
+	s.Reset(nil)
+	if s.planCache != nil {
+		t.Fatal("Reset retained the plan cache")
+	}
+}

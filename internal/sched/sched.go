@@ -30,9 +30,14 @@ const slotRetries = 6
 
 // kernelSampler drives a kernel's online sampling: JOSS samples the
 // execution time of each kernel at every <TC, NC> at fC, then at f'C
-// (§5.1). ERASE uses the same machinery with one frequency.
+// (§5.1). ERASE uses the same machinery with one frequency. Samplers
+// are recyclable (reuse) so warm schedulers stop paying maps and slot
+// tables per kernel per run.
 type kernelSampler struct {
-	slots   []sampleSlot
+	slots []sampleSlot
+	// tags pre-boxes each slot once, so a sampling Decision's Tag
+	// never allocates on the per-task hot path.
+	tags    []any
 	times   map[sampleSlot]float64
 	retries map[sampleSlot]int
 	next    int
@@ -44,10 +49,17 @@ func newKernelSampler(pls []platform.Placement, twoFreq bool) *kernelSampler {
 		times:   make(map[sampleSlot]float64),
 		retries: make(map[sampleSlot]int),
 	}
-	// Reference-frequency slots first, then the alternate frequency:
-	// the paper samples all kernels at fC before switching to f'C,
-	// which keeps concurrent sampling tasks requesting consistent
-	// cluster frequencies.
+	ks.buildSlots(pls, twoFreq)
+	return ks
+}
+
+// buildSlots fills the slot table. Reference-frequency slots first,
+// then the alternate frequency: the paper samples all kernels at fC
+// before switching to f'C, which keeps concurrent sampling tasks
+// requesting consistent cluster frequencies.
+func (ks *kernelSampler) buildSlots(pls []platform.Placement, twoFreq bool) {
+	ks.slots = ks.slots[:0]
+	ks.tags = ks.tags[:0]
 	for _, pl := range pls {
 		ks.slots = append(ks.slots, sampleSlot{pl: pl})
 	}
@@ -56,21 +68,51 @@ func newKernelSampler(pls []platform.Placement, twoFreq bool) *kernelSampler {
 			ks.slots = append(ks.slots, sampleSlot{pl: pl, alt: true})
 		}
 	}
-	return ks
+	for _, s := range ks.slots {
+		ks.tags = append(ks.tags, s)
+	}
+}
+
+// reuse rewinds a recycled sampler for a fresh kernel: measurements
+// and retry counts are cleared (maps retained) and, when the placement
+// list is unchanged — every run on one platform — the slot and boxed
+// tag tables are kept as-is.
+func (ks *kernelSampler) reuse(pls []platform.Placement, twoFreq bool) {
+	want := len(pls)
+	if twoFreq {
+		want *= 2
+	}
+	same := len(ks.slots) == want
+	if same {
+		for i, pl := range pls {
+			if ks.slots[i].pl != pl {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		ks.buildSlots(pls, twoFreq)
+	}
+	clear(ks.times)
+	clear(ks.retries)
+	ks.next = 0
+	ks.doneCnt = 0
 }
 
 // decide assigns the next unfilled sampling slot (round-robin when all
 // are assigned but not yet measured).
 func (ks *kernelSampler) decide() taskrt.Decision {
-	slot := ks.slots[ks.next%len(ks.slots)]
+	idx := ks.next % len(ks.slots)
 	for i := 0; i < len(ks.slots); i++ {
-		s := ks.slots[(ks.next+i)%len(ks.slots)]
-		if _, done := ks.times[s]; !done {
-			slot = s
-			ks.next = (ks.next + i + 1) % len(ks.slots)
+		j := (ks.next + i) % len(ks.slots)
+		if _, done := ks.times[ks.slots[j]]; !done {
+			idx = j
+			ks.next = (j + 1) % len(ks.slots)
 			break
 		}
 	}
+	slot := ks.slots[idx]
 	fc := models.RefFC
 	if slot.alt {
 		fc = models.AltFC
@@ -81,7 +123,7 @@ func (ks *kernelSampler) decide() taskrt.Decision {
 		FC:        fc,
 		FM:        models.RefFM,
 		ExactFreq: true,
-		Tag:       slot,
+		Tag:       ks.tags[idx],
 	}
 }
 
@@ -128,10 +170,11 @@ func (ks *kernelSampler) record(rec taskrt.ExecRecord) bool {
 
 func (ks *kernelSampler) complete() bool { return ks.doneCnt == len(ks.slots) }
 
-// samplePairs converts the measurements into the models package's
-// per-placement sample pairs.
-func (ks *kernelSampler) samplePairs() map[platform.Placement]models.SamplePair {
-	out := make(map[platform.Placement]models.SamplePair)
+// samplePairsInto converts the measurements into the models package's
+// per-placement sample pairs, writing into a reusable map (cleared
+// first).
+func (ks *kernelSampler) samplePairsInto(out map[platform.Placement]models.SamplePair) {
+	clear(out)
 	for _, slot := range ks.slots {
 		if slot.alt {
 			continue
@@ -142,7 +185,6 @@ func (ks *kernelSampler) samplePairs() map[platform.Placement]models.SamplePair 
 			out[slot.pl] = models.SamplePair{TimeRef: ref, TimeAlt: alt}
 		}
 	}
-	return out
 }
 
 // refTimes returns the per-placement reference-frequency times (for

@@ -313,9 +313,10 @@ func TestKernelSamplerPlanAndRetry(t *testing.T) {
 			t.Fatalf("complete after %d records = %v", i+1, done)
 		}
 	}
-	pairs := ks.samplePairs()
+	pairs := make(map[platform.Placement]models.SamplePair)
+	ks.samplePairsInto(pairs)
 	if len(pairs) != 5 {
-		t.Fatalf("samplePairs = %d, want 5", len(pairs))
+		t.Fatalf("samplePairsInto = %d, want 5", len(pairs))
 	}
 
 	// Retry logic: a moldable sample with fewer cores than planned is

@@ -38,8 +38,33 @@ type memo struct {
 	evals int
 }
 
-func newMemo(fn EnergyFn) *memo {
-	return &memo{fn: fn}
+// begin rewinds the memo for a fresh search over fn: the slabs are
+// retained, only the validity bits and the eval counter reset.
+func (m *memo) begin(fn EnergyFn) {
+	m.fn = fn
+	m.evals = 0
+	clear(m.known[:])
+}
+
+// Searcher owns the scratch one configuration search needs — the
+// evaluation memo and the per-placement corner/win tables — so a
+// scheduler that runs one search per kernel can recycle the buffers
+// across kernels and runs instead of reallocating ~7 KB per selection.
+// The zero value is ready to use. A Searcher is not safe for
+// concurrent use; searches on it produce results identical to the
+// package-level functions.
+type Searcher struct {
+	m      memo
+	pls    []platform.Placement
+	corner [][4]float64
+	wins   []int
+}
+
+// placements rebuilds the spec's <TC, NC> list into the reused buffer
+// (same enumeration order as Spec.Placements, without the allocation).
+func (sr *Searcher) placements(spec platform.Spec) []platform.Placement {
+	sr.pls = platform.AppendPlacements(sr.pls[:0], spec)
+	return sr.pls
 }
 
 // get returns +Inf for unavailable configurations.
@@ -62,12 +87,25 @@ func (m *memo) get(cfg platform.Config) float64 {
 // Exhaustive loops through every configuration and returns the one
 // with the least energy (§5.2.1's baseline approach).
 func Exhaustive(spec platform.Spec, energy EnergyFn) Result {
-	m := newMemo(energy)
+	var sr Searcher
+	return sr.Exhaustive(spec, energy)
+}
+
+// Exhaustive is the scratch-reusing form of the package-level
+// Exhaustive.
+func (sr *Searcher) Exhaustive(spec platform.Spec, energy EnergyFn) Result {
+	m := &sr.m
+	m.begin(energy)
 	best := Result{Energy: math.Inf(1)}
-	for _, cfg := range spec.Configs() {
-		e := m.get(cfg)
-		if e < best.Energy {
-			best.Cfg, best.Energy, best.Found = cfg, e, true
+	for _, pl := range sr.placements(spec) {
+		for fc := 0; fc < platform.NumCPUFreqs; fc++ {
+			for fm := 0; fm < platform.NumMemFreqs; fm++ {
+				cfg := platform.Config{TC: pl.TC, NC: pl.NC, FC: fc, FM: fm}
+				e := m.get(cfg)
+				if e < best.Energy {
+					best.Cfg, best.Energy, best.Found = cfg, e, true
+				}
+			}
 		}
 	}
 	best.Evals = m.evals
@@ -92,11 +130,23 @@ var cornerIdx = [4][2]int{
 //  3. start at that table's cheapest corner and greedily move to the
 //     cheapest immediate neighbour until no neighbour improves.
 func SteepestDescent(spec platform.Spec, energy EnergyFn) Result {
-	m := newMemo(energy)
-	pls := spec.Placements()
+	var sr Searcher
+	return sr.SteepestDescent(spec, energy)
+}
+
+// SteepestDescent is the scratch-reusing form of the package-level
+// SteepestDescent.
+func (sr *Searcher) SteepestDescent(spec platform.Spec, energy EnergyFn) Result {
+	m := &sr.m
+	m.begin(energy)
+	pls := sr.placements(spec)
 
 	// Step 1: corner energies per placement.
-	corner := make([][4]float64, len(pls))
+	if cap(sr.corner) < len(pls) {
+		sr.corner = make([][4]float64, len(pls))
+		sr.wins = make([]int, len(pls))
+	}
+	corner := sr.corner[:len(pls)]
 	for i, pl := range pls {
 		for c, fi := range cornerIdx {
 			corner[i][c] = m.get(platform.Config{TC: pl.TC, NC: pl.NC, FC: fi[0], FM: fi[1]})
@@ -105,7 +155,10 @@ func SteepestDescent(spec platform.Spec, energy EnergyFn) Result {
 
 	// Step 2: per-corner winners; the placement with the most wins
 	// confines the search. Ties break toward the lower corner sum.
-	wins := make([]int, len(pls))
+	wins := sr.wins[:len(pls)]
+	for i := range wins {
+		wins[i] = 0
+	}
 	for c := 0; c < 4; c++ {
 		best, bestE := -1, math.Inf(1)
 		for i := range pls {
@@ -200,6 +253,14 @@ func Fastest(spec platform.Spec, time TimeFn) Result {
 // configuration is selected.
 func UnderConstraint(spec platform.Spec, energy EnergyFn, time TimeFn,
 	targetTime float64, steepest bool) Result {
+	var sr Searcher
+	return sr.UnderConstraint(spec, energy, time, targetTime, steepest)
+}
+
+// UnderConstraint is the scratch-reusing form of the package-level
+// UnderConstraint.
+func (sr *Searcher) UnderConstraint(spec platform.Spec, energy EnergyFn, time TimeFn,
+	targetTime float64, steepest bool) Result {
 
 	constrained := func(cfg platform.Config) (float64, bool) {
 		t, ok := time(cfg)
@@ -213,9 +274,9 @@ func UnderConstraint(spec platform.Spec, energy EnergyFn, time TimeFn,
 	}
 	var r Result
 	if steepest {
-		r = SteepestDescent(spec, constrained)
+		r = sr.SteepestDescent(spec, constrained)
 	} else {
-		r = Exhaustive(spec, constrained)
+		r = sr.Exhaustive(spec, constrained)
 	}
 	if r.Found && !math.IsInf(r.Energy, 1) {
 		return r

@@ -1,0 +1,48 @@
+package taskrt
+
+// Report merge helpers for the repeat-granular sweep executor: a sweep
+// cell's Repeats seeded runs may execute on different workers, and the
+// per-cell result must nevertheless be bit-identical to running every
+// repeat in one worker. That holds because merging is pure float
+// arithmetic over the per-repeat Reports in repeat order — the same
+// operations, in the same order, the single-worker accumulation loop
+// performed.
+
+// Accumulate adds another repeat's mean-able quantities (makespan,
+// energies, sample count) into r. Identity fields and Stats are left
+// as r's own — a merged cell reports the first repeat's counters,
+// matching the historical whole-cell executor.
+func (r *Report) Accumulate(o Report) {
+	r.MakespanSec += o.MakespanSec
+	r.Sensor.CPUJ += o.Sensor.CPUJ
+	r.Sensor.MemJ += o.Sensor.MemJ
+	r.Exact.CPUJ += o.Exact.CPUJ
+	r.Exact.MemJ += o.Exact.MemJ
+	r.Samples += o.Samples
+}
+
+// AverageOver divides the accumulated quantities by the repeat count
+// (arithmetic mean across repeats, §6.1). n ≤ 1 is a no-op.
+func (r *Report) AverageOver(n int) {
+	if n <= 1 {
+		return
+	}
+	f := float64(n)
+	r.MakespanSec /= f
+	r.Sensor.CPUJ /= f
+	r.Sensor.MemJ /= f
+	r.Exact.CPUJ /= f
+	r.Exact.MemJ /= f
+	r.Samples /= n
+}
+
+// MeanReport merges one cell's per-repeat reports, in repeat order,
+// into the cell's reported arithmetic mean. reps must be non-empty.
+func MeanReport(reps []Report) Report {
+	agg := reps[0]
+	for _, r := range reps[1:] {
+		agg.Accumulate(r)
+	}
+	agg.AverageOver(len(reps))
+	return agg
+}

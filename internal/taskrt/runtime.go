@@ -266,6 +266,16 @@ type Options struct {
 	// task (queue operations), added to the scheduler's per-decision
 	// overhead.
 	DispatchOverheadSec float64
+	// SensorPeriodSec overrides the power sensor's 5 ms INA3221
+	// sampling period (0 = the paper's default). Coarser periods trade
+	// sensor-energy resolution for fewer simulation events on
+	// large-scale throughput sweeps; the exact energy integral is
+	// unaffected.
+	SensorPeriodSec float64
+	// SensorOff disables the sampled power sensor entirely: the run's
+	// Report carries Samples == 0 and only the event-exact integral
+	// (exp.EnergyOf falls back to Exact).
+	SensorOff bool
 	// Trace, if non-nil, records the execution timeline (task
 	// placements, DVFS transitions, power samples).
 	Trace *trace.Trace
@@ -558,6 +568,7 @@ func (rt *Runtime) Run(g *dag.Graph) Report {
 	rt.remaining = g.NumTasks()
 	rt.prepareCaches(g)
 	rt.Sched.Attach(rt)
+	rt.M.Meter.ConfigureSensor(rt.Opt.SensorPeriodSec, rt.Opt.SensorOff)
 	rt.M.Meter.Reset()
 	rt.M.Meter.StartSensor()
 
