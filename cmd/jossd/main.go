@@ -1,0 +1,130 @@
+// Command jossd is the warm-session daemon: it profiles the simulated
+// TX2 and trains the JOSS models once at startup, then serves JSON
+// sweep and run requests over HTTP (TCP or a unix socket) from a
+// resident service.Session — long-lived worker runtimes, recycled
+// graph arenas, Reset-recycled schedulers and the shared persistent
+// plan cache. No request ever trains; with -planstore, a request for
+// kernels any previous process trained performs zero plan searches.
+//
+// Usage:
+//
+//	jossd [-listen ADDR] [-socket PATH] [-parallel N]
+//	      [-planstore FILE] [-saveevery N]
+//
+// Endpoints (see internal/service/http.go for the schema):
+//
+//	POST /sweep   run a benchmark × scheduler sweep
+//	POST /run     run one benchmark under one scheduler
+//	GET  /healthz liveness, resident plan count, request count
+//
+// Clients: `jossrun -connect http://host:port ...` or plain curl:
+//
+//	curl -s localhost:7767/run -d '{"bench":"SLU","sched":"JOSS"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"joss/internal/service"
+)
+
+func main() {
+	listen := flag.String("listen", ":7767", "TCP address to serve HTTP on")
+	socket := flag.String("socket", "", "unix socket path to serve HTTP on instead of TCP")
+	parallel := flag.Int("parallel", 0, "default sweep workers per request (0 = GOMAXPROCS)")
+	planStore := flag.String("planstore", "",
+		"persistent plan store shared with other jossd/jossbench/jossrun processes: loaded at startup, flushed lock-and-merge after requests")
+	saveEvery := flag.Int("saveevery", 1, "flush the plan store every N requests")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: jossd [-listen ADDR] [-socket PATH] [-parallel N] [-planstore FILE] [-saveevery N]")
+		os.Exit(2)
+	}
+	if *parallel < 0 || *saveEvery < 1 {
+		fmt.Fprintln(os.Stderr, "jossd: -parallel must be >= 0 and -saveevery >= 1")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	fmt.Println("jossd: profiling platform and training models (once per process)...")
+	cfg, err := service.DefaultConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jossd:", err)
+		os.Exit(1)
+	}
+	cfg.Parallel = *parallel
+	cfg.PlanStorePath = *planStore
+	cfg.SaveEvery = *saveEvery
+	sess, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jossd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("jossd: trained in %v", time.Since(start).Round(time.Millisecond))
+	if *planStore != "" {
+		fmt.Printf(", %d plans loaded from %s", sess.Plans().Len(), *planStore)
+	}
+	fmt.Println()
+
+	var ln net.Listener
+	if *socket != "" {
+		// Remove only a dead daemon's leftover socket file: if
+		// something still answers on it, a blind remove would silently
+		// steal its traffic instead of failing with address-in-use.
+		if c, derr := net.DialTimeout("unix", *socket, time.Second); derr == nil {
+			c.Close()
+			fmt.Fprintf(os.Stderr, "jossd: %s is served by a live daemon\n", *socket)
+			os.Exit(1)
+		}
+		os.Remove(*socket)
+		ln, err = net.Listen("unix", *socket)
+	} else {
+		ln, err = net.Listen("tcp", *listen)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jossd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("jossd: serving on %s\n", ln.Addr())
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain
+	// in-flight requests (killing one mid-SaveFileMerged would orphan
+	// the plan store's never-auto-broken .lock), then flush the store a
+	// final time so plans trained since the last periodic save survive.
+	// A second signal forces an immediate exit.
+	srv := &http.Server{Handler: service.NewHandler(sess)}
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("jossd: draining in-flight requests (signal again to force exit)...")
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "jossd: forced exit")
+			os.Exit(1)
+		}()
+		srv.Shutdown(context.Background())
+		if err := sess.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "jossd: final plan store flush:", err)
+		}
+		if *socket != "" {
+			os.Remove(*socket)
+		}
+		close(done)
+	}()
+
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "jossd:", err)
+		os.Exit(1)
+	}
+	<-done
+}

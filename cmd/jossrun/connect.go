@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"joss/internal/service"
+)
+
+// daemonClient returns an HTTP client and base URL for a -connect
+// target: a plain http:// URL, or unix://PATH for a daemon serving on
+// a unix socket (the HTTP host is then a placeholder).
+func daemonClient(target string) (*http.Client, string, error) {
+	if path, ok := strings.CutPrefix(target, "unix://"); ok {
+		tr := &http.Transport{
+			DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, "unix", path)
+			},
+		}
+		return &http.Client{Transport: tr}, "http://jossd", nil
+	}
+	if !strings.HasPrefix(target, "http://") && !strings.HasPrefix(target, "https://") {
+		return nil, "", fmt.Errorf("-connect wants http://host:port or unix://PATH, got %q", target)
+	}
+	return http.DefaultClient, strings.TrimSuffix(target, "/"), nil
+}
+
+// runRemote posts one run request to a jossd daemon and prints the
+// served report. The scheduler is spelled the way the service parses
+// it: -speedup S becomes "JOSS+<S>X".
+func runRemote(target, bench, schedName string, speedup, scale float64, seed int64, repeats int) error {
+	client, base, err := daemonClient(target)
+	if err != nil {
+		return err
+	}
+	if speedup > 1 {
+		schedName = fmt.Sprintf("JOSS+%gX", speedup)
+	}
+	reqBody, err := json.Marshal(service.WireRunRequest{
+		Bench:   bench,
+		Sched:   schedName,
+		Scale:   scale,
+		Seed:    &seed, // pointer on the wire so seed 0 survives the trip
+		Repeats: repeats,
+	})
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	resp, err := client.Post(base+"/run", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return fmt.Errorf("reaching daemon: %w (is jossd running?)", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return fmt.Errorf("daemon rejected the request: %s", e.Error)
+	}
+	var res service.WireRunResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return fmt.Errorf("decoding daemon response: %w", err)
+	}
+
+	r := res.Report
+	fmt.Printf("served by %s in %v (simulated on the daemon's warm session)\n",
+		target, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\nscheduler       %s\n", r.Scheduler)
+	fmt.Printf("makespan        %.4f s\n", r.MakespanSec)
+	fmt.Printf("CPU energy      %.4f J\n", r.CPUJ)
+	fmt.Printf("memory energy   %.4f J\n", r.MemJ)
+	fmt.Printf("total energy    %.4f J  (avg %.3f W)\n", r.TotalJ, r.TotalJ/r.MakespanSec)
+	fmt.Printf("tasks executed  %d (steals %d, recruitments %d)\n", r.Tasks, r.Steals, r.Recruitments)
+	fmt.Printf("DVFS            %d requests\n", r.FreqRequests)
+	fmt.Printf("\nplan searches   %d evaluations this request (0 = served from resident plans)\n", res.PlanEvals)
+	fmt.Printf("daemon plans    %d cached, simulated in %.3f s\n", res.PlansCached, res.ElapsedSec)
+	if res.PlanStoreError != "" {
+		fmt.Printf("warning: daemon could not flush its plan store: %s\n", res.PlanStoreError)
+	}
+	return nil
+}

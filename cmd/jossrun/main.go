@@ -5,10 +5,18 @@
 // Usage:
 //
 //	jossrun [-scale F] [-seed N] [-speedup S] [-planstore FILE] -bench NAME -sched NAME
+//	jossrun -connect URL [-scale F] [-seed N] [-repeats N] [-speedup S] -bench NAME -sched NAME
 //
 // Benchmarks: the 21 Figure 8 configurations (e.g. SLU, MM_256_dop4).
 // Schedulers: GRWS, ERASE, Aequitas, STEER, JOSS, JOSS_NoMemDVFS,
 // JOSS+MAXP, or JOSS with -speedup for a performance constraint.
+//
+// With -connect the run is not simulated locally: the request is
+// posted to a jossd daemon (URL http://host:port, or unix://PATH for a
+// daemon on a unix socket), which serves it from its warm session —
+// resident runtimes, trained models and the shared plan store. A
+// second request for an already-trained kernel performs zero plan
+// searches on the daemon.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"joss/internal/exp"
 	"joss/internal/platform"
 	"joss/internal/sched"
+	"joss/internal/service"
 	"joss/internal/taskrt"
 	"joss/internal/trace"
 	"joss/internal/workloads"
@@ -34,21 +43,34 @@ func main() {
 	speedup := flag.Float64("speedup", 0, "JOSS performance constraint (e.g. 1.4)")
 	planStore := flag.String("planstore", "",
 		"path to a persistent plan store shared with jossbench: known plans are adopted (skipping sampling and search) and newly trained ones written back")
+	connect := flag.String("connect", "",
+		"serve the run from a jossd daemon instead of simulating locally (http://host:port, or unix://PATH)")
+	repeats := flag.Int("repeats", 1, "with -connect: seeds per cell, averaged on the daemon")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file")
 	gantt := flag.Bool("gantt", false, "print a text Gantt chart of the run")
 	dotOut := flag.String("dot", "", "write the task DAG in Graphviz DOT format (truncated to 400 tasks)")
 	flag.Parse()
 
-	var wl *workloads.Config
-	var names []string
-	for _, c := range workloads.Fig8Configs() {
-		c := c
-		names = append(names, c.Name)
-		if strings.EqualFold(c.Name, *benchName) {
-			wl = &c
+	if *connect != "" {
+		if *traceOut != "" || *gantt || *dotOut != "" || *planStore != "" {
+			fmt.Fprintln(os.Stderr, "jossrun: -trace/-gantt/-dot/-planstore are local-run options (the daemon owns its plan store)")
+			os.Exit(2)
 		}
+		if err := runRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *repeats); err != nil {
+			fmt.Fprintln(os.Stderr, "jossrun:", err)
+			os.Exit(1)
+		}
+		return
 	}
-	if wl == nil {
+	if *repeats != 1 {
+		// Local mode runs exactly one seeded simulation; silently
+		// printing a single run as if it were an average would mislead.
+		fmt.Fprintln(os.Stderr, "jossrun: -repeats applies to -connect runs (the daemon averages); local mode runs one seed")
+		os.Exit(2)
+	}
+
+	wl, names, ok := service.FindWorkload(*benchName)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "jossrun: unknown benchmark %q; available: %s\n",
 			*benchName, strings.Join(names, ", "))
 		os.Exit(2)

@@ -2,11 +2,16 @@
 // a freshly generated BENCH_*.json (see `jossbench bench`) against the
 // committed baseline and exits non-zero when simulator throughput
 // drops by more than the threshold on any benchmark both files report
-// tasks_per_s for.
+// tasks_per_s for — or when a warm-path row (benchmarks named *Warm,
+// the Reset-recycled executor iterations) regresses in allocs/op or
+// B/op beyond their thresholds. Allocation counts are noise-free where
+// throughput is not, so the memory gates catch regressions that hide
+// inside tasks/s variance.
 //
 // Usage:
 //
-//	perfgate -baseline BASELINE.json [-threshold 0.20] [CANDIDATE.json]
+//	perfgate -baseline BASELINE.json [-threshold 0.20]
+//	         [-allocthreshold 0.10] [-bytesthreshold 0.30] [CANDIDATE.json]
 //
 // Without an explicit candidate, the newest BENCH_*.json in the
 // working directory that is not the baseline is compared.
@@ -19,17 +24,24 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // benchFile mirrors the fields of jossbench's BenchReport that the
 // gate reads; unknown fields are ignored so the formats can evolve
 // independently.
 type benchFile struct {
-	Timestamp  string `json:"timestamp"`
-	Benchmarks []struct {
-		Name    string             `json:"name"`
-		Metrics map[string]float64 `json:"metrics"`
-	} `json:"benchmarks"`
+	Timestamp  string       `json:"timestamp"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// Alloc fields are pointers so an absent field (older report format,
+// renamed key) is distinguishable from a legitimate measured zero.
+type benchEntry struct {
+	Name        string             `json:"name"`
+	AllocsPerOp *int64             `json:"allocs_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics"`
 }
 
 func readBench(path string) (*benchFile, error) {
@@ -64,6 +76,10 @@ func main() {
 	baseline := flag.String("baseline", "", "committed baseline BENCH_*.json (required)")
 	threshold := flag.Float64("threshold", 0.20,
 		"maximum tolerated fractional tasks/s drop before the gate fails")
+	allocThreshold := flag.Float64("allocthreshold", 0.10,
+		"maximum tolerated fractional allocs/op growth on warm rows (*Warm benchmarks)")
+	bytesThreshold := flag.Float64("bytesthreshold", 0.30,
+		"maximum tolerated fractional B/op growth on warm rows (*Warm benchmarks)")
 	flag.Parse()
 	if *baseline == "" || flag.NArg() > 1 {
 		fmt.Fprintln(os.Stderr, "usage: perfgate -baseline BASELINE.json [-threshold F] [CANDIDATE.json]")
@@ -93,44 +109,86 @@ func main() {
 		os.Exit(2)
 	}
 
-	candRate := make(map[string]float64)
+	candBy := make(map[string]benchEntry)
 	for _, b := range cand.Benchmarks {
-		if v, ok := b.Metrics["tasks_per_s"]; ok {
-			candRate[b.Name] = v
-		}
+		candBy[b.Name] = b
 	}
 
-	fmt.Printf("perfgate: %s (baseline) vs %s, threshold %.0f%% tasks/s drop\n",
-		*baseline, candidate, *threshold*100)
+	fmt.Printf("perfgate: %s (baseline) vs %s, thresholds: %.0f%% tasks/s drop, warm rows %.0f%% allocs/op, %.0f%% B/op\n",
+		*baseline, candidate, *threshold*100, *allocThreshold*100, *bytesThreshold*100)
 	failed := false
 	compared := 0
 	for _, b := range base.Benchmarks {
-		baseV, ok := b.Metrics["tasks_per_s"]
-		if !ok || baseV <= 0 {
+		baseV, hasBaseRate := b.Metrics["tasks_per_s"]
+		rateGated := hasBaseRate && baseV > 0
+		// Memory gates apply to the warm rows only: cold rows pay
+		// one-time setup whose allocation count is not the contract,
+		// while a warm iteration's allocs/op is the recycling invariant
+		// every PR since the worker-pool executor has defended. They do
+		// not require the row to also report tasks/s.
+		memGated := strings.HasSuffix(b.Name, "Warm") && (b.AllocsPerOp != nil || b.BytesPerOp != nil)
+		if !rateGated && !memGated {
 			continue
 		}
-		candV, ok := candRate[b.Name]
+		c, ok := candBy[b.Name]
 		if !ok {
 			fmt.Printf("  FAIL %-24s missing from candidate\n", b.Name)
 			failed = true
 			continue
 		}
-		compared++
-		drop := 1 - candV/baseV
-		status := "ok  "
-		if drop > *threshold {
-			status = "FAIL"
-			failed = true
+		if rateGated {
+			candV, hasRate := c.Metrics["tasks_per_s"]
+			if !hasRate {
+				fmt.Printf("  FAIL %-24s missing tasks_per_s in candidate\n", b.Name)
+				failed = true
+			} else {
+				compared++
+				drop := 1 - candV/baseV
+				status := "ok  "
+				if drop > *threshold {
+					status = "FAIL"
+					failed = true
+				}
+				fmt.Printf("  %s %-24s %12.0f -> %12.0f tasks/s (%+.1f%%)\n",
+					status, b.Name, baseV, candV, -drop*100)
+			}
 		}
-		fmt.Printf("  %s %-24s %12.0f -> %12.0f tasks/s (%+.1f%%)\n",
-			status, b.Name, baseV, candV, -drop*100)
+		if !memGated {
+			continue
+		}
+		memGate := func(metric string, baseN, candN *int64, limit float64) {
+			if baseN == nil || *baseN <= 0 {
+				// No baseline to gate against (absent field, or a zero
+				// growth cannot be computed from).
+				return
+			}
+			if candN == nil {
+				// Absent in the candidate is a missing or renamed
+				// field, not an improvement — fail loudly like the
+				// rate gate does, or the gate silently stops gating.
+				fmt.Printf("  FAIL %-24s missing %s in candidate\n", b.Name, metric)
+				failed = true
+				return
+			}
+			compared++
+			growth := float64(*candN)/float64(*baseN) - 1
+			status := "ok  "
+			if growth > limit {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("  %s %-24s %12d -> %12d %s (%+.1f%%)\n",
+				status, b.Name, *baseN, *candN, metric, growth*100)
+		}
+		memGate("allocs/op", b.AllocsPerOp, c.AllocsPerOp, *allocThreshold)
+		memGate("B/op", b.BytesPerOp, c.BytesPerOp, *bytesThreshold)
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "perfgate: baseline carries no tasks_per_s metrics")
 		os.Exit(2)
 	}
 	if failed {
-		fmt.Println("perfgate: FAILED — throughput regressed beyond the threshold")
+		fmt.Println("perfgate: FAILED — throughput or warm-path allocations regressed beyond the thresholds")
 		os.Exit(1)
 	}
 	fmt.Println("perfgate: passed")

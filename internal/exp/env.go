@@ -5,21 +5,22 @@
 // study (Figure 9), model accuracy (Figure 10) and the §7.4 overhead
 // analysis. Each driver returns a renderable table whose rows mirror
 // what the paper reports; EXPERIMENTS.md records paper-vs-measured.
+//
+// Since the warm-session refactor the drivers are thin clients of
+// service.Session: Env owns a Session whose worker pool (resident
+// runtimes, recycled graph arenas, Reset-recycled schedulers) and plan
+// cache execute every sweep, and a figure driver only assembles jobs
+// and formats the returned reports.
 package exp
 
 import (
-	"errors"
 	"fmt"
-	"io/fs"
-	"os"
-	"path/filepath"
-	"runtime"
-	"sync"
 
 	"joss/internal/dag"
 	"joss/internal/models"
 	"joss/internal/platform"
 	"joss/internal/sched"
+	"joss/internal/service"
 	"joss/internal/synth"
 	"joss/internal/taskrt"
 	"joss/internal/workloads"
@@ -27,7 +28,8 @@ import (
 
 // Env is a fully characterised experimental setup: the simulated TX2,
 // its synthetic-benchmark profiles and the trained JOSS models — the
-// once-per-platform offline stage of Figure 4.
+// once-per-platform offline stage of Figure 4 — plus the warm
+// service.Session every sweep executes on.
 type Env struct {
 	Oracle *platform.Oracle
 	// MC memoizes the oracle's deterministic standalone measurements
@@ -48,8 +50,8 @@ type Env struct {
 	// average reported). Must be ≥ 1; sweeps reject other values.
 	Repeats int
 	// Parallel is the number of sweep workers (each owning a
-	// long-lived Runtime and graph arena). Must be ≥ 1; sweeps reject
-	// other values.
+	// long-lived Runtime and graph arena, resident in the session).
+	// Must be ≥ 1; sweeps reject other values.
 	Parallel int
 	// SharePlans lets model-driven schedulers reuse trained per-kernel
 	// plans through Plans, the environment's cross-sweep cache: a
@@ -62,10 +64,10 @@ type Env struct {
 	// repeat-averaged numbers.
 	SharePlans bool
 	// Plans is the cross-sweep plan cache consulted when SharePlans is
-	// set; NewEnv initialises it. Plans are keyed by
-	// ⟨kernel+demand, scheduler, goal, constraint, scale⟩, so sharing
-	// one cache across schedulers and figures is safe. LoadPlanStore /
-	// SavePlanStore persist it across processes.
+	// set; NewEnv initialises it to the session's resident cache.
+	// Plans are keyed by ⟨kernel+demand, scheduler, goal, constraint,
+	// scale⟩, so sharing one cache across schedulers and figures is
+	// safe. LoadPlanStore / SavePlanStore persist it across processes.
 	Plans *sched.PlanCache
 	// SensorPeriodSec overrides the simulated INA3221's 5 ms sampling
 	// period for every run the Env executes (0 = paper default), and
@@ -74,9 +76,14 @@ type Env struct {
 	// throughput levers; leave unset to reproduce the paper.
 	SensorPeriodSec float64
 	SensorOff       bool
+
+	// session executes every sweep: worker pool, warm runtimes,
+	// recycled schedulers.
+	session *service.Session
 }
 
-// NewEnv profiles and trains a fresh environment.
+// NewEnv profiles and trains a fresh environment and starts its warm
+// session.
 func NewEnv(scale float64) (*Env, error) {
 	o := platform.DefaultOracle()
 	rows := synth.Profile(o)
@@ -84,43 +91,37 @@ func NewEnv(scale float64) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exp: training failed: %w", err)
 	}
+	eraseT := sched.BuildERASETable(rows)
+	sess, err := service.New(service.Config{Oracle: o, Set: set, ERASE: eraseT})
+	if err != nil {
+		return nil, fmt.Errorf("exp: starting session: %w", err)
+	}
 	return &Env{
 		Oracle:   o,
 		MC:       platform.NewMeasureCache(o),
 		Rows:     rows,
 		Set:      set,
-		ERASE:    sched.BuildERASETable(rows),
+		ERASE:    eraseT,
 		Scale:    scale,
 		Seed:     1,
 		Repeats:  1,
-		Parallel: runtime.GOMAXPROCS(0),
-		Plans:    sched.NewPlanCache(),
+		Parallel: sess.Parallel(),
+		Plans:    sess.Plans(),
+		session:  sess,
 	}, nil
 }
 
+// Session exposes the Env's warm session (for the daemon and tests).
+func (e *Env) Session() *service.Session { return e.session }
+
 // SchedulerNames lists the Figure 8 schedulers in the paper's order.
-var SchedulerNames = []string{"GRWS", "ERASE", "Aequitas", "STEER", "JOSS", "JOSS_NoMemDVFS"}
+var SchedulerNames = service.SchedulerNames
 
 // NewScheduler builds a fresh scheduler by name. Schedulers are
-// stateful and single-run, so sweeps construct one per run.
+// stateful and single-run, so sweeps construct one per run (or recycle
+// via the reset contracts).
 func (e *Env) NewScheduler(name string) taskrt.Scheduler {
-	switch name {
-	case "GRWS":
-		return sched.NewGRWS()
-	case "ERASE":
-		return sched.NewERASE(e.ERASE, func(tc platform.CoreType) float64 {
-			return e.Set.IdleCPUW[tc][platform.MaxFC]
-		})
-	case "Aequitas":
-		return sched.NewAequitas()
-	case "STEER":
-		return sched.NewSTEER(e.Set)
-	case "JOSS":
-		return sched.NewJOSS(e.Set)
-	case "JOSS_NoMemDVFS":
-		return sched.NewJOSSNoMemDVFS(e.Set)
-	}
-	panic("exp: unknown scheduler " + name)
+	return e.session.NewScheduler(name)
 }
 
 // runOptions builds the runtime options every Env-driven run uses:
@@ -157,86 +158,14 @@ type sweepJob struct {
 	mk    func() taskrt.Scheduler
 }
 
-// sweepWorker is the long-lived execution environment one sweep worker
-// owns: a Runtime whose engine, machine, pools and oracle memo are
-// recycled with Reset between runs, a graph whose task/edge arenas are
-// recycled with BuildReuse between cells, and a per-label cache of
-// model-driven schedulers recycled with ModelSched.Reset between runs.
-// Everything is lazily built on the worker's first unit and amortised
-// over every unit it drains.
-type sweepWorker struct {
-	env     *Env
-	rt      *taskrt.Runtime
-	g       *dag.Graph
-	lastJob int
-	scheds  map[string]*sched.ModelSched
-}
-
-// scheduler returns the unit's scheduler. Model-driven schedulers are
-// recycled per label via ModelSched.Reset — a warm worker switching
-// cells (or repeats) stops rebuilding samplers, kernel tables and
-// search scratch — which is safe because a Reset ModelSched drives a
-// run byte-for-byte like a fresh one, and because within one sweep a
-// label always denotes the same constructor (every driver builds jobs
-// that way). Other schedulers carry run state with no reset contract
-// (ERASE's kernel maps, CATA's level memo), so they are constructed
-// fresh per unit, exactly as before.
-func (w *sweepWorker) scheduler(j sweepJob) taskrt.Scheduler {
-	e := w.env
-	if ms, ok := w.scheds[j.label]; ok {
-		ms.Reset(e.Set)
-		if e.SharePlans {
-			ms.SetPlanCache(e.Plans, e.Scale)
-		}
-		return ms
-	}
-	s := j.mk()
-	if ms, ok := s.(*sched.ModelSched); ok {
-		if w.scheds == nil {
-			w.scheds = make(map[string]*sched.ModelSched)
-		}
-		w.scheds[j.label] = ms
-		if e.SharePlans {
-			ms.SetPlanCache(e.Plans, e.Scale)
-		}
-	}
-	return s
-}
-
-// runUnit executes one run unit — a single seeded repeat of one cell —
-// on the worker's recycled environment. The workload is rebuilt into
-// the worker's arenas only when the unit belongs to a different cell
-// than the previous one (Runtime.Run rewinds predecessor counters
-// itself, so same-cell units re-run the built DAG).
-func (w *sweepWorker) runUnit(j sweepJob, job, repeat int) taskrt.Report {
-	e := w.env
-	if w.g == nil || w.lastJob != job {
-		w.g = j.wl.BuildReuse(w.g, e.Scale)
-		w.lastJob = job
-	}
-	s := w.scheduler(j)
-	seed := e.Seed + int64(repeat)
-	if w.rt == nil {
-		w.rt = taskrt.New(e.Oracle, s, e.runOptions(seed))
-	} else {
-		w.rt.Sched = s
-		w.rt.Opt.Seed = seed
-		w.rt.Reset(w.g)
-	}
-	return w.rt.Run(w.g)
-}
-
-// sweep runs jobs on a fixed pool of Parallel workers, each owning a
-// long-lived Runtime/graph-arena/scheduler set that every unit it
-// drains reuses. The schedulable unit is one ⟨cell, repeat, seed⟩
-// triple rather than a whole cell, so the repeats of one large-DAG
-// cell spread across workers instead of serialising on one — the
-// wall-clock balancer at high Parallel. Each unit is an independent
-// deterministic simulation and cells merge their repeats in repeat
-// order (taskrt.MeanReport), so results do not depend on which worker
-// runs which unit (with the opt-in exception of SharePlans, which
-// trades that independence for skipped sampling). Reports are keyed by
-// workload name then label.
+// sweep submits jobs to the Env's warm session: a fixed pool of
+// Parallel workers, each owning a long-lived Runtime, recycled graph
+// arenas and Reset-recycled schedulers, drains the ⟨cell, repeat,
+// seed⟩ run units largest-cell-first and merges each cell's repeats in
+// repeat order (taskrt.MeanReport). Results do not depend on worker
+// count or dispatch order (with the opt-in exception of SharePlans,
+// which trades that independence for skipped sampling). Reports are
+// keyed by workload name then label.
 func (e *Env) sweep(jobs []sweepJob) map[string]map[string]taskrt.Report {
 	if e.Parallel < 1 {
 		panic(fmt.Sprintf("exp: Env.Parallel must be >= 1, got %d", e.Parallel))
@@ -244,36 +173,21 @@ func (e *Env) sweep(jobs []sweepJob) map[string]map[string]taskrt.Report {
 	if e.Repeats < 1 {
 		panic(fmt.Sprintf("exp: Env.Repeats must be >= 1, got %d", e.Repeats))
 	}
-	nUnits := len(jobs) * e.Repeats
-	unitReports := make([]taskrt.Report, nUnits)
-	next := make(chan int)
-	var wg sync.WaitGroup
-	workers := min(e.Parallel, nUnits)
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			w := &sweepWorker{env: e, lastJob: -1}
-			for idx := range next {
-				job, repeat := idx/e.Repeats, idx%e.Repeats
-				unitReports[idx] = w.runUnit(jobs[job], job, repeat)
-			}
-		}()
+	req := service.SweepRequest{
+		Jobs:            make([]service.Job, len(jobs)),
+		Scale:           e.Scale,
+		Seed:            e.Seed,
+		Repeats:         e.Repeats,
+		Parallel:        e.Parallel,
+		SharePlans:      e.SharePlans,
+		SensorPeriodSec: e.SensorPeriodSec,
+		SensorOff:       e.SensorOff,
+		Plans:           e.Plans,
 	}
-	for idx := 0; idx < nUnits; idx++ {
-		next <- idx
+	for i, j := range jobs {
+		req.Jobs[i] = service.Job{Workload: j.wl, Label: j.label, Make: j.mk}
 	}
-	close(next)
-	wg.Wait()
-
-	out := make(map[string]map[string]taskrt.Report)
-	for idx, j := range jobs {
-		if out[j.wl.Name] == nil {
-			out[j.wl.Name] = make(map[string]taskrt.Report)
-		}
-		out[j.wl.Name][j.label] = taskrt.MeanReport(unitReports[idx*e.Repeats : (idx+1)*e.Repeats])
-	}
-	return out
+	return e.session.Submit(req).Reports
 }
 
 // LoadPlanStore merges a persisted plan store (written by
@@ -283,47 +197,20 @@ func (e *Env) sweep(jobs []sweepJob) map[string]map[string]taskrt.Report {
 // the first process starts cold, trains, and saves. Returns the
 // number of plans loaded.
 func (e *Env) LoadPlanStore(path string) (int, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return 0, nil
-	}
-	if err != nil {
-		return 0, fmt.Errorf("exp: opening plan store: %w", err)
-	}
-	defer f.Close()
-	return e.Plans.Load(f)
+	return e.Plans.LoadFile(path)
 }
 
-// SavePlanStore writes e.Plans as a versioned plan store, atomically
-// (temp file + rename), so a concurrent LoadPlanStore in another
-// process never observes a torn file.
+// SavePlanStore writes e.Plans to a versioned plan store with
+// lock-and-merge semantics (load, union, atomic rename under a lock
+// file — see sched.PlanCache.SaveFileMerged), so concurrent processes
+// sharing one store never drop each other's plans and a concurrent
+// LoadPlanStore never observes a torn file.
 func (e *Env) SavePlanStore(path string) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("exp: writing plan store: %w", err)
-	}
-	if err := e.Plans.Save(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("exp: writing plan store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("exp: writing plan store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("exp: writing plan store: %w", err)
-	}
-	return nil
+	return e.Plans.SaveFileMerged(path)
 }
 
 // EnergyOf returns the report's sensor-sampled energy, falling back to
 // the exact integral for runs too short to collect 5 ms samples.
 func EnergyOf(rep taskrt.Report) platform.Energy {
-	if rep.Samples == 0 {
-		return rep.Exact
-	}
-	return rep.Sensor
+	return service.EnergyOf(rep)
 }

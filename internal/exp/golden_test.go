@@ -141,6 +141,32 @@ func TestGoldenRepeatable(t *testing.T) {
 	}
 }
 
+// TestFig8GoldenGeomeans pins the headline figure outputs bit-exactly
+// through the extracted service.Session path: the Figure 8 geomeans at
+// bench scale must match the values recorded before the warm-session
+// refactor (and tracked in BENCH_*.json as joss_vs_grws /
+// steer_vs_grws) to the last ulp.
+func TestFig8GoldenGeomeans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	e := testEnv(t)
+	res := e.Fig8()
+	want := map[string]float64{
+		"GRWS":           1,
+		"ERASE":          1.0803356201572079,
+		"Aequitas":       0.995548991389134,
+		"STEER":          0.92898229038247726,
+		"JOSS":           0.85415931561877911,
+		"JOSS_NoMemDVFS": 0.87711365862033464,
+	}
+	for sn, w := range want {
+		if res.GeoMean[sn] != w {
+			t.Errorf("%s geomean = %.17g, want %.17g exactly", sn, res.GeoMean[sn], w)
+		}
+	}
+}
+
 // TestSharePlansSkipsSampling asserts the plan-reuse path works end to
 // end: with SharePlans on and Repeats > 1, later repeats adopt the
 // first repeat's kernel plans (no per-repeat re-sampling), and reports

@@ -31,6 +31,18 @@ func NewCATA() *CATA { return &CATA{CritFrac: 0.9} }
 // Name implements taskrt.Scheduler.
 func (s *CATA) Name() string { return "CATA" }
 
+// ResetRun implements RunResetter: the level memos are rewound to
+// unknown (capacity retained) and the critical-path length cleared, so
+// the next run recomputes criticality for its own graph exactly like a
+// fresh CATA.
+func (s *CATA) ResetRun() {
+	for i := range s.bottom {
+		s.bottom[i] = -1
+		s.top[i] = -1
+	}
+	s.maxBL = 0
+}
+
 // Attach implements taskrt.Scheduler.
 func (s *CATA) Attach(rt *taskrt.Runtime) { s.rt = rt }
 

@@ -20,6 +20,10 @@ type ERASE struct {
 
 	samplers map[*dag.Kernel]*kernelSampler
 	selected map[*dag.Kernel]platform.Placement
+	// samplerPool recycles kernelSamplers across runs (ResetRun), so a
+	// warm ERASE stops paying maps and slot tables per kernel per run —
+	// the same free-list pattern as ModelSched.Reset.
+	samplerPool []*kernelSampler
 }
 
 // NewERASE builds ERASE from the offline power table. idleCPUW gives
@@ -37,6 +41,33 @@ func NewERASE(power ERASETable, idleCPUW func(tc platform.CoreType) float64) *ER
 // Name implements taskrt.Scheduler.
 func (s *ERASE) Name() string { return "ERASE" }
 
+// ResetRun implements RunResetter: per-kernel samplers are recycled
+// into the free list (measurement maps cleared, slot and tag tables
+// retained) and selections are dropped, so the next run samples and
+// selects exactly like a fresh ERASE while reusing the warm
+// allocations. The offline power table and idle model are constants
+// and stay.
+func (s *ERASE) ResetRun() {
+	for k, ks := range s.samplers {
+		s.samplerPool = append(s.samplerPool, ks)
+		delete(s.samplers, k)
+	}
+	clear(s.selected)
+}
+
+// takeSampler pops a recycled single-frequency sampler or builds the
+// first ones.
+func (s *ERASE) takeSampler() *kernelSampler {
+	pls := s.rt.Spec().Placements()
+	if n := len(s.samplerPool); n > 0 {
+		ks := s.samplerPool[n-1]
+		s.samplerPool = s.samplerPool[:n-1]
+		ks.reuse(pls, false)
+		return ks
+	}
+	return newKernelSampler(pls, false)
+}
+
 // Attach implements taskrt.Scheduler.
 func (s *ERASE) Attach(rt *taskrt.Runtime) { s.rt = rt }
 
@@ -51,7 +82,7 @@ func (s *ERASE) Decide(t *dag.Task) taskrt.Decision {
 	}
 	ks := s.samplers[t.Kernel]
 	if ks == nil {
-		ks = newKernelSampler(s.rt.Spec().Placements(), false)
+		ks = s.takeSampler()
 		s.samplers[t.Kernel] = ks
 	}
 	dec := ks.decide()

@@ -2,9 +2,14 @@ package sched
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"sort"
+	"time"
 )
 
 // The §5.1 sampling phase and the §5.2 configuration search are pure
@@ -96,4 +101,92 @@ func (pc *PlanCache) Load(r io.Reader) (int, error) {
 		}
 	}
 	return len(ps.Plans), nil
+}
+
+// LoadFile merges a plan store file into the cache (see Load). A
+// missing file is not an error — the first process starts cold, trains
+// and saves. Returns the number of plans read.
+func (pc *PlanCache) LoadFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("sched: opening plan store: %w", err)
+	}
+	defer f.Close()
+	return pc.Load(f)
+}
+
+// Lock-file parameters for SaveFileMerged: how long one writer waits
+// for another before giving up, and how often it retries.
+const (
+	storeLockTimeout = 10 * time.Second
+	storeLockRetry   = 2 * time.Millisecond
+)
+
+// acquireStoreLock takes the plan store's sibling lock file via
+// O_CREATE|O_EXCL, retrying until timeout. Locks are never broken
+// automatically (git-style): any stat-then-remove staleness heuristic
+// races against a live writer re-acquiring between the stat and the
+// remove, and a stolen lock readmits exactly the lost-update this file
+// exists to prevent. A lock orphaned by a crashed process therefore
+// times out with an error naming it, and the operator removes it once.
+func acquireStoreLock(lock string) error {
+	deadline := time.Now().Add(storeLockTimeout)
+	for {
+		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return fmt.Errorf("sched: acquiring plan store lock: %w", err)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sched: plan store lock %s held for over %v (remove it if its owner is dead)",
+				lock, storeLockTimeout)
+		}
+		time.Sleep(storeLockRetry)
+	}
+}
+
+// SaveFileMerged writes the cache to path with lock-and-merge
+// semantics, so concurrent fleets (and multiple service daemons)
+// sharing one store never drop each other's plans the way a
+// last-writer-wins rewrite would. Under a sibling .lock file it loads
+// the store currently on disk into the cache (union — disk-only plans
+// are adopted, first-writer-wins keeps the in-memory ones), then
+// writes the merged set to a temp file and atomically renames it over
+// path, so concurrent readers never observe a torn store. The cache
+// itself gains any plans other writers published.
+func (pc *PlanCache) SaveFileMerged(path string) error {
+	lock := path + ".lock"
+	if err := acquireStoreLock(lock); err != nil {
+		return err
+	}
+	defer os.Remove(lock)
+
+	if _, err := pc.LoadFile(path); err != nil {
+		return fmt.Errorf("sched: merging plan store: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sched: writing plan store: %w", err)
+	}
+	if err := pc.Save(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sched: writing plan store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sched: writing plan store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sched: writing plan store: %w", err)
+	}
+	return nil
 }

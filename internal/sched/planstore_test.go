@@ -3,8 +3,14 @@ package sched
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"joss/internal/platform"
@@ -93,6 +99,81 @@ func TestPlanStoreVersionMismatch(t *testing.T) {
 	}
 	if pc.Len() != 0 {
 		t.Fatal("rejected store still populated the cache")
+	}
+}
+
+// TestPlanStoreConcurrentMergedWriters is the lock-and-merge
+// correctness bar: many writers — simulating a fleet of processes
+// sharing one store — concurrently SaveFileMerged caches holding
+// disjoint plans, and the final store must contain every plan from
+// every writer. The old last-writer-wins rewrite dropped all but one
+// writer's plans under this schedule.
+func TestPlanStoreConcurrentMergedWriters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.json")
+	const writers, plansPer = 8, 3
+
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pc := NewPlanCache()
+			for p := 0; p < plansPer; p++ {
+				pc.Store(storeKey(fmt.Sprintf("kern_%d_%d", w, p), "JOSS", 1), storePlan(p))
+			}
+			errs[w] = pc.SaveFileMerged(path)
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+
+	final := NewPlanCache()
+	n, err := final.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := writers * plansPer; n != want {
+		t.Fatalf("final store holds %d plans, want %d (a writer's plans were dropped)", n, want)
+	}
+	for w := 0; w < writers; w++ {
+		for p := 0; p < plansPer; p++ {
+			if _, ok := final.Lookup(storeKey(fmt.Sprintf("kern_%d_%d", w, p), "JOSS", 1)); !ok {
+				t.Errorf("writer %d plan %d missing from merged store", w, p)
+			}
+		}
+	}
+	if _, err := os.Stat(path + ".lock"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("lock file left behind: %v", err)
+	}
+}
+
+// TestPlanStoreMergedWriterAdoptsDiskPlans asserts the union mutates
+// the writing cache too: plans another process published appear in the
+// writer's cache after SaveFileMerged (the documented "merged store
+// written back" semantics).
+func TestPlanStoreMergedWriterAdoptsDiskPlans(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.json")
+	other := NewPlanCache()
+	other.Store(storeKey("theirs", "JOSS", 1), storePlan(1))
+	if err := other.SaveFileMerged(path); err != nil {
+		t.Fatal(err)
+	}
+
+	mine := NewPlanCache()
+	mine.Store(storeKey("mine", "JOSS", 1), storePlan(2))
+	if err := mine.SaveFileMerged(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mine.Lookup(storeKey("theirs", "JOSS", 1)); !ok {
+		t.Error("merged save did not adopt the plan already on disk")
+	}
+	if mine.Len() != 2 {
+		t.Errorf("writer cache holds %d plans after merge, want 2", mine.Len())
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"joss/internal/models"
+	"joss/internal/platform"
 	"joss/internal/taskrt"
 	"joss/internal/workloads"
 )
@@ -63,6 +64,57 @@ func TestModelSchedResetEquivalence(t *testing.T) {
 			}
 			if reused.TotalEvals == 0 {
 				t.Error("reset scheduler performed no configuration evaluations (selection never ran?)")
+			}
+		})
+	}
+}
+
+// TestRunResetterEquivalence extends the reset contract to the
+// baselines without a ModelSched shape: an ERASE (per-kernel sampler
+// and selection maps) or CATA (level memos) that already drove a
+// different workload and was rewound with ResetRun must drive a run
+// byte-for-byte identically to a freshly constructed scheduler — the
+// correctness bar for the service layer recycling every cacheable
+// scheduler, not just the ModelSched family.
+func TestRunResetterEquivalence(t *testing.T) {
+	o, set, erase := testModels(t)
+	const scale = 0.02
+	variants := map[string]func() taskrt.Scheduler{
+		"ERASE": func() taskrt.Scheduler {
+			return NewERASE(erase, func(tc platform.CoreType) float64 {
+				return set.IdleCPUW[tc][platform.MaxFC]
+			})
+		},
+		"CATA": func() taskrt.Scheduler { return NewCATA() },
+	}
+	for name, mk := range variants {
+		t.Run(name, func(t *testing.T) {
+			opt := taskrt.DefaultOptions()
+
+			fresh := taskrt.New(o, mk(), opt)
+			want := fresh.Run(workloads.SLU(scale))
+
+			// The reused scheduler first drives a different workload
+			// (different kernels and DAG shape), then is rewound and
+			// pointed at SLU on a Reset-reused runtime.
+			reused := mk().(RunResetter)
+			rt := taskrt.New(o, reused.(taskrt.Scheduler), opt)
+			rt.Run(workloads.VG(scale))
+			reused.ResetRun()
+			g := workloads.SLU(scale)
+			rt.Reset(g)
+			got := rt.Run(g)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("reset-reused %s differs from fresh:\nfresh: %+v\nreused: %+v", name, want, got)
+			}
+
+			// A second rewind over the same graph must reproduce the run
+			// again (pools and memos must not drift).
+			reused.ResetRun()
+			rt.Reset(g)
+			again := rt.Run(g)
+			if !reflect.DeepEqual(want, again) {
+				t.Errorf("second reset run differs from fresh:\nfresh: %+v\nagain: %+v", want, again)
 			}
 		})
 	}

@@ -19,6 +19,18 @@ import (
 // search.
 const EvalCostSec = 200e-9
 
+// RunResetter is the unified reset contract for run-scoped schedulers:
+// ResetRun rewinds per-run state (sampling measurements, selections,
+// memos) so the scheduler drives its next run byte-for-byte like a
+// freshly constructed one, while retaining its allocations — maps,
+// slot tables, memo slices — as warm capacity. ERASE and CATA
+// implement it; ModelSched has the richer Reset(set) carrying a model
+// switch, which sweep executors special-case. Executors may recycle
+// any cached scheduler that implements this interface.
+type RunResetter interface {
+	ResetRun()
+}
+
 // sampleSlot identifies one runtime sampling measurement: a placement
 // and which of the two sampling frequencies (§5.1).
 type sampleSlot struct {

@@ -1,0 +1,307 @@
+// HTTP front end of the warm-session service: a net/http handler that
+// exposes a Session as three JSON endpoints, shared by the jossd
+// daemon (TCP or unix socket) and by tests. The wire schema is
+// deliberately small and additive — unknown request fields are
+// ignored, response fields only ever get added — so clients and
+// daemons can evolve independently.
+//
+//	POST /sweep   {benchmarks, schedulers, scale, seed, repeats,
+//	               parallel, share_plans, sensor_period_sec, sensor_off}
+//	            → {reports: {bench: {sched: report}}, plan_evals,
+//	               units, workers, plans_cached, elapsed_sec}
+//	POST /run     {bench, sched, scale, seed, repeats, share_plans, ...}
+//	            → {report, plan_evals, plans_cached, elapsed_sec}
+//	GET  /healthz → {plans_cached, requests, schedulers, benchmarks}
+//
+// share_plans defaults to true on the wire (a *bool left null): the
+// daemon exists to serve warm plans, and a second request for kernels
+// the session already trained then performs zero plan searches. Send
+// "share_plans": false for sample-every-run paper semantics.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"joss/internal/taskrt"
+	"joss/internal/workloads"
+)
+
+// WireSweepRequest is the JSON form of a sweep request.
+type WireSweepRequest struct {
+	// Benchmarks are Figure 8 configuration names (case-insensitive);
+	// empty means all 21.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Schedulers are names ParseScheduler accepts; empty means the
+	// paper's six.
+	Schedulers      []string `json:"schedulers,omitempty"`
+	Scale           float64  `json:"scale,omitempty"` // 0 = workloads.DefaultScale
+	Seed            *int64   `json:"seed,omitempty"`  // null = 1; 0 is a valid seed
+	Repeats         int      `json:"repeats,omitempty"`
+	Parallel        int      `json:"parallel,omitempty"`
+	SharePlans      *bool    `json:"share_plans,omitempty"` // null = true
+	SensorPeriodSec float64  `json:"sensor_period_sec,omitempty"`
+	SensorOff       bool     `json:"sensor_off,omitempty"`
+}
+
+// WireRunRequest is the JSON form of a single-cell run request.
+type WireRunRequest struct {
+	Bench           string  `json:"bench"`
+	Sched           string  `json:"sched"`
+	Scale           float64 `json:"scale,omitempty"`
+	Seed            *int64  `json:"seed,omitempty"` // null = 1; 0 is a valid seed
+	Repeats         int     `json:"repeats,omitempty"`
+	SharePlans      *bool   `json:"share_plans,omitempty"`
+	SensorPeriodSec float64 `json:"sensor_period_sec,omitempty"`
+	SensorOff       bool    `json:"sensor_off,omitempty"`
+}
+
+// WireReport is the JSON form of one cell's mean report. Energies are
+// the sensor-sampled values with the event-exact fallback (EnergyOf).
+type WireReport struct {
+	Scheduler    string  `json:"scheduler"`
+	MakespanSec  float64 `json:"makespan_sec"`
+	CPUJ         float64 `json:"cpu_j"`
+	MemJ         float64 `json:"mem_j"`
+	TotalJ       float64 `json:"total_j"`
+	Samples      int     `json:"samples"`
+	Tasks        int     `json:"tasks"`
+	Steals       int     `json:"steals"`
+	Recruitments int     `json:"recruitments"`
+	FreqRequests int     `json:"freq_requests"`
+}
+
+// WireSweepResult is the JSON form of a sweep response.
+type WireSweepResult struct {
+	Reports     map[string]map[string]WireReport `json:"reports"`
+	PlanEvals   int                              `json:"plan_evals"`
+	Units       int                              `json:"units"`
+	Workers     int                              `json:"workers"`
+	PlansCached int                              `json:"plans_cached"`
+	ElapsedSec  float64                          `json:"elapsed_sec"`
+	// PlanStoreError reports a failed periodic plan-store flush. The
+	// sweep itself succeeded and the reports are complete — the plans
+	// just were not persisted this time (another writer may hold the
+	// store lock), so the response is a 200, not an error.
+	PlanStoreError string `json:"plan_store_error,omitempty"`
+}
+
+// WireRunResult is the JSON form of a run response.
+type WireRunResult struct {
+	Report      WireReport `json:"report"`
+	PlanEvals   int        `json:"plan_evals"`
+	PlansCached int        `json:"plans_cached"`
+	ElapsedSec  float64    `json:"elapsed_sec"`
+	// PlanStoreError mirrors WireSweepResult.PlanStoreError.
+	PlanStoreError string `json:"plan_store_error,omitempty"`
+}
+
+func wireReport(rep taskrt.Report) WireReport {
+	en := EnergyOf(rep)
+	return WireReport{
+		Scheduler:    rep.Scheduler,
+		MakespanSec:  rep.MakespanSec,
+		CPUJ:         en.CPUJ,
+		MemJ:         en.MemJ,
+		TotalJ:       en.TotalJ(),
+		Samples:      rep.Samples,
+		Tasks:        rep.Stats.TasksExecuted,
+		Steals:       rep.Stats.Steals,
+		Recruitments: rep.Stats.Recruitments,
+		FreqRequests: rep.Stats.FreqRequests,
+	}
+}
+
+// Wire-level resource bounds: the daemon may face untrusted clients,
+// so one request must not be able to allocate the process to death.
+// They bound the wire schema only — the Go Submit API trusts its
+// callers and stays unbounded.
+const (
+	maxWireRepeats  = 10_000
+	maxWireParallel = 1024
+	maxWireJobs     = 4096    // benchmarks × schedulers after expansion
+	maxWireScale    = 100     // paper-sized DAGs are scale 1
+	maxWireBodySize = 1 << 20 // decoded before validation, so bounded first
+)
+
+// buildRequest validates a wire sweep request against the session and
+// fills defaults, returning a Submit-ready request.
+func (s *Session) buildRequest(benchmarks, schedulers []string, scale float64, seed *int64,
+	repeats, parallel int, sharePlans *bool, sensorPeriod float64, sensorOff bool) (SweepRequest, error) {
+
+	var wls []workloads.Config
+	if len(benchmarks) == 0 {
+		wls = workloads.Fig8Configs()
+	} else {
+		for _, name := range benchmarks {
+			wl, avail, ok := FindWorkload(name)
+			if !ok {
+				return SweepRequest{}, fmt.Errorf("unknown benchmark %q; available: %v", name, avail)
+			}
+			wls = append(wls, wl)
+		}
+	}
+	if len(schedulers) == 0 {
+		schedulers = SchedulerNames
+	}
+	for _, sn := range schedulers {
+		if _, err := s.ParseScheduler(sn); err != nil {
+			return SweepRequest{}, err
+		}
+	}
+
+	req := SweepRequest{
+		Scale:           scale,
+		Seed:            1,
+		Repeats:         repeats,
+		Parallel:        parallel,
+		SharePlans:      sharePlans == nil || *sharePlans,
+		SensorPeriodSec: sensorPeriod,
+		SensorOff:       sensorOff,
+	}
+	if req.Scale == 0 {
+		req.Scale = workloads.DefaultScale
+	}
+	if req.Scale <= 0 {
+		return SweepRequest{}, fmt.Errorf("scale must be > 0, got %g", req.Scale)
+	}
+	if req.Scale > maxWireScale {
+		return SweepRequest{}, fmt.Errorf("scale %g exceeds the wire limit %d", req.Scale, maxWireScale)
+	}
+	if seed != nil {
+		req.Seed = *seed
+	}
+	if req.Repeats < 0 || req.Parallel < 0 || req.SensorPeriodSec < 0 {
+		return SweepRequest{}, fmt.Errorf("repeats, parallel and sensor_period_sec must be >= 0")
+	}
+	if req.Repeats > maxWireRepeats {
+		return SweepRequest{}, fmt.Errorf("repeats %d exceeds the wire limit %d", req.Repeats, maxWireRepeats)
+	}
+	if req.Parallel > maxWireParallel {
+		return SweepRequest{}, fmt.Errorf("parallel %d exceeds the wire limit %d", req.Parallel, maxWireParallel)
+	}
+	if nJobs := len(wls) * len(schedulers); nJobs > maxWireJobs {
+		return SweepRequest{}, fmt.Errorf("%d benchmarks × %d schedulers = %d cells exceeds the wire limit %d",
+			len(wls), len(schedulers), nJobs, maxWireJobs)
+	}
+	for _, wl := range wls {
+		for _, sn := range schedulers {
+			sn := sn
+			req.Jobs = append(req.Jobs, Job{Workload: wl, Label: sn,
+				Make: func() taskrt.Scheduler { return s.NewScheduler(sn) }})
+		}
+	}
+	return req, nil
+}
+
+// NewHandler exposes a Session over HTTP. The handler is safe for
+// concurrent requests — Submit serialises them on the session mutex.
+func NewHandler(s *Session) http.Handler {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	}
+	writeErr := func(w http.ResponseWriter, code int, err error) {
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+	}
+
+	mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+			return
+		}
+		var wr WireSweepRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxWireBodySize)).Decode(&wr); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		req, err := s.buildRequest(wr.Benchmarks, wr.Schedulers, wr.Scale, wr.Seed,
+			wr.Repeats, wr.Parallel, wr.SharePlans, wr.SensorPeriodSec, wr.SensorOff)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		start := time.Now()
+		res := s.Submit(req)
+		out := WireSweepResult{
+			Reports:     make(map[string]map[string]WireReport, len(res.Reports)),
+			PlanEvals:   res.PlanEvals,
+			Units:       res.Units,
+			Workers:     res.Workers,
+			PlansCached: s.Plans().Len(),
+			ElapsedSec:  time.Since(start).Seconds(),
+		}
+		if res.PlanStoreErr != nil {
+			out.PlanStoreError = res.PlanStoreErr.Error()
+		}
+		for wl, m := range res.Reports {
+			out.Reports[wl] = make(map[string]WireReport, len(m))
+			for label, rep := range m {
+				out.Reports[wl][label] = wireReport(rep)
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+			return
+		}
+		var wr WireRunRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxWireBodySize)).Decode(&wr); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		if wr.Bench == "" || wr.Sched == "" {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bench and sched are required"))
+			return
+		}
+		req, err := s.buildRequest([]string{wr.Bench}, []string{wr.Sched}, wr.Scale, wr.Seed,
+			wr.Repeats, 0, wr.SharePlans, wr.SensorPeriodSec, wr.SensorOff)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		start := time.Now()
+		res := s.Submit(req)
+		var rep taskrt.Report
+		for _, m := range res.Reports {
+			for _, r := range m {
+				rep = r
+			}
+		}
+		out := WireRunResult{
+			Report:      wireReport(rep),
+			PlanEvals:   res.PlanEvals,
+			PlansCached: s.Plans().Len(),
+			ElapsedSec:  time.Since(start).Seconds(),
+		}
+		if res.PlanStoreErr != nil {
+			out.PlanStoreError = res.PlanStoreErr.Error()
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		var names []string
+		for _, c := range workloads.Fig8Configs() {
+			names = append(names, c.Name)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"plans_cached": s.Plans().Len(),
+			"requests":     s.Requests(),
+			"schedulers":   SchedulerCatalog,
+			"benchmarks":   names,
+		})
+	})
+
+	return mux
+}

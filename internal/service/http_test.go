@@ -1,0 +1,131 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// postJSON posts v to the test server and decodes the response into
+// out, returning the status code.
+func postJSON(t *testing.T, srv *httptest.Server, path string, v, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("%s: decoding response: %v", path, err)
+	}
+	return resp.StatusCode
+}
+
+// TestDaemonEndToEnd drives the full daemon path over HTTP: a /run
+// request trains (plan searches happen), a second identical request is
+// served entirely from the resident plans (zero searches), and /sweep
+// returns per-cell reports for explicit benchmark and scheduler lists.
+// This is the satellite's end-to-end bar one layer above the Session
+// tests: everything crosses the JSON wire.
+func TestDaemonEndToEnd(t *testing.T) {
+	sess := newTestSession(t)
+	srv := httptest.NewServer(NewHandler(sess))
+	defer srv.Close()
+
+	run := WireRunRequest{Bench: "MM_256_dop4", Sched: "JOSS", Scale: 0.02}
+	var first WireRunResult
+	if code := postJSON(t, srv, "/run", run, &first); code != http.StatusOK {
+		t.Fatalf("first /run: status %d", code)
+	}
+	if first.PlanEvals == 0 {
+		t.Fatal("first /run performed no plan searches (share_plans default broken?)")
+	}
+	if first.Report.Tasks == 0 || first.Report.TotalJ <= 0 {
+		t.Fatalf("degenerate report: %+v", first.Report)
+	}
+	if first.PlansCached == 0 {
+		t.Fatal("first /run published no plans")
+	}
+
+	var second WireRunResult
+	if code := postJSON(t, srv, "/run", run, &second); code != http.StatusOK {
+		t.Fatalf("second /run: status %d", code)
+	}
+	if second.PlanEvals != 0 {
+		t.Errorf("second /run performed %d plan search evaluations, want 0", second.PlanEvals)
+	}
+
+	// Warm determinism across the wire: the third request must equal
+	// the second byte for byte (both adopt the same plans).
+	var third WireRunResult
+	postJSON(t, srv, "/run", run, &third)
+	if !reflect.DeepEqual(second.Report, third.Report) {
+		t.Errorf("plan-adopting runs differ across the wire:\nsecond: %+v\nthird: %+v",
+			second.Report, third.Report)
+	}
+
+	// A sweep over explicit lists, sampling every run (share_plans off).
+	off := false
+	sweep := WireSweepRequest{
+		Benchmarks: []string{"SLU", "VG"},
+		Schedulers: []string{"GRWS", "JOSS"},
+		Scale:      0.02,
+		Repeats:    2,
+		SharePlans: &off,
+	}
+	var sres WireSweepResult
+	if code := postJSON(t, srv, "/sweep", sweep, &sres); code != http.StatusOK {
+		t.Fatalf("/sweep: status %d", code)
+	}
+	if sres.Units != 8 {
+		t.Errorf("/sweep ran %d units, want 8", sres.Units)
+	}
+	for _, wl := range []string{"SLU", "VG"} {
+		for _, sn := range []string{"GRWS", "JOSS"} {
+			if sres.Reports[wl][sn].Tasks == 0 {
+				t.Errorf("%s/%s missing from sweep response", wl, sn)
+			}
+		}
+	}
+
+	// Validation errors are 400s with a JSON error body.
+	var errBody map[string]string
+	if code := postJSON(t, srv, "/run", WireRunRequest{Bench: "SLU", Sched: "nope"}, &errBody); code != http.StatusBadRequest {
+		t.Errorf("unknown scheduler: status %d, want 400", code)
+	}
+	if code := postJSON(t, srv, "/sweep", WireSweepRequest{Benchmarks: []string{"nope"}}, &errBody); code != http.StatusBadRequest {
+		t.Errorf("unknown benchmark: status %d, want 400", code)
+	}
+	// Resource bounds: a hostile repeats/parallel must be rejected at
+	// the wire, not allocated.
+	if code := postJSON(t, srv, "/sweep", WireSweepRequest{Repeats: 1_000_000_000}, &errBody); code != http.StatusBadRequest {
+		t.Errorf("giant repeats: status %d, want 400", code)
+	}
+	if code := postJSON(t, srv, "/sweep", WireSweepRequest{Parallel: 1 << 20}, &errBody); code != http.StatusBadRequest {
+		t.Errorf("giant parallel: status %d, want 400", code)
+	}
+
+	// Health reflects the served requests and resident plans.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		PlansCached int `json:"plans_cached"`
+		Requests    int `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.PlansCached == 0 || health.Requests < 4 {
+		t.Errorf("healthz = %+v, want cached plans and >= 4 requests", health)
+	}
+}

@@ -1,0 +1,558 @@
+// Package service is the warm-session layer between the experiment
+// drivers (package exp), the CLI daemons (cmd/jossd) and the execution
+// core: a Session is a long-lived object holding the trained models,
+// a fixed pool of workers — each owning a resident taskrt.Runtime,
+// recycled dag.Graph arenas and Reset-recycled schedulers — and the
+// shared persistent sched.PlanCache. It serves an unbounded stream of
+// sweep requests through Submit without per-invocation training:
+// the first request pays cold-start setup and plan search, every later
+// request runs at warm-path allocation counts, and requests for
+// kernels the plan store already knows perform zero plan searches.
+//
+// Every run unit a Session executes is an independent deterministic
+// simulation, so results do not depend on worker count, worker
+// assignment or unit dispatch order (with the documented exception of
+// SweepRequest.SharePlans, which trades that independence for skipped
+// sampling). That is what lets exp rebuild its figure drivers as thin
+// clients of a Session with bit-identical outputs.
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"joss/internal/dag"
+	"joss/internal/models"
+	"joss/internal/platform"
+	"joss/internal/sched"
+	"joss/internal/synth"
+	"joss/internal/taskrt"
+	"joss/internal/workloads"
+)
+
+// Config assembles a Session. Oracle and Set are required; the rest
+// default sensibly.
+type Config struct {
+	Oracle *platform.Oracle
+	Set    *models.Set
+	// ERASE is the offline categorised power table the ERASE baseline
+	// needs; sessions built without it cannot construct ERASE by name.
+	ERASE sched.ERASETable
+	// Plans is the session's resident plan cache; nil starts empty.
+	Plans *sched.PlanCache
+	// Parallel is the default worker count for requests that leave
+	// SweepRequest.Parallel at 0 (default GOMAXPROCS).
+	Parallel int
+	// PlanStorePath, when set, makes the plan cache persistent: New
+	// loads the store, Submit flushes it back (lock-and-merge, see
+	// sched.PlanCache.SaveFileMerged) every SaveEvery requests, and
+	// Close flushes a final time.
+	PlanStorePath string
+	// SaveEvery is the flush period in requests (default 1 — every
+	// request that may have trained something writes the store back).
+	SaveEvery int
+}
+
+// DefaultConfig profiles the simulated TX2 and trains the JOSS models
+// — the once-per-platform offline stage of Figure 4 — returning a
+// Config ready for New. This is what a daemon pays once at startup so
+// no request ever trains.
+func DefaultConfig() (Config, error) {
+	o := platform.DefaultOracle()
+	rows := synth.Profile(o)
+	set, err := models.Train(o, rows)
+	if err != nil {
+		return Config{}, fmt.Errorf("service: training failed: %w", err)
+	}
+	return Config{Oracle: o, Set: set, ERASE: sched.BuildERASETable(rows)}, nil
+}
+
+// Session is the warm execution service. Submit serialises requests
+// (one sweep runs at a time; its units spread over the worker pool)
+// and every resource a request warms — runtimes, graph arenas,
+// scheduler scratch, oracle memos, trained plans — stays resident for
+// the next one.
+type Session struct {
+	oracle    *platform.Oracle
+	set       *models.Set
+	erase     sched.ERASETable
+	plans     *sched.PlanCache
+	parallel  int
+	storePath string
+	saveEvery int
+
+	mu        sync.Mutex
+	workers   []*worker
+	requests  atomic.Int64
+	sinceSave int
+}
+
+// New builds a Session from a trained configuration, loading the plan
+// store when one is configured. Returns the number of plans loaded via
+// Session.Plans().Len().
+func New(cfg Config) (*Session, error) {
+	if cfg.Oracle == nil || cfg.Set == nil {
+		return nil, fmt.Errorf("service: Config needs a non-nil Oracle and Set")
+	}
+	s := &Session{
+		oracle:    cfg.Oracle,
+		set:       cfg.Set,
+		erase:     cfg.ERASE,
+		plans:     cfg.Plans,
+		parallel:  cfg.Parallel,
+		storePath: cfg.PlanStorePath,
+		saveEvery: cfg.SaveEvery,
+	}
+	if s.plans == nil {
+		s.plans = sched.NewPlanCache()
+	}
+	if s.parallel < 1 {
+		s.parallel = runtime.GOMAXPROCS(0)
+	}
+	if s.saveEvery < 1 {
+		s.saveEvery = 1
+	}
+	if s.storePath != "" {
+		if _, err := s.plans.LoadFile(s.storePath); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Plans returns the session's resident plan cache.
+func (s *Session) Plans() *sched.PlanCache { return s.plans }
+
+// Set returns the trained model set the session schedules with.
+func (s *Session) Set() *models.Set { return s.set }
+
+// Oracle returns the simulated platform oracle.
+func (s *Session) Oracle() *platform.Oracle { return s.oracle }
+
+// Parallel returns the session's default worker count.
+func (s *Session) Parallel() int { return s.parallel }
+
+// Requests returns the number of Submit calls served so far. It is
+// lock-free (atomic) so liveness probes never block behind an
+// in-flight sweep holding the session mutex.
+func (s *Session) Requests() int { return int(s.requests.Load()) }
+
+// SavePlanStore flushes the resident plan cache to the configured
+// store with lock-and-merge semantics; a session without a store path
+// is a no-op.
+func (s *Session) SavePlanStore() error {
+	if s.storePath == "" {
+		return nil
+	}
+	return s.plans.SaveFileMerged(s.storePath)
+}
+
+// Close flushes the plan store a final time. The session stays usable
+// (Close is a flush point, not a teardown — workers hold no external
+// resources).
+func (s *Session) Close() error { return s.SavePlanStore() }
+
+// Job is one (workload, scheduler-constructor) cell of a sweep. Make
+// must build a fresh scheduler each call; within one request — and
+// across requests on one session — a Label must always denote the same
+// constructor, because workers recycle cached schedulers per label.
+type Job struct {
+	Workload workloads.Config
+	Label    string
+	Make     func() taskrt.Scheduler
+}
+
+// SweepRequest is one unit of service: a set of cells, each run
+// Repeats times with consecutive seeds and merged to its arithmetic
+// mean (§6.1).
+type SweepRequest struct {
+	Jobs []Job
+	// Scale multiplies workload task counts (1 = paper-sized DAGs).
+	Scale float64
+	// Seed feeds repeat r of every cell with Seed+r.
+	Seed int64
+	// Repeats per cell (0 defaults to 1; negative panics).
+	Repeats int
+	// Parallel bounds the worker count for this request (0 defaults to
+	// the session's; negative panics).
+	Parallel int
+	// SharePlans lets model-driven schedulers adopt and publish plans
+	// through the plan cache: a kernel trained once — by an earlier
+	// repeat, a sibling cell, a previous request, or another process
+	// sharing the store — skips the §5.1 sampling phase. Off, every
+	// run samples afresh and results are bit-reproducible regardless
+	// of request history.
+	SharePlans bool
+	// SensorPeriodSec overrides the simulated INA3221's 5 ms sampling
+	// period (0 = paper default); SensorOff removes the sensor.
+	SensorPeriodSec float64
+	SensorOff       bool
+	// Plans overrides the session's resident plan cache for this
+	// request (nil = the resident cache). The exp.Env thin client uses
+	// this so its exported Plans field keeps working.
+	Plans *sched.PlanCache
+}
+
+// SweepResult carries a request's reports plus the service-level
+// telemetry the warm-path guarantees are asserted on.
+type SweepResult struct {
+	// Reports is keyed by workload name then job label.
+	Reports map[string]map[string]taskrt.Report
+	// PlanEvals is the total number of §5.2 configuration-search
+	// evaluations model-driven schedulers performed across all run
+	// units. Zero means zero plan searches — every kernel either
+	// adopted a cached plan or is not model-scheduled.
+	PlanEvals int
+	// Units is the number of ⟨cell, repeat⟩ run units executed.
+	Units int
+	// Workers is the number of pool workers the request used.
+	Workers int
+	// PlanStoreErr records a failed periodic plan-store flush (the
+	// sweep itself succeeded; callers decide whether that is fatal).
+	PlanStoreErr error
+}
+
+// worker is the long-lived execution environment one pool slot owns: a
+// Runtime whose engine, machine, pools and oracle memo are recycled
+// with Reset between runs, a graph whose task/edge arenas are recycled
+// with BuildReuse between cells, and a per-label cache of recyclable
+// schedulers (ModelSched.Reset / sched.RunResetter) — all lazily built
+// on the worker's first unit and retained across requests.
+type worker struct {
+	rt      *taskrt.Runtime
+	g       *dag.Graph
+	lastJob int
+	scheds  map[string]taskrt.Scheduler
+	evals   int
+}
+
+// runOptions builds the runtime options every service-driven run uses.
+func runOptions(req *SweepRequest, seed int64) taskrt.Options {
+	opt := taskrt.DefaultOptions()
+	opt.Seed = seed
+	opt.SensorPeriodSec = req.SensorPeriodSec
+	opt.SensorOff = req.SensorOff
+	return opt
+}
+
+// schedulerFor returns the unit's scheduler, recycling cached ones.
+// ModelScheds are rewound with Reset(set) (and re-attached to the plan
+// cache when sharing is on); ERASE/CATA-style schedulers are rewound
+// through the unified RunResetter contract. Schedulers with neither
+// reset shape carry run state with no recycling contract and are
+// constructed fresh per unit.
+func (s *Session) schedulerFor(w *worker, j Job, req *SweepRequest, plans *sched.PlanCache) taskrt.Scheduler {
+	if cached, ok := w.scheds[j.Label]; ok {
+		switch cs := cached.(type) {
+		case *sched.ModelSched:
+			cs.Reset(s.set)
+			if req.SharePlans {
+				cs.SetPlanCache(plans, req.Scale)
+			}
+		case sched.RunResetter:
+			cs.ResetRun()
+		}
+		return cached
+	}
+	sc := j.Make()
+	cacheable := false
+	switch cs := sc.(type) {
+	case *sched.ModelSched:
+		cacheable = true
+		if req.SharePlans {
+			cs.SetPlanCache(plans, req.Scale)
+		}
+	case sched.RunResetter:
+		cacheable = true
+	}
+	if cacheable {
+		if w.scheds == nil {
+			w.scheds = make(map[string]taskrt.Scheduler)
+		}
+		w.scheds[j.Label] = sc
+	}
+	return sc
+}
+
+// runUnit executes one run unit — a single seeded repeat of one cell —
+// on the worker's recycled environment. The workload is rebuilt into
+// the worker's arenas only when the unit belongs to a different cell
+// than the worker's previous one (Runtime.Run rewinds predecessor
+// counters itself, so same-cell units re-run the built DAG).
+func (s *Session) runUnit(w *worker, req *SweepRequest, plans *sched.PlanCache, job, repeat int) taskrt.Report {
+	j := req.Jobs[job]
+	if w.g == nil || w.lastJob != job {
+		w.g = j.Workload.BuildReuse(w.g, req.Scale)
+		w.lastJob = job
+	}
+	sc := s.schedulerFor(w, j, req, plans)
+	seed := req.Seed + int64(repeat)
+	if w.rt == nil {
+		w.rt = taskrt.New(s.oracle, sc, runOptions(req, seed))
+	} else {
+		w.rt.Sched = sc
+		w.rt.Opt = runOptions(req, seed)
+		w.rt.Reset(w.g)
+	}
+	rep := w.rt.Run(w.g)
+	if ms, ok := sc.(*sched.ModelSched); ok {
+		w.evals += ms.TotalEvals
+	}
+	return rep
+}
+
+// unitOrder returns the dispatch order of the request's run units:
+// largest cells first (DAG task count, so one large cell's repeats
+// spread over workers early instead of forming the straggler tail at
+// high Parallel), original unit index as the tie-break — which keeps a
+// cell's repeats adjacent and in repeat order. Cell costs come from a
+// single scratch build per distinct workload name, recycled through
+// one arena. Ordering never changes results (units are independent
+// deterministic simulations merged by original index), only wall
+// clock.
+func unitOrder(req *SweepRequest, nUnits int) []int {
+	order := make([]int, nUnits)
+	for i := range order {
+		order[i] = i
+	}
+	cost := make([]int, len(req.Jobs))
+	byName := make(map[string]int, len(req.Jobs))
+	var scratch *dag.Graph
+	for i, j := range req.Jobs {
+		if c, ok := byName[j.Workload.Name]; ok {
+			cost[i] = c
+			continue
+		}
+		scratch = j.Workload.BuildReuse(scratch, req.Scale)
+		cost[i] = scratch.NumTasks()
+		byName[j.Workload.Name] = cost[i]
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := cost[order[a]/req.Repeats], cost[order[b]/req.Repeats]
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// Submit executes one sweep request on the session's worker pool and
+// returns the per-cell mean reports. Requests are serialised; units of
+// one request run concurrently on up to Parallel workers. Cells merge
+// their repeats in repeat order (taskrt.MeanReport), so per-cell
+// reports are bit-identical to running every repeat on a fresh runtime
+// in one place — the property exp's equivalence tests pin down.
+func (s *Session) Submit(req SweepRequest) SweepResult {
+	res, plans, flush := s.submitLocked(req)
+	if flush {
+		// The store flush happens outside the session mutex: the cache
+		// is internally synchronized and SaveFileMerged may wait up to
+		// 10 s on a contended .lock, which must not stall the next
+		// queued request.
+		res.PlanStoreErr = plans.SaveFileMerged(s.storePath)
+	}
+	return res
+}
+
+// submitLocked runs the request under the session mutex and decides
+// whether the plan store needs flushing (due by SaveEvery and the
+// cache actually gained plans).
+func (s *Session) submitLocked(req SweepRequest) (SweepResult, *sched.PlanCache, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if req.Repeats == 0 {
+		req.Repeats = 1
+	}
+	if req.Repeats < 0 {
+		panic(fmt.Sprintf("service: SweepRequest.Repeats must be >= 1, got %d", req.Repeats))
+	}
+	if req.Parallel == 0 {
+		req.Parallel = s.parallel
+	}
+	if req.Parallel < 0 {
+		panic(fmt.Sprintf("service: SweepRequest.Parallel must be >= 1, got %d", req.Parallel))
+	}
+	plans := req.Plans
+	if plans == nil {
+		plans = s.plans
+	}
+	plansBefore := plans.Len()
+
+	res := SweepResult{Reports: make(map[string]map[string]taskrt.Report)}
+	nUnits := len(req.Jobs) * req.Repeats
+	res.Units = nUnits
+	if nUnits > 0 {
+		unitReports := make([]taskrt.Report, nUnits)
+		workers := min(req.Parallel, nUnits)
+		res.Workers = workers
+		for len(s.workers) < workers {
+			s.workers = append(s.workers, &worker{lastJob: -1})
+		}
+		ws := s.workers[:workers]
+		for _, w := range ws {
+			// Job indices are request-scoped, so the first unit of a
+			// request always rebuilds into the worker's warm arenas.
+			w.lastJob = -1
+			w.evals = 0
+		}
+
+		var order []int
+		if workers > 1 && nUnits > workers {
+			order = unitOrder(&req, nUnits)
+		} else {
+			order = make([]int, nUnits)
+			for i := range order {
+				order[i] = i
+			}
+		}
+
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for _, w := range ws {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				for idx := range next {
+					job, repeat := idx/req.Repeats, idx%req.Repeats
+					unitReports[idx] = s.runUnit(w, &req, plans, job, repeat)
+				}
+			}(w)
+		}
+		for _, idx := range order {
+			next <- idx
+		}
+		close(next)
+		wg.Wait()
+
+		for idx, j := range req.Jobs {
+			if res.Reports[j.Workload.Name] == nil {
+				res.Reports[j.Workload.Name] = make(map[string]taskrt.Report)
+			}
+			res.Reports[j.Workload.Name][j.Label] =
+				taskrt.MeanReport(unitReports[idx*req.Repeats : (idx+1)*req.Repeats])
+		}
+		for _, w := range ws {
+			res.PlanEvals += w.evals
+		}
+	}
+
+	s.requests.Add(1)
+	s.sinceSave++
+	// Flush the cache this request actually trained into — plans is
+	// s.plans unless the request overrode it — and only when it gained
+	// something: a fully-warm request has nothing new to persist, and
+	// rewriting the store per request would serialise the fleet on its
+	// lock for no benefit.
+	flush := s.storePath != "" && s.sinceSave >= s.saveEvery && plans.Len() != plansBefore
+	if flush {
+		s.sinceSave = 0
+	}
+	return res, plans, flush
+}
+
+// EnergyOf returns a report's sensor-sampled energy, falling back to
+// the exact integral for runs too short to collect 5 ms samples (or
+// run with the sensor off).
+func EnergyOf(rep taskrt.Report) platform.Energy {
+	if rep.Samples == 0 {
+		return rep.Exact
+	}
+	return rep.Sensor
+}
+
+// NewScheduler builds a fresh scheduler by name, panicking on unknown
+// names (the exp-facing contract). Use ParseScheduler for a
+// error-returning variant suitable for request validation.
+func (s *Session) NewScheduler(name string) taskrt.Scheduler {
+	sc, err := s.ParseScheduler(name)
+	if err != nil {
+		panic("service: " + err.Error())
+	}
+	return sc
+}
+
+// ParseScheduler resolves a scheduler name into a fresh instance: the
+// paper's six (GRWS, ERASE, Aequitas, STEER, JOSS, JOSS_NoMemDVFS),
+// the related-work extensions (HERMES, OnDemand, MemScale, CoScale,
+// CATA), the trade-off variants JOSS+MAXP and JOSS+EDP, and
+// performance-constrained JOSS spelled "JOSS+<speedup>X" (e.g.
+// JOSS+1.4X). Schedulers are stateful and single-run; services
+// construct one per run unit (or recycle via the reset contracts).
+func (s *Session) ParseScheduler(name string) (taskrt.Scheduler, error) {
+	switch name {
+	case "GRWS":
+		return sched.NewGRWS(), nil
+	case "ERASE":
+		if s.erase == nil {
+			return nil, fmt.Errorf("session has no ERASE power table")
+		}
+		return sched.NewERASE(s.erase, func(tc platform.CoreType) float64 {
+			return s.set.IdleCPUW[tc][platform.MaxFC]
+		}), nil
+	case "Aequitas":
+		return sched.NewAequitas(), nil
+	case "STEER":
+		return sched.NewSTEER(s.set), nil
+	case "JOSS":
+		return sched.NewJOSS(s.set), nil
+	case "JOSS_NoMemDVFS":
+		return sched.NewJOSSNoMemDVFS(s.set), nil
+	case "JOSS+MAXP":
+		return sched.NewJOSSMaxP(s.set), nil
+	case "JOSS+EDP":
+		return sched.NewJOSSEDP(s.set), nil
+	case "HERMES":
+		return sched.NewHERMES(), nil
+	case "OnDemand":
+		return sched.NewOnDemand(), nil
+	case "MemScale":
+		return sched.NewMemScale(), nil
+	case "CoScale":
+		return sched.NewCoScale(), nil
+	case "CATA":
+		return sched.NewCATA(), nil
+	}
+	if v, ok := strings.CutPrefix(name, "JOSS+"); ok {
+		if v, ok := strings.CutSuffix(v, "X"); ok {
+			if f, err := strconv.ParseFloat(v, 64); err == nil && f > 1 {
+				return sched.NewJOSSConstrained(s.set, f), nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("unknown scheduler %q", name)
+}
+
+// SchedulerNames lists the Figure 8 schedulers in the paper's order.
+var SchedulerNames = []string{"GRWS", "ERASE", "Aequitas", "STEER", "JOSS", "JOSS_NoMemDVFS"}
+
+// SchedulerCatalog lists every name ParseScheduler accepts (the
+// placeholder spells the constrained-JOSS pattern), in the order the
+// switch resolves them — the single source /healthz advertises.
+var SchedulerCatalog = []string{
+	"GRWS", "ERASE", "Aequitas", "STEER", "JOSS", "JOSS_NoMemDVFS",
+	"JOSS+MAXP", "JOSS+EDP", "HERMES", "OnDemand", "MemScale",
+	"CoScale", "CATA", "JOSS+<speedup>X",
+}
+
+// FindWorkload resolves a Figure 8 benchmark configuration by name
+// (case-insensitive), returning the available names for error
+// messages.
+func FindWorkload(name string) (workloads.Config, []string, bool) {
+	var names []string
+	var found workloads.Config
+	ok := false
+	for _, c := range workloads.Fig8Configs() {
+		names = append(names, c.Name)
+		if strings.EqualFold(c.Name, name) {
+			found, ok = c, true
+		}
+	}
+	return found, names, ok
+}

@@ -1,0 +1,303 @@
+package service
+
+import (
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"joss/internal/taskrt"
+)
+
+var (
+	cfgOnce sync.Once
+	cfgG    Config
+)
+
+// testConfig trains one small shared configuration (the once-per-
+// platform offline stage) for every service test.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	cfgOnce.Do(func() {
+		cfg, err := DefaultConfig()
+		if err != nil {
+			panic(err)
+		}
+		cfgG = cfg
+	})
+	return cfgG
+}
+
+func newTestSession(t *testing.T) *Session {
+	t.Helper()
+	s, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// jobsFor builds one job per scheduler name over the named benchmarks.
+func jobsFor(s *Session, benchNames, schedNames []string) []Job {
+	var jobs []Job
+	for _, bn := range benchNames {
+		wl, _, ok := FindWorkload(bn)
+		if !ok {
+			panic("unknown benchmark " + bn)
+		}
+		for _, sn := range schedNames {
+			sn := sn
+			jobs = append(jobs, Job{Workload: wl, Label: sn,
+				Make: func() taskrt.Scheduler { return s.NewScheduler(sn) }})
+		}
+	}
+	return jobs
+}
+
+// TestSessionWarmRequestsIdentical is the resident-state correctness
+// bar: without plan sharing, an unbounded stream of identical requests
+// must produce byte-identical reports — the session's recycled
+// runtimes, graph arenas and schedulers leak nothing between requests.
+func TestSessionWarmRequestsIdentical(t *testing.T) {
+	s := newTestSession(t)
+	req := func() SweepRequest {
+		return SweepRequest{
+			Jobs:     jobsFor(s, []string{"SLU", "MM_256_dop4"}, []string{"GRWS", "ERASE", "JOSS"}),
+			Scale:    0.02,
+			Seed:     1,
+			Repeats:  2,
+			Parallel: 3,
+		}
+	}
+	first := s.Submit(req())
+	if first.Units != 12 {
+		t.Fatalf("first request ran %d units, want 12", first.Units)
+	}
+	if first.PlanEvals == 0 {
+		t.Fatal("cold request performed no plan searches (JOSS never selected?)")
+	}
+	for i := 0; i < 3; i++ {
+		again := s.Submit(req())
+		if !reflect.DeepEqual(first.Reports, again.Reports) {
+			t.Fatalf("warm request %d differs from the first:\nfirst: %+v\nagain: %+v",
+				i+2, first.Reports, again.Reports)
+		}
+		if again.PlanEvals != first.PlanEvals {
+			t.Errorf("warm request %d performed %d evals, first %d (state leaked into search)",
+				i+2, again.PlanEvals, first.PlanEvals)
+		}
+	}
+}
+
+// TestSessionSecondRequestZeroPlanSearches is the daemon-path aha
+// moment, end to end at the Session layer: with plan sharing on, the
+// first request trains and publishes plans; a second identical request
+// for the now-trained kernels performs zero plan searches, and — being
+// fully warm — repeats byte-identically forever after.
+func TestSessionSecondRequestZeroPlanSearches(t *testing.T) {
+	s := newTestSession(t)
+	req := func() SweepRequest {
+		return SweepRequest{
+			Jobs:       jobsFor(s, []string{"MM_256_dop4"}, []string{"JOSS", "JOSS_NoMemDVFS"}),
+			Scale:      0.02,
+			Seed:       1,
+			Parallel:   2,
+			SharePlans: true,
+		}
+	}
+	first := s.Submit(req())
+	if first.PlanEvals == 0 {
+		t.Fatal("training request performed no plan searches")
+	}
+	if s.Plans().Len() == 0 {
+		t.Fatal("training request published no plans")
+	}
+
+	second := s.Submit(req())
+	if second.PlanEvals != 0 {
+		t.Errorf("second request performed %d plan search evaluations, want 0", second.PlanEvals)
+	}
+	for wl, m := range second.Reports {
+		for label, rep := range m {
+			if rep.Stats.TasksExecuted == 0 {
+				t.Errorf("%s/%s: plan-adopting run lost tasks", wl, label)
+			}
+		}
+	}
+
+	third := s.Submit(req())
+	if third.PlanEvals != 0 {
+		t.Errorf("third request performed %d evaluations, want 0", third.PlanEvals)
+	}
+	if !reflect.DeepEqual(second.Reports, third.Reports) {
+		t.Errorf("plan-adopting requests are not byte-identical:\nsecond: %+v\nthird: %+v",
+			second.Reports, third.Reports)
+	}
+}
+
+// TestSessionCostOrderIndependence asserts cost-aware unit dispatch is
+// an observer: mixed large and small cells with repeats, executed at
+// Parallel 1 (index order, no reordering) and Parallel 3 (largest
+// first across workers), produce byte-identical per-cell reports.
+func TestSessionCostOrderIndependence(t *testing.T) {
+	s := newTestSession(t)
+	req := func(parallel int) SweepRequest {
+		return SweepRequest{
+			// HT_Small builds a much larger DAG than SLU or DP at equal
+			// scale, so cost ordering genuinely reshuffles the units.
+			Jobs:     jobsFor(s, []string{"SLU", "HT_Small", "DP"}, []string{"GRWS", "JOSS"}),
+			Scale:    0.02,
+			Seed:     7,
+			Repeats:  2,
+			Parallel: parallel,
+		}
+	}
+	serial := s.Submit(req(1))
+	pooled := s.Submit(req(3))
+	if !reflect.DeepEqual(serial.Reports, pooled.Reports) {
+		t.Errorf("cost-ordered pool changed sweep results:\nserial: %+v\npooled: %+v",
+			serial.Reports, pooled.Reports)
+	}
+}
+
+// TestUnitOrderLargestFirst pins the dispatch order itself: units are
+// dealt largest-cell-first, with a cell's repeats adjacent and in
+// repeat order.
+func TestUnitOrderLargestFirst(t *testing.T) {
+	s := newTestSession(t)
+	req := SweepRequest{
+		Jobs:    jobsFor(s, []string{"SLU", "HT_Small"}, []string{"GRWS"}),
+		Scale:   0.02,
+		Repeats: 2,
+	}
+	order := unitOrder(&req, len(req.Jobs)*req.Repeats)
+	// Job 1 (HT_Small) is the larger cell: its units (2, 3) must lead,
+	// in repeat order, followed by SLU's (0, 1).
+	want := []int{2, 3, 0, 1}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("unit order = %v, want %v", order, want)
+	}
+}
+
+// TestSessionPlanStoreLifecycle exercises the persistence ownership
+// that moved into the service: a session configured with a store path
+// loads it at New, flushes after requests, and a second session over
+// the same store performs zero plan searches for the first session's
+// kernels.
+func TestSessionPlanStoreLifecycle(t *testing.T) {
+	cfg := testConfig(t)
+	path := filepath.Join(t.TempDir(), "plans.json")
+
+	cfg.PlanStorePath = path
+	first, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := SweepRequest{
+		Jobs:       jobsFor(first, []string{"MM_256_dop4"}, []string{"JOSS"}),
+		Scale:      0.02,
+		SharePlans: true,
+	}
+	res := first.Submit(req)
+	if res.PlanStoreErr != nil {
+		t.Fatal(res.PlanStoreErr)
+	}
+	if res.PlanEvals == 0 {
+		t.Fatal("training request performed no plan searches")
+	}
+	trained := first.Plans().Len()
+	if trained == 0 {
+		t.Fatal("no plans flushed")
+	}
+
+	// A separate "process": fresh session, same store.
+	second, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Plans().Len() != trained {
+		t.Fatalf("second session loaded %d plans, want %d", second.Plans().Len(), trained)
+	}
+	req2 := SweepRequest{
+		Jobs:       jobsFor(second, []string{"MM_256_dop4"}, []string{"JOSS"}),
+		Scale:      0.02,
+		SharePlans: true,
+	}
+	res2 := second.Submit(req2)
+	if res2.PlanStoreErr != nil {
+		t.Fatal(res2.PlanStoreErr)
+	}
+	if res2.PlanEvals != 0 {
+		t.Errorf("second process performed %d plan search evaluations, want 0", res2.PlanEvals)
+	}
+}
+
+// TestSessionParallelGrowth asserts the pool grows and shrinks with
+// request demands without disturbing results.
+func TestSessionParallelGrowth(t *testing.T) {
+	s := newTestSession(t)
+	req := func(parallel int) SweepRequest {
+		return SweepRequest{
+			Jobs:     jobsFor(s, []string{"SLU"}, []string{"GRWS", "JOSS"}),
+			Scale:    0.02,
+			Repeats:  2,
+			Parallel: parallel,
+		}
+	}
+	small := s.Submit(req(1))
+	grown := s.Submit(req(4))
+	back := s.Submit(req(2))
+	if !reflect.DeepEqual(small.Reports, grown.Reports) || !reflect.DeepEqual(small.Reports, back.Reports) {
+		t.Error("changing Parallel across requests changed results")
+	}
+	if grown.Workers != 4 || back.Workers != 2 {
+		t.Errorf("workers = %d then %d, want 4 then 2", grown.Workers, back.Workers)
+	}
+}
+
+// TestSessionRejectsInvalidRequests asserts negative knobs panic (the
+// exp contract) and empty requests are a harmless no-op.
+func TestSessionRejectsInvalidRequests(t *testing.T) {
+	s := newTestSession(t)
+	for _, tc := range []struct{ parallel, repeats int }{{-1, 1}, {1, -3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Submit accepted Parallel=%d Repeats=%d", tc.parallel, tc.repeats)
+				}
+			}()
+			s.Submit(SweepRequest{
+				Jobs:     jobsFor(s, []string{"SLU"}, []string{"GRWS"}),
+				Scale:    0.02,
+				Parallel: tc.parallel, Repeats: tc.repeats,
+			})
+		}()
+	}
+	empty := s.Submit(SweepRequest{Scale: 0.02})
+	if empty.Units != 0 || len(empty.Reports) != 0 {
+		t.Errorf("empty request ran %d units", empty.Units)
+	}
+}
+
+// TestParseScheduler covers name resolution including the constrained
+// spelling.
+func TestParseScheduler(t *testing.T) {
+	s := newTestSession(t)
+	for _, name := range []string{"GRWS", "ERASE", "Aequitas", "STEER", "JOSS",
+		"JOSS_NoMemDVFS", "JOSS+MAXP", "JOSS+EDP", "JOSS+1.4X", "HERMES",
+		"OnDemand", "MemScale", "CoScale", "CATA"} {
+		sc, err := s.ParseScheduler(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if name == "JOSS+1.4X" && sc.Name() != "JOSS+1.4X" {
+			t.Errorf("constrained spelling produced %q", sc.Name())
+		}
+	}
+	for _, name := range []string{"", "joss", "JOSS+0.5X", "JOSS+X", "nope"} {
+		if _, err := s.ParseScheduler(name); err == nil {
+			t.Errorf("ParseScheduler(%q) accepted", name)
+		}
+	}
+}
