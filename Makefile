@@ -4,7 +4,7 @@ GO ?= go
 
 # PERF_BASELINE is the committed BENCH_*.json the perf gate compares
 # against; update it when a PR intentionally moves the baseline.
-PERF_BASELINE ?= BENCH_20260726T211221.json
+PERF_BASELINE ?= BENCH_20260726T224437.json
 
 .PHONY: tier1 vet build test bench bench-json perfgate clean
 

@@ -10,6 +10,7 @@ import (
 
 	"joss/internal/exp"
 	"joss/internal/sched"
+	"joss/internal/service"
 	"joss/internal/taskrt"
 	"joss/internal/workloads"
 )
@@ -169,6 +170,42 @@ func runBench(outPath string, reuse bool) error {
 				"tasks_per_s": float64(totalTasks) / elapsed.Seconds(),
 			}
 		}, warm("JOSS"))
+
+		// The service path end to end on a warm session: request
+		// admission, cost-aware fair-share dispatch, pool execution and
+		// per-cell merge. Tracking this row (tasks/s plus the *Warm
+		// alloc gates) keeps the dispatcher's per-request overhead from
+		// creeping on top of the runtime numbers above.
+		sess := e.Session()
+		const sweepRepeats = 2
+		sweepReq := func() service.SweepRequest {
+			return service.SweepRequest{
+				Jobs: []service.Job{{Workload: slu, Label: "GRWS",
+					Make: func() taskrt.Scheduler { return sess.NewScheduler("GRWS") }}},
+				Scale:    0.05,
+				Seed:     1,
+				Repeats:  sweepRepeats,
+				Parallel: 2,
+			}
+		}
+		sess.Submit(sweepReq()) // warm the pool, arenas and schedulers
+		add("SessionSweepWarm", func(testing.BenchmarkResult) map[string]float64 {
+			return map[string]float64{
+				"tasks_per_s": float64(totalTasks) / elapsed.Seconds(),
+			}
+		}, func(b *testing.B) {
+			totalTasks = 0
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res := sess.Submit(sweepReq())
+				for _, m := range res.Reports {
+					for _, rep := range m {
+						totalTasks += rep.Stats.TasksExecuted * sweepRepeats
+					}
+				}
+			}
+			elapsed = time.Since(start)
+		})
 
 		// The Figure 8 sweep with every reuse lever on: worker-pool
 		// runtimes plus the cross-sweep plan cache. Same trained

@@ -6,20 +6,33 @@
 // plan cache. No request ever trains; with -planstore, a request for
 // kernels any previous process trained performs zero plan searches.
 //
+// Requests execute concurrently: each admitted request becomes a job
+// on the session's fair-share dispatcher, whose run units interleave
+// over one worker pool — a small probe posted behind a long sweep
+// returns without waiting for it.
+//
 // Usage:
 //
 //	jossd [-listen ADDR] [-socket PATH] [-parallel N]
-//	      [-planstore FILE] [-saveevery N]
+//	      [-planstore FILE] [-saveevery N] [-retainjobs N]
 //
 // Endpoints (see internal/service/http.go for the schema):
 //
-//	POST /sweep   run a benchmark × scheduler sweep
-//	POST /run     run one benchmark under one scheduler
-//	GET  /healthz liveness, resident plan count, request count
+//	POST   /sweep           run a benchmark × scheduler sweep
+//	POST   /sweep?stream=1  same, streaming per-cell NDJSON frames
+//	POST   /run             run one benchmark under one scheduler
+//	POST   /jobs            enqueue a sweep as a fire-and-forget job
+//	GET    /jobs            list jobs
+//	GET    /jobs/{id}       poll per-cell progress; result once done
+//	DELETE /jobs/{id}       cancel (cooperative) or evict when done
+//	GET    /healthz         liveness, plan/request/job counts
 //
-// Clients: `jossrun -connect http://host:port ...` or plain curl:
+// Clients: `jossrun -connect http://host:port [-async|-watch ID] ...`
+// or plain curl:
 //
 //	curl -s localhost:7767/run -d '{"bench":"SLU","sched":"JOSS"}'
+//	curl -s localhost:7767/jobs -d '{"benchmarks":["SLU"],"repeats":10}'
+//	curl -s localhost:7767/jobs/j1
 package main
 
 import (
@@ -43,13 +56,14 @@ func main() {
 	planStore := flag.String("planstore", "",
 		"persistent plan store shared with other jossd/jossbench/jossrun processes: loaded at startup, flushed lock-and-merge after requests")
 	saveEvery := flag.Int("saveevery", 1, "flush the plan store every N requests")
+	retainJobs := flag.Int("retainjobs", 0, "finished jobs kept for /jobs/{id} polling (0 = default 256)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: jossd [-listen ADDR] [-socket PATH] [-parallel N] [-planstore FILE] [-saveevery N]")
+		fmt.Fprintln(os.Stderr, "usage: jossd [-listen ADDR] [-socket PATH] [-parallel N] [-planstore FILE] [-saveevery N] [-retainjobs N]")
 		os.Exit(2)
 	}
-	if *parallel < 0 || *saveEvery < 1 {
-		fmt.Fprintln(os.Stderr, "jossd: -parallel must be >= 0 and -saveevery >= 1")
+	if *parallel < 0 || *saveEvery < 1 || *retainJobs < 0 {
+		fmt.Fprintln(os.Stderr, "jossd: -parallel must be >= 0, -saveevery >= 1 and -retainjobs >= 0")
 		os.Exit(2)
 	}
 
@@ -63,6 +77,7 @@ func main() {
 	cfg.Parallel = *parallel
 	cfg.PlanStorePath = *planStore
 	cfg.SaveEvery = *saveEvery
+	cfg.RetainJobs = *retainJobs
 	sess, err := service.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jossd:", err)

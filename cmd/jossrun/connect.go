@@ -32,20 +32,138 @@ func daemonClient(target string) (*http.Client, string, error) {
 	return http.DefaultClient, strings.TrimSuffix(target, "/"), nil
 }
 
+// constrainedName spells the scheduler the way the service parses it:
+// -speedup S becomes "JOSS+<S>X".
+func constrainedName(schedName string, speedup float64) string {
+	if speedup > 1 {
+		return fmt.Sprintf("JOSS+%gX", speedup)
+	}
+	return schedName
+}
+
+// printReport renders one served cell report.
+func printReport(r service.WireReport) {
+	fmt.Printf("\nscheduler       %s\n", r.Scheduler)
+	fmt.Printf("makespan        %.4f s\n", r.MakespanSec)
+	fmt.Printf("CPU energy      %.4f J\n", r.CPUJ)
+	fmt.Printf("memory energy   %.4f J\n", r.MemJ)
+	fmt.Printf("total energy    %.4f J  (avg %.3f W)\n", r.TotalJ, r.TotalJ/r.MakespanSec)
+	fmt.Printf("tasks executed  %d (steals %d, recruitments %d)\n", r.Tasks, r.Steals, r.Recruitments)
+	fmt.Printf("DVFS            %d requests\n", r.FreqRequests)
+}
+
+// decodeOrError decodes a 200 response into out, or surfaces the
+// daemon's JSON error body.
+func decodeOrError(resp *http.Response, okCode int, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != okCode {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return fmt.Errorf("daemon rejected the request: %s", e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decoding daemon response: %w", err)
+	}
+	return nil
+}
+
+// asyncRemote enqueues one run as a fire-and-forget job on the daemon
+// (POST /jobs) and prints the job id — the handle for `jossrun
+// -connect ... -watch ID` or plain curl polling.
+func asyncRemote(target, bench, schedName string, speedup, scale float64, seed int64, repeats int) error {
+	client, base, err := daemonClient(target)
+	if err != nil {
+		return err
+	}
+	reqBody, err := json.Marshal(service.WireSweepRequest{
+		Benchmarks: []string{bench},
+		Schedulers: []string{constrainedName(schedName, speedup)},
+		Scale:      scale,
+		Seed:       &seed,
+		Repeats:    repeats,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return fmt.Errorf("reaching daemon: %w (is jossd running?)", err)
+	}
+	var created service.WireJobCreated
+	if err := decodeOrError(resp, http.StatusAccepted, &created); err != nil {
+		return err
+	}
+	fmt.Printf("job %s enqueued (%d units over %d workers)\n", created.JobID, created.Units, created.Workers)
+	fmt.Printf("watch it:  jossrun -connect %s -watch %s\n", target, created.JobID)
+	fmt.Printf("or poll:   GET %s\n", created.Poll)
+	fmt.Println(created.JobID)
+	return nil
+}
+
+// watchRemote polls a daemon job (GET /jobs/{id}) until it completes,
+// printing progress as it changes, then renders the result.
+func watchRemote(target, jobID string) error {
+	client, base, err := daemonClient(target)
+	if err != nil {
+		return err
+	}
+	lastLine := ""
+	for {
+		resp, err := client.Get(base + "/jobs/" + jobID)
+		if err != nil {
+			return fmt.Errorf("reaching daemon: %w (is jossd running?)", err)
+		}
+		var st service.WireJobStatus
+		if err := decodeOrError(resp, http.StatusOK, &st); err != nil {
+			return err
+		}
+		cellsDone := 0
+		for _, c := range st.Cells {
+			if c.Done {
+				cellsDone++
+			}
+		}
+		line := fmt.Sprintf("job %s: %s, units %d/%d (cells %d/%d, %.1fs)",
+			st.JobID, st.State, st.UnitsDone, st.UnitsTotal, cellsDone, len(st.Cells), st.ElapsedSec)
+		if line != lastLine {
+			fmt.Println(line)
+			lastLine = line
+		}
+		if st.Result != nil {
+			res := st.Result
+			if res.Cancelled {
+				fmt.Printf("job was cancelled after %d of %d units; partial result:\n",
+					res.UnitsDone, res.Units)
+			}
+			for bench, m := range res.Reports {
+				for _, rep := range m {
+					fmt.Printf("\n%s:", bench)
+					printReport(rep)
+				}
+			}
+			fmt.Printf("\nplan searches   %d evaluations this job (0 = served from resident plans)\n", res.PlanEvals)
+			fmt.Printf("daemon plans    %d cached, simulated in %.3f s\n", res.PlansCached, res.ElapsedSec)
+			return nil
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+}
+
 // runRemote posts one run request to a jossd daemon and prints the
-// served report. The scheduler is spelled the way the service parses
-// it: -speedup S becomes "JOSS+<S>X".
+// served report.
 func runRemote(target, bench, schedName string, speedup, scale float64, seed int64, repeats int) error {
 	client, base, err := daemonClient(target)
 	if err != nil {
 		return err
 	}
-	if speedup > 1 {
-		schedName = fmt.Sprintf("JOSS+%gX", speedup)
-	}
 	reqBody, err := json.Marshal(service.WireRunRequest{
 		Bench:   bench,
-		Sched:   schedName,
+		Sched:   constrainedName(schedName, speedup),
 		Scale:   scale,
 		Seed:    &seed, // pointer on the wire so seed 0 survives the trip
 		Repeats: repeats,
@@ -59,32 +177,14 @@ func runRemote(target, bench, schedName string, speedup, scale float64, seed int
 	if err != nil {
 		return fmt.Errorf("reaching daemon: %w (is jossd running?)", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		json.NewDecoder(resp.Body).Decode(&e)
-		if e.Error == "" {
-			e.Error = resp.Status
-		}
-		return fmt.Errorf("daemon rejected the request: %s", e.Error)
-	}
 	var res service.WireRunResult
-	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
-		return fmt.Errorf("decoding daemon response: %w", err)
+	if err := decodeOrError(resp, http.StatusOK, &res); err != nil {
+		return err
 	}
 
-	r := res.Report
 	fmt.Printf("served by %s in %v (simulated on the daemon's warm session)\n",
 		target, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("\nscheduler       %s\n", r.Scheduler)
-	fmt.Printf("makespan        %.4f s\n", r.MakespanSec)
-	fmt.Printf("CPU energy      %.4f J\n", r.CPUJ)
-	fmt.Printf("memory energy   %.4f J\n", r.MemJ)
-	fmt.Printf("total energy    %.4f J  (avg %.3f W)\n", r.TotalJ, r.TotalJ/r.MakespanSec)
-	fmt.Printf("tasks executed  %d (steals %d, recruitments %d)\n", r.Tasks, r.Steals, r.Recruitments)
-	fmt.Printf("DVFS            %d requests\n", r.FreqRequests)
+	printReport(res.Report)
 	fmt.Printf("\nplan searches   %d evaluations this request (0 = served from resident plans)\n", res.PlanEvals)
 	fmt.Printf("daemon plans    %d cached, simulated in %.3f s\n", res.PlansCached, res.ElapsedSec)
 	if res.PlanStoreError != "" {

@@ -6,6 +6,8 @@
 //
 //	jossrun [-scale F] [-seed N] [-speedup S] [-planstore FILE] -bench NAME -sched NAME
 //	jossrun -connect URL [-scale F] [-seed N] [-repeats N] [-speedup S] -bench NAME -sched NAME
+//	jossrun -connect URL -async [-scale F] [-seed N] [-repeats N] -bench NAME -sched NAME
+//	jossrun -connect URL -watch JOBID
 //
 // Benchmarks: the 21 Figure 8 configurations (e.g. SLU, MM_256_dop4).
 // Schedulers: GRWS, ERASE, Aequitas, STEER, JOSS, JOSS_NoMemDVFS,
@@ -17,6 +19,12 @@
 // resident runtimes, trained models and the shared plan store. A
 // second request for an already-trained kernel performs zero plan
 // searches on the daemon.
+//
+// -async posts the run as a fire-and-forget job (POST /jobs) and
+// prints the job id without waiting: the daemon's fair-share
+// dispatcher interleaves it with other requests, and -watch JOBID
+// attaches later — polling GET /jobs/JOBID with progress lines until
+// the result is served (or the job is cancelled via DELETE).
 package main
 
 import (
@@ -45,18 +53,37 @@ func main() {
 		"path to a persistent plan store shared with jossbench: known plans are adopted (skipping sampling and search) and newly trained ones written back")
 	connect := flag.String("connect", "",
 		"serve the run from a jossd daemon instead of simulating locally (http://host:port, or unix://PATH)")
+	async := flag.Bool("async", false,
+		"with -connect: enqueue the run as a daemon job (POST /jobs) and print its id instead of waiting")
+	watch := flag.String("watch", "",
+		"with -connect: attach to an existing daemon job by id, poll its progress and print the result")
 	repeats := flag.Int("repeats", 1, "with -connect: seeds per cell, averaged on the daemon")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file")
 	gantt := flag.Bool("gantt", false, "print a text Gantt chart of the run")
 	dotOut := flag.String("dot", "", "write the task DAG in Graphviz DOT format (truncated to 400 tasks)")
 	flag.Parse()
 
+	if *connect == "" && (*async || *watch != "") {
+		fmt.Fprintln(os.Stderr, "jossrun: -async and -watch are -connect modes (the job lives on a daemon)")
+		os.Exit(2)
+	}
 	if *connect != "" {
 		if *traceOut != "" || *gantt || *dotOut != "" || *planStore != "" {
 			fmt.Fprintln(os.Stderr, "jossrun: -trace/-gantt/-dot/-planstore are local-run options (the daemon owns its plan store)")
 			os.Exit(2)
 		}
-		if err := runRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *repeats); err != nil {
+		var err error
+		switch {
+		case *async && *watch != "":
+			err = fmt.Errorf("-async enqueues a new job, -watch attaches to an existing one; pick one")
+		case *watch != "":
+			err = watchRemote(*connect, *watch)
+		case *async:
+			err = asyncRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *repeats)
+		default:
+			err = runRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *repeats)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "jossrun:", err)
 			os.Exit(1)
 		}

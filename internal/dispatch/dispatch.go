@@ -1,0 +1,355 @@
+// Package dispatch is the session-wide fair-share run-unit dispatcher:
+// a fixed pool of workers pulling the ⟨cell, repeat⟩ units of many
+// concurrently admitted jobs from one central multi-queue. It replaces
+// the run-a-whole-request-then-the-next worker loop the service layer
+// used before: a 2-cell probe admitted behind a 500-cell sweep no
+// longer waits for the sweep — it gets the next free worker and
+// finishes while the sweep is still draining.
+//
+// The policy has two levels:
+//
+//   - Across jobs, least attained service: every job accrues the cost
+//     of the units dispatched on its behalf, a newly admitted job
+//     starts at the minimum attained service of the jobs already
+//     active, and each free worker serves the job with the least
+//     attained service. Small jobs therefore overtake large ones
+//     (their total demand is below the big job's next quantum) while
+//     concurrent long jobs converge to equal shares — a deficit
+//     round-robin over unit costs.
+//   - Within a job, largest cell first (by the admission-time cost of
+//     the cell), repeats of one cell adjacent and in repeat order, so
+//     a big cell's repeats spread over workers early instead of
+//     forming the straggler tail.
+//
+// Dispatch order is a wall-clock policy only. Units must be
+// independent of each other and of which worker runs them — the
+// service's run units are independent deterministic simulations — so
+// reordering and interleaving never change results, which is what
+// keeps concurrent submission bit-identical to serial submission.
+//
+// Cancellation is cooperative and unit-granular: Cancel drops a job's
+// queued units; in-flight units run to completion (a simulation step
+// is not interruptible) and the job finishes once they drain.
+package dispatch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Unit identifies one schedulable unit of a job: one seeded repeat of
+// one cell.
+type Unit struct {
+	Cell   int
+	Repeat int
+}
+
+// Spec describes a job at admission.
+type Spec struct {
+	// Cells is the number of cells; Repeats the units per cell. The
+	// job's units are the cross product.
+	Cells   int
+	Repeats int
+	// Costs is the per-cell dispatch cost (len Cells) — the unit of
+	// fair-share accounting and the largest-first sort key. Any
+	// non-negative scale works as long as it is consistent across the
+	// jobs sharing a pool; the service uses DAG task counts.
+	Costs []int
+	// Width bounds the job's in-flight units (its share ceiling): a
+	// job never occupies more than Width workers at once.
+	Width int
+	// Run executes one unit on the given worker slot. It is called
+	// from pool worker goroutines, never concurrently for the same
+	// worker id, and must not panic.
+	Run func(worker int, u Unit)
+	// OnCellDone, when non-nil, is called once per cell after the last
+	// of the cell's repeats completes (from the worker goroutine that
+	// ran it; it must not block indefinitely).
+	OnCellDone func(cell int)
+}
+
+// Progress is a point-in-time snapshot of a job's unit accounting.
+type Progress struct {
+	Total     int // units at admission (Cells × Repeats)
+	Done      int // units whose Run returned
+	InFlight  int // units currently on a worker
+	Dropped   int // units discarded by Cancel before dispatch
+	Cancelled bool
+	Finished  bool // no unit will run anymore (done + dropped == total)
+}
+
+// Job is the handle of an admitted job.
+type Job struct {
+	pool *Pool
+	spec Spec
+	seq  uint64
+
+	// All fields below are guarded by pool.mu.
+	queue     []Unit // pending units, largest cell first; head is next
+	head      int
+	inflight  int
+	done      int
+	dropped   int
+	cellDone  []int
+	served    int64
+	cancelled bool
+	completed bool
+
+	finished chan struct{} // closed once Finished
+}
+
+// Pool is a fixed set of worker goroutines serving admitted jobs.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    []*Job // jobs with pending units, admission order
+	workers int
+	nextSeq uint64
+	closed  bool
+}
+
+// NewPool builds a pool with the given number of workers (more can be
+// added later with Grow; 0 is valid and useful when the caller sizes
+// the pool per admitted job).
+func NewPool(workers int) *Pool {
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.Grow(workers)
+	return p
+}
+
+// Grow raises the pool's worker count to at least n. Worker ids are
+// dense in [0, Workers()).
+func (p *Pool) Grow(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.workers < n {
+		go p.worker(p.workers)
+		p.workers++
+	}
+}
+
+// Workers returns the number of worker goroutines.
+func (p *Pool) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.workers
+}
+
+// Close makes idle workers exit. It is a test convenience: a closed
+// pool must not be admitted to, and jobs should be drained first.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Admit enters a job into the multi-queue and returns its handle. The
+// job's attained-service counter starts at the minimum of the active
+// jobs' (fairness from admission onward, not replayed history). A job
+// with zero units is returned already finished.
+func (p *Pool) Admit(spec Spec) *Job {
+	if spec.Cells < 0 || spec.Repeats < 0 {
+		panic(fmt.Sprintf("dispatch: negative Cells (%d) or Repeats (%d)", spec.Cells, spec.Repeats))
+	}
+	if len(spec.Costs) != spec.Cells {
+		panic(fmt.Sprintf("dispatch: %d costs for %d cells", len(spec.Costs), spec.Cells))
+	}
+	j := &Job{pool: p, spec: spec, finished: make(chan struct{})}
+	total := spec.Cells * spec.Repeats
+	if total == 0 {
+		j.completed = true
+		close(j.finished)
+		return j
+	}
+	if spec.Width < 1 {
+		panic(fmt.Sprintf("dispatch: Width must be >= 1, got %d", spec.Width))
+	}
+	if spec.Run == nil {
+		panic("dispatch: Spec.Run is nil")
+	}
+
+	// Largest cell first, original index as the tie-break; a cell's
+	// repeats adjacent and in repeat order.
+	cells := make([]int, spec.Cells)
+	for i := range cells {
+		cells[i] = i
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		ca, cb := spec.Costs[cells[a]], spec.Costs[cells[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		return cells[a] < cells[b]
+	})
+	j.queue = make([]Unit, 0, total)
+	for _, c := range cells {
+		for r := 0; r < spec.Repeats; r++ {
+			j.queue = append(j.queue, Unit{Cell: c, Repeat: r})
+		}
+	}
+	j.cellDone = make([]int, spec.Cells)
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("dispatch: Admit on a closed pool")
+	}
+	j.seq = p.nextSeq
+	p.nextSeq++
+	for _, other := range p.jobs {
+		if j.served == 0 || other.served < j.served {
+			j.served = other.served
+		}
+	}
+	p.jobs = append(p.jobs, j)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return j
+}
+
+// pick selects the next unit under the fair-share policy, or nil when
+// no job has an eligible unit. Called with p.mu held.
+func (p *Pool) pick() (*Job, Unit, int64) {
+	var best *Job
+	for _, j := range p.jobs {
+		if j.head >= len(j.queue) || j.inflight >= j.spec.Width {
+			continue
+		}
+		// Least attained service wins; ties go to the newest job, so
+		// a just-admitted job (normalised to the minimum attained
+		// service) gets the very next free worker — the overtake that
+		// bounds small-request latency — and then interleaves fairly
+		// once its own service accrues.
+		if best == nil || j.served < best.served ||
+			(j.served == best.served && j.seq > best.seq) {
+			best = j
+		}
+	}
+	if best == nil {
+		return nil, Unit{}, 0
+	}
+	u := best.queue[best.head]
+	best.head++
+	// A zero-cost cell still consumes a worker; floor the quantum at 1
+	// so fair-share accounting always advances.
+	cost := int64(best.spec.Costs[u.Cell])
+	if cost < 1 {
+		cost = 1
+	}
+	return best, u, cost
+}
+
+// remove drops j from the dispatchable set. Called with p.mu held.
+func (p *Pool) remove(j *Job) {
+	for i, other := range p.jobs {
+		if other == j {
+			p.jobs = append(p.jobs[:i], p.jobs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (p *Pool) worker(id int) {
+	p.mu.Lock()
+	for {
+		j, u, cost := p.pick()
+		if j == nil {
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+			continue
+		}
+		j.inflight++
+		j.served += cost
+		if j.head >= len(j.queue) {
+			// Nothing left to dispatch; stop offering the job.
+			p.remove(j)
+		}
+		p.mu.Unlock()
+
+		j.spec.Run(id, u)
+
+		p.mu.Lock()
+		j.cellDone[u.Cell]++
+		if j.cellDone[u.Cell] == j.spec.Repeats && j.spec.OnCellDone != nil {
+			// The unit still counts as in flight during OnCellDone, so
+			// the job cannot be observed finished — and Wait cannot
+			// return — while a cell notification is still being
+			// delivered.
+			p.mu.Unlock()
+			j.spec.OnCellDone(u.Cell)
+			p.mu.Lock()
+		}
+		j.inflight--
+		j.done++
+		finished := j.inflight == 0 && j.head >= len(j.queue) && !j.completed
+		if finished {
+			j.completed = true
+		}
+		// A unit completing frees a slot a width-limited sibling job
+		// may have been waiting for.
+		p.cond.Broadcast()
+		if finished {
+			p.mu.Unlock()
+			close(j.finished)
+			p.mu.Lock()
+		}
+	}
+}
+
+// Cancel drops the job's queued units; in-flight units complete. Safe
+// to call repeatedly and after completion.
+func (j *Job) Cancel() {
+	p := j.pool
+	p.mu.Lock()
+	if j.completed || j.cancelled {
+		p.mu.Unlock()
+		return
+	}
+	j.cancelled = true
+	j.dropped = len(j.queue) - j.head
+	j.head = len(j.queue)
+	p.remove(j)
+	finished := j.inflight == 0
+	if finished {
+		j.completed = true
+	}
+	p.mu.Unlock()
+	if finished {
+		close(j.finished)
+	}
+}
+
+// Wait blocks until the job is finished (all units done, or cancelled
+// and drained).
+func (j *Job) Wait() { <-j.finished }
+
+// Finished returns a channel closed when the job is finished.
+func (j *Job) Finished() <-chan struct{} { return j.finished }
+
+// Progress snapshots the job's unit accounting.
+func (j *Job) Progress() Progress {
+	j.pool.mu.Lock()
+	defer j.pool.mu.Unlock()
+	return Progress{
+		Total:     j.spec.Cells * j.spec.Repeats,
+		Done:      j.done,
+		InFlight:  j.inflight,
+		Dropped:   j.dropped,
+		Cancelled: j.cancelled,
+		Finished:  j.completed,
+	}
+}
+
+// CellProgress appends the per-cell completed-repeat counts to buf and
+// returns it (len = the job's cell count).
+func (j *Job) CellProgress(buf []int) []int {
+	j.pool.mu.Lock()
+	defer j.pool.mu.Unlock()
+	return append(buf, j.cellDone...)
+}

@@ -1,0 +1,291 @@
+package dispatch
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLargestCellFirstWithinJob pins the within-job dispatch order on
+// a single worker: units run largest cell first, a cell's repeats
+// adjacent and in repeat order, equal costs tie-broken by cell index.
+func TestLargestCellFirstWithinJob(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var mu sync.Mutex
+	var order []Unit
+	j := p.Admit(Spec{
+		Cells:   3,
+		Repeats: 2,
+		Costs:   []int{5, 40, 5},
+		Width:   1,
+		Run: func(_ int, u Unit) {
+			mu.Lock()
+			order = append(order, u)
+			mu.Unlock()
+		},
+	})
+	j.Wait()
+	want := []Unit{{1, 0}, {1, 1}, {0, 0}, {0, 1}, {2, 0}, {2, 1}}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("dispatch order = %v, want %v", order, want)
+	}
+	pr := j.Progress()
+	if !pr.Finished || pr.Done != 6 || pr.Dropped != 0 {
+		t.Errorf("progress = %+v, want 6 done, finished", pr)
+	}
+}
+
+// gatedJob admits a job whose units block until released, recording
+// the global dispatch order. It returns the job and a release channel:
+// each send lets exactly one in-flight unit complete.
+func gatedJob(p *Pool, tag string, cells, repeats, cost, width int,
+	started chan<- string, order *[]string, mu *sync.Mutex) (*Job, chan struct{}) {
+	release := make(chan struct{})
+	costs := make([]int, cells)
+	for i := range costs {
+		costs[i] = cost
+	}
+	j := p.Admit(Spec{
+		Cells:   cells,
+		Repeats: repeats,
+		Costs:   costs,
+		Width:   width,
+		Run: func(_ int, u Unit) {
+			mu.Lock()
+			*order = append(*order, tag)
+			mu.Unlock()
+			if started != nil {
+				started <- tag
+			}
+			<-release
+		},
+	})
+	return j, release
+}
+
+// TestFairShareSmallJobOvertakes is the deterministic form of the
+// tail-latency property: with both workers occupied by a large job, a
+// newly admitted small job's units are dispatched ahead of the large
+// job's remaining queue, so the small job finishes while the large one
+// still has queued units.
+func TestFairShareSmallJobOvertakes(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var mu sync.Mutex
+	var order []string
+	started := make(chan string, 64)
+
+	big, bigRelease := gatedJob(p, "big", 20, 1, 100, 2, started, &order, &mu)
+	// Both workers are now busy on big units.
+	<-started
+	<-started
+
+	small, smallRelease := gatedJob(p, "small", 2, 1, 100, 2, started, &order, &mu)
+
+	// Exactly one worker frees per step, so each subsequent start is
+	// unambiguous. The expected schedule: the freed worker goes to the
+	// just-admitted small job (overtake), the next one back to big
+	// (fair share, not starvation), the tie after small's first unit
+	// to small again (newest wins ties), at which point small is done.
+	for step, want := range []struct {
+		release chan struct{}
+		start   string
+	}{
+		{bigRelease, "small"},
+		{bigRelease, "big"},
+		{smallRelease, "small"},
+	} {
+		want.release <- struct{}{}
+		if got := <-started; got != want.start {
+			t.Fatalf("step %d: freed worker ran %q, want %q", step, got, want.start)
+		}
+	}
+	smallRelease <- struct{}{}
+	small.Wait()
+
+	bp := big.Progress()
+	if bp.Finished || bp.Done+bp.InFlight >= bp.Total/2 {
+		t.Errorf("big job too far along (%+v) before small completed", bp)
+	}
+	// Drain the big job: one unit is still gated, the rest of the
+	// queue flows through both workers.
+	for i := 0; i < 18; i++ {
+		bigRelease <- struct{}{}
+	}
+	big.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if got := len(order); got != 22 {
+		t.Errorf("ran %d units, want 22", got)
+	}
+}
+
+// TestWidthBoundsInFlight asserts a job never occupies more workers
+// than its Width even when the pool has spares.
+func TestWidthBoundsInFlight(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var mu sync.Mutex
+	var order []string
+	started := make(chan string, 16)
+	j, release := gatedJob(p, "w", 6, 1, 1, 2, started, &order, &mu)
+	<-started
+	<-started
+	if pr := j.Progress(); pr.InFlight != 2 {
+		t.Errorf("in-flight = %d, want 2 (width)", pr.InFlight)
+	}
+	for i := 0; i < 6; i++ {
+		release <- struct{}{}
+		if i < 4 {
+			<-started
+		}
+	}
+	j.Wait()
+}
+
+// TestCancelDropsQueuedUnits: cancelling drops queued units, lets the
+// in-flight one finish, and the job reports itself cancelled with the
+// right accounting. OnCellDone fires only for cells that completed.
+func TestCancelDropsQueuedUnits(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var mu sync.Mutex
+	var order []string
+	var cellsDone []int
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	j := p.Admit(Spec{
+		Cells:   5,
+		Repeats: 1,
+		Costs:   []int{9, 8, 7, 6, 5},
+		Width:   1,
+		Run: func(_ int, u Unit) {
+			mu.Lock()
+			order = append(order, "u")
+			mu.Unlock()
+			started <- "u"
+			<-release
+		},
+		OnCellDone: func(cell int) {
+			mu.Lock()
+			cellsDone = append(cellsDone, cell)
+			mu.Unlock()
+		},
+	})
+	<-started
+	j.Cancel()
+	select {
+	case <-j.Finished():
+		t.Fatal("job finished while a unit was still in flight")
+	default:
+	}
+	release <- struct{}{}
+	j.Wait()
+
+	pr := j.Progress()
+	if !pr.Cancelled || !pr.Finished || pr.Done != 1 || pr.Dropped != 4 {
+		t.Errorf("progress = %+v, want cancelled, 1 done, 4 dropped", pr)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !reflect.DeepEqual(cellsDone, []int{0}) {
+		t.Errorf("OnCellDone fired for %v, want [0] (the largest, only completed cell)", cellsDone)
+	}
+	// Cancel after completion is a no-op.
+	j.Cancel()
+}
+
+// TestZeroUnitJobIsBornFinished covers the empty-request path.
+func TestZeroUnitJobIsBornFinished(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	j := p.Admit(Spec{Cells: 0, Repeats: 4, Costs: nil})
+	j.Wait()
+	if pr := j.Progress(); !pr.Finished || pr.Total != 0 {
+		t.Errorf("progress = %+v, want finished with 0 units", pr)
+	}
+	j.Cancel() // no-op, must not panic or deadlock
+}
+
+// TestOnCellDoneCountsRepeats: OnCellDone fires exactly once per cell,
+// after all its repeats, and CellProgress tracks the counts.
+func TestOnCellDoneCountsRepeats(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var fired atomic.Int64
+	j := p.Admit(Spec{
+		Cells:   4,
+		Repeats: 3,
+		Costs:   []int{1, 2, 3, 4},
+		Width:   3,
+		Run:     func(int, Unit) {},
+		OnCellDone: func(cell int) {
+			fired.Add(1)
+		},
+	})
+	j.Wait()
+	if fired.Load() != 4 {
+		t.Errorf("OnCellDone fired %d times, want 4", fired.Load())
+	}
+	want := []int{3, 3, 3, 3}
+	if got := j.CellProgress(nil); !reflect.DeepEqual(got, want) {
+		t.Errorf("CellProgress = %v, want %v", got, want)
+	}
+}
+
+// TestManyConcurrentJobs hammers admission, execution and completion
+// from many goroutines — the -race coverage for the pool's locking.
+func TestManyConcurrentJobs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j := p.Admit(Spec{
+				Cells:   3,
+				Repeats: 2,
+				Costs:   []int{i, 2 * i, 3 * i},
+				Width:   1 + i%3,
+				Run:     func(int, Unit) { total.Add(1) },
+			})
+			if i%4 == 0 {
+				j.Cancel()
+			}
+			j.Wait()
+			pr := j.Progress()
+			if pr.Done+pr.Dropped != 6 {
+				t.Errorf("job %d: done %d + dropped %d != 6", i, pr.Done, pr.Dropped)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestGrow asserts worker ids stay dense and capacity only rises.
+func TestGrow(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if n := p.Workers(); n != 0 {
+		t.Fatalf("new pool has %d workers, want 0", n)
+	}
+	p.Grow(3)
+	p.Grow(2)
+	if n := p.Workers(); n != 3 {
+		t.Fatalf("pool has %d workers, want 3", n)
+	}
+	seen := make(chan int, 8)
+	j := p.Admit(Spec{Cells: 8, Repeats: 1, Costs: make([]int, 8), Width: 3,
+		Run: func(w int, _ Unit) { seen <- w }})
+	j.Wait()
+	close(seen)
+	for w := range seen {
+		if w < 0 || w >= 3 {
+			t.Errorf("unit ran on worker %d, want [0,3)", w)
+		}
+	}
+}

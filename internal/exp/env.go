@@ -158,14 +158,15 @@ type sweepJob struct {
 	mk    func() taskrt.Scheduler
 }
 
-// sweep submits jobs to the Env's warm session: a fixed pool of
-// Parallel workers, each owning a long-lived Runtime, recycled graph
-// arenas and Reset-recycled schedulers, drains the ⟨cell, repeat,
-// seed⟩ run units largest-cell-first and merges each cell's repeats in
-// repeat order (taskrt.MeanReport). Results do not depend on worker
-// count or dispatch order (with the opt-in exception of SharePlans,
-// which trades that independence for skipped sampling). Reports are
-// keyed by workload name then label.
+// sweep submits jobs to the Env's warm session: the ⟨cell, repeat,
+// seed⟩ run units enter the session's fair-share dispatcher, whose
+// pool workers — each owning a long-lived Runtime, recycled graph
+// arenas and Reset-recycled schedulers — drain them largest-cell-first
+// (Parallel bounds this request's share) and merge each cell's repeats
+// in repeat order (taskrt.MeanReport). Results do not depend on worker
+// count, dispatch order or co-resident requests (with the opt-in
+// exception of SharePlans, which trades that independence for skipped
+// sampling). Reports are keyed by workload name then label.
 func (e *Env) sweep(jobs []sweepJob) map[string]map[string]taskrt.Report {
 	if e.Parallel < 1 {
 		panic(fmt.Sprintf("exp: Env.Parallel must be >= 1, got %d", e.Parallel))

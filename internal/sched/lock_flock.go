@@ -1,0 +1,53 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package sched
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"time"
+)
+
+// lockFilePersists reports whether a released .lock file remains on
+// disk (tests key their assertions on it). With flock the file is
+// deliberately never unlinked: the lock lives on the descriptor, so a
+// leftover file is inert, whereas unlinking it would let a third
+// writer lock a freshly created inode while a second still spins on
+// the old one — two "holders" at once, readmitting the lost update the
+// lock exists to prevent.
+const lockFilePersists = true
+
+// acquireStoreLock takes an exclusive flock(2) on the plan store's
+// sibling lock file, retrying (non-blocking, so the timeout stays
+// enforceable) until storeLockTimeout. Crash recovery is the point of
+// this implementation: the kernel drops a dead process's flock with
+// its descriptors, so a writer killed mid-save never orphans the store
+// — the next writer acquires immediately, no operator intervention
+// (ROADMAP item, previously a never-auto-broken O_EXCL file).
+func acquireStoreLock(lock string) (func(), error) {
+	f, err := os.OpenFile(lock, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sched: acquiring plan store lock: %w", err)
+	}
+	deadline := time.Now().Add(storeLockTimeout)
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		if err == nil {
+			return func() {
+				syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+				f.Close()
+			}, nil
+		}
+		if err != syscall.EWOULDBLOCK && err != syscall.EAGAIN {
+			f.Close()
+			return nil, fmt.Errorf("sched: acquiring plan store lock: %w", err)
+		}
+		if time.Now().After(deadline) {
+			f.Close()
+			return nil, fmt.Errorf("sched: plan store lock %s held for over %v by a live process",
+				lock, storeLockTimeout)
+		}
+		time.Sleep(storeLockRetry)
+	}
+}

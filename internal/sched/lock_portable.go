@@ -1,0 +1,43 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// lockFilePersists: the portable lock IS the file's existence, so
+// release removes it.
+const lockFilePersists = false
+
+// acquireStoreLock is the portable fallback for platforms without
+// flock(2): the lock is the existence of the sibling file, taken via
+// O_CREATE|O_EXCL and retried until storeLockTimeout. Locks are never
+// broken automatically (git-style): any stat-then-remove staleness
+// heuristic races against a live writer re-acquiring between the stat
+// and the remove, and a stolen lock readmits exactly the lost-update
+// this file exists to prevent. A lock orphaned by a crashed process
+// therefore times out with an error naming it, and the operator
+// removes it once.
+func acquireStoreLock(lock string) (func(), error) {
+	deadline := time.Now().Add(storeLockTimeout)
+	for {
+		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return func() { os.Remove(lock) }, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, fmt.Errorf("sched: acquiring plan store lock: %w", err)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("sched: plan store lock %s held for over %v (remove it if its owner is dead)",
+				lock, storeLockTimeout)
+		}
+		time.Sleep(storeLockRetry)
+	}
+}

@@ -119,37 +119,21 @@ func (pc *PlanCache) LoadFile(path string) (int, error) {
 }
 
 // Lock-file parameters for SaveFileMerged: how long one writer waits
-// for another before giving up, and how often it retries.
-const (
-	storeLockTimeout = 10 * time.Second
-	storeLockRetry   = 2 * time.Millisecond
-)
+// for another before giving up, and how often it retries. The timeout
+// is a var so crash-recovery tests can shorten the contended path.
+var storeLockTimeout = 10 * time.Second
 
-// acquireStoreLock takes the plan store's sibling lock file via
-// O_CREATE|O_EXCL, retrying until timeout. Locks are never broken
-// automatically (git-style): any stat-then-remove staleness heuristic
-// races against a live writer re-acquiring between the stat and the
-// remove, and a stolen lock readmits exactly the lost-update this file
-// exists to prevent. A lock orphaned by a crashed process therefore
-// times out with an error naming it, and the operator removes it once.
-func acquireStoreLock(lock string) error {
-	deadline := time.Now().Add(storeLockTimeout)
-	for {
-		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-		if err == nil {
-			f.Close()
-			return nil
-		}
-		if !errors.Is(err, fs.ErrExist) {
-			return fmt.Errorf("sched: acquiring plan store lock: %w", err)
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("sched: plan store lock %s held for over %v (remove it if its owner is dead)",
-				lock, storeLockTimeout)
-		}
-		time.Sleep(storeLockRetry)
-	}
-}
+const storeLockRetry = 2 * time.Millisecond
+
+// acquireStoreLock takes the plan store's sibling .lock file and
+// returns a release func. The implementation is platform-gated: on
+// unix-like systems the lock is an exclusive flock(2) on the lock
+// file's open descriptor (lock_flock.go) — a crashed holder's lock is
+// released by the kernel, so an unclean death never orphans the store.
+// Elsewhere it falls back to O_CREATE|O_EXCL existence locking
+// (lock_portable.go), where a crash leaves the lock behind until an
+// operator removes it: breaking it automatically would race a live
+// writer and readmit exactly the lost update this file prevents.
 
 // SaveFileMerged writes the cache to path with lock-and-merge
 // semantics, so concurrent fleets (and multiple service daemons)
@@ -161,11 +145,11 @@ func acquireStoreLock(lock string) error {
 // path, so concurrent readers never observe a torn store. The cache
 // itself gains any plans other writers published.
 func (pc *PlanCache) SaveFileMerged(path string) error {
-	lock := path + ".lock"
-	if err := acquireStoreLock(lock); err != nil {
+	unlock, err := acquireStoreLock(path + ".lock")
+	if err != nil {
 		return err
 	}
-	defer os.Remove(lock)
+	defer unlock()
 
 	if _, err := pc.LoadFile(path); err != nil {
 		return fmt.Errorf("sched: merging plan store: %w", err)

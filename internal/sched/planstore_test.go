@@ -147,7 +147,9 @@ func TestPlanStoreConcurrentMergedWriters(t *testing.T) {
 			}
 		}
 	}
-	if _, err := os.Stat(path + ".lock"); !errors.Is(err, fs.ErrNotExist) {
+	// The flock implementation leaves the (inert) lock file in place;
+	// the portable existence-lock must clean up after itself.
+	if _, err := os.Stat(path + ".lock"); !lockFilePersists && !errors.Is(err, fs.ErrNotExist) {
 		t.Errorf("lock file left behind: %v", err)
 	}
 }

@@ -1,0 +1,419 @@
+// Async job lifecycle of the warm session: Enqueue admits a sweep
+// request as a job on the fair-share dispatcher and returns a
+// JobHandle immediately; the handle serves Status polling (per-cell
+// progress), a per-cell completion stream (Cells — what the HTTP
+// layer turns into NDJSON frames), cooperative unit-granular Cancel,
+// and Wait for the assembled SweepResult. Session-level Status / Wait
+// / Cancel look handles up by id for the wire API, with finished jobs
+// retained (bounded by Config.RetainJobs) so pollers can fetch results
+// after completion.
+package service
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"joss/internal/dispatch"
+	"joss/internal/sched"
+	"joss/internal/taskrt"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	// JobQueued: admitted, no unit has started (all workers busy with
+	// co-resident jobs).
+	JobQueued JobState = "queued"
+	// JobRunning: at least one unit started, not yet finished.
+	JobRunning JobState = "running"
+	// JobCancelled: Cancel was called; queued units are dropped. The
+	// state is visible while in-flight units drain and remains after.
+	JobCancelled JobState = "cancelled"
+	// JobDone: all units completed and the result is available.
+	JobDone JobState = "done"
+)
+
+// CellResult is one completed cell of an in-flight job: the mean
+// report over the cell's repeats, delivered in completion order.
+type CellResult struct {
+	// Cell is the index into the request's Jobs.
+	Cell     int
+	Workload string
+	Label    string
+	Report   taskrt.Report
+}
+
+// CellStatus is one cell's progress in a Status snapshot.
+type CellStatus struct {
+	Workload    string
+	Label       string
+	Repeats     int
+	RepeatsDone int
+	Done        bool
+}
+
+// JobStatus is a point-in-time snapshot of a job.
+type JobStatus struct {
+	ID    string
+	State JobState
+	// UnitsTotal counts the admitted ⟨cell, repeat⟩ units; Done ran to
+	// completion, InFlight are on workers now, Dropped were discarded
+	// by a cancellation.
+	UnitsTotal    int
+	UnitsDone     int
+	UnitsInFlight int
+	UnitsDropped  int
+	Cells         []CellStatus
+	ElapsedSec    float64
+}
+
+// JobHandle is the caller's reference to an admitted request.
+type JobHandle struct {
+	id  string
+	seq int64
+	s   *Session
+
+	req         SweepRequest
+	plans       *sched.PlanCache
+	plansBefore int
+	width       int
+
+	d *dispatch.Job
+
+	// unitReports is indexed cell*Repeats+repeat; each element is
+	// written by exactly one run unit. cellMeans[i]/cellReady[i] are
+	// written by the dispatcher's per-cell completion callback before
+	// the cell is announced on cells; finalize reads them after the
+	// dispatch job finishes (both edges synchronise through the
+	// dispatcher's mutex and the finished channel).
+	unitReports []taskrt.Report
+	cellMeans   []taskrt.Report
+	cellReady   []bool
+	evals       atomic.Int64
+
+	cells chan CellResult
+
+	start  time.Time
+	end    time.Time // valid once doneCh is closed
+	result SweepResult
+	doneCh chan struct{}
+}
+
+// Enqueue validates and admits a sweep request as a job, returning its
+// handle immediately. Validation matches Submit: zero Repeats/Parallel
+// take defaults, negative ones panic (the trusted Go-API contract; the
+// wire layer rejects them with a 400 before reaching here).
+func (s *Session) Enqueue(req SweepRequest) *JobHandle {
+	if req.Repeats == 0 {
+		req.Repeats = 1
+	}
+	if req.Repeats < 0 {
+		panic(fmt.Sprintf("service: SweepRequest.Repeats must be >= 1, got %d", req.Repeats))
+	}
+	if req.Parallel == 0 {
+		req.Parallel = s.parallel
+	}
+	if req.Parallel < 0 {
+		panic(fmt.Sprintf("service: SweepRequest.Parallel must be >= 1, got %d", req.Parallel))
+	}
+	plans := req.Plans
+	if plans == nil {
+		plans = s.plans
+	}
+
+	nCells := len(req.Jobs)
+	nUnits := nCells * req.Repeats
+	h := &JobHandle{
+		s:           s,
+		req:         req,
+		plans:       plans,
+		plansBefore: plans.Len(),
+		width:       min(req.Parallel, nUnits),
+		unitReports: make([]taskrt.Report, nUnits),
+		cellMeans:   make([]taskrt.Report, nCells),
+		cellReady:   make([]bool, nCells),
+		cells:       make(chan CellResult, nCells),
+		start:       time.Now(),
+		doneCh:      make(chan struct{}),
+	}
+
+	s.jobMu.Lock()
+	s.jobSeq++
+	h.seq = s.jobSeq
+	h.id = fmt.Sprintf("j%d", h.seq)
+	s.jobsByID[h.id] = h
+	s.jobOrder = append(s.jobOrder, h)
+	s.evictLocked()
+	s.jobMu.Unlock()
+
+	s.ensureWorkers(h.width)
+	h.d = s.pool.Admit(dispatch.Spec{
+		Cells:   nCells,
+		Repeats: req.Repeats,
+		Costs:   s.cellCosts(req.Jobs, req.Scale, make([]int, 0, nCells)),
+		Width:   h.width,
+		Run: func(wid int, u dispatch.Unit) {
+			rep, evals := s.runUnit(s.workerAt(wid), h, u.Cell, u.Repeat)
+			h.unitReports[u.Cell*req.Repeats+u.Repeat] = rep
+			h.evals.Add(int64(evals))
+		},
+		OnCellDone: func(cell int) {
+			// The cell's last repeat just completed on this worker; the
+			// buffered send (capacity = cell count) cannot block.
+			h.cellMeans[cell] = taskrt.MeanReport(
+				h.unitReports[cell*req.Repeats : (cell+1)*req.Repeats])
+			h.cellReady[cell] = true
+			h.cells <- CellResult{
+				Cell:     cell,
+				Workload: req.Jobs[cell].Workload.Name,
+				Label:    req.Jobs[cell].Label,
+				Report:   h.cellMeans[cell],
+			}
+		},
+	})
+	go s.finalize(h)
+	return h
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention
+// bound. Active jobs are never evicted. Called with jobMu held.
+func (s *Session) evictLocked() {
+	for i := 0; len(s.jobOrder) > s.retain && i < len(s.jobOrder); {
+		h := s.jobOrder[i]
+		select {
+		case <-h.doneCh:
+			delete(s.jobsByID, h.id)
+			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+		default:
+			i++
+		}
+	}
+}
+
+// finalize waits for the dispatch job to drain, assembles the result,
+// runs the plan-store flush cadence and publishes completion.
+func (s *Session) finalize(h *JobHandle) {
+	h.d.Wait()
+	close(h.cells)
+
+	p := h.d.Progress()
+	res := SweepResult{
+		Reports:   make(map[string]map[string]taskrt.Report),
+		PlanEvals: int(h.evals.Load()),
+		Units:     p.Total,
+		UnitsDone: p.Done,
+		Workers:   h.width,
+		Cancelled: p.Cancelled,
+	}
+	for i, j := range h.req.Jobs {
+		if !h.cellReady[i] {
+			continue
+		}
+		if res.Reports[j.Workload.Name] == nil {
+			res.Reports[j.Workload.Name] = make(map[string]taskrt.Report)
+		}
+		res.Reports[j.Workload.Name][j.Label] = h.cellMeans[i]
+	}
+
+	// The per-unit scratch is dead once the result is assembled; drop
+	// it so a retained finished job holds its cell means, not every
+	// repeat's report (a 500-repeat job would otherwise pin 500
+	// reports until registry eviction).
+	h.unitReports, h.cellMeans, h.cellReady = nil, nil, nil
+
+	s.requests.Add(1)
+	// Flush when the cache holds plans the store hasn't seen since the
+	// last flush (flushedLen) — regardless of which co-resident job
+	// trained them — and never when nothing changed: a warm steady
+	// state must not rewrite the store per request, serialising the
+	// fleet on its lock. Jobs running on a caller-supplied cache fall
+	// back to their own admission-time snapshot. The flush itself
+	// happens on this goroutine, off every dispatch path:
+	// SaveFileMerged may wait up to 10 s on a contended lock, which
+	// must not stall co-resident jobs.
+	flush := false
+	if s.storePath != "" {
+		s.saveMu.Lock()
+		s.sinceSave++
+		stale := h.plans.Len() != h.plansBefore
+		if h.plans == s.plans {
+			stale = s.plans.Len() != s.flushedLen
+		}
+		if s.sinceSave >= s.saveEvery && stale {
+			flush = true
+			s.sinceSave = 0
+		}
+		s.saveMu.Unlock()
+	}
+	if flush {
+		res.PlanStoreErr = h.plans.SaveFileMerged(s.storePath)
+		if res.PlanStoreErr == nil && h.plans == s.plans {
+			s.saveMu.Lock()
+			// SaveFileMerged may also have adopted disk plans, so the
+			// post-save length, not the pre-save one, is what the store
+			// now holds.
+			s.flushedLen = s.plans.Len()
+			s.saveMu.Unlock()
+		}
+	}
+
+	h.end = time.Now()
+	h.result = res
+	close(h.doneCh)
+}
+
+// ID returns the job's session-unique id ("j1", "j2", …).
+func (h *JobHandle) ID() string { return h.id }
+
+// Workers returns the job's worker-share ceiling (SweepResult.Workers).
+func (h *JobHandle) Workers() int { return h.width }
+
+// Wait blocks until the job completes (or finishes draining after a
+// cancellation) and returns its result.
+func (h *JobHandle) Wait() SweepResult {
+	<-h.doneCh
+	return h.result
+}
+
+// Done returns a channel closed once the result is available.
+func (h *JobHandle) Done() <-chan struct{} { return h.doneCh }
+
+// Cells returns the job's per-cell completion stream: each cell's mean
+// report is delivered exactly once, in completion order, and the
+// channel closes when the job finishes (after a cancellation, without
+// the cells that never completed). The channel is buffered to the cell
+// count, so an unconsumed stream never blocks workers.
+func (h *JobHandle) Cells() <-chan CellResult { return h.cells }
+
+// Cancel drops the job's queued units; in-flight units complete (a
+// simulation step is not interruptible) and the job then finishes with
+// a partial result. Safe to call repeatedly and after completion.
+func (h *JobHandle) Cancel() { h.d.Cancel() }
+
+// Status snapshots the job's progress. State and unit counts come
+// from one dispatch snapshot, so they never contradict each other.
+func (h *JobHandle) Status() JobStatus {
+	st := JobStatus{ID: h.id}
+	done := false
+	select {
+	case <-h.doneCh:
+		done = true
+	default:
+	}
+	// The snapshot is taken after the doneness decision: a done job's
+	// counts are final, and a racing finish at worst shows complete
+	// counts under a still-"running" state — never a result without
+	// the done state or progress under "queued".
+	p := h.d.Progress()
+	if done {
+		st.State = JobDone
+		if h.result.Cancelled {
+			st.State = JobCancelled
+		}
+		st.ElapsedSec = h.end.Sub(h.start).Seconds()
+	} else {
+		switch {
+		case p.Cancelled:
+			st.State = JobCancelled
+		case p.Done == 0 && p.InFlight == 0:
+			st.State = JobQueued
+		default:
+			st.State = JobRunning
+		}
+		st.ElapsedSec = time.Since(h.start).Seconds()
+	}
+	st.UnitsTotal = p.Total
+	st.UnitsDone = p.Done
+	st.UnitsInFlight = p.InFlight
+	st.UnitsDropped = p.Dropped
+	cellDone := h.d.CellProgress(make([]int, 0, len(h.req.Jobs)))
+	st.Cells = make([]CellStatus, len(h.req.Jobs))
+	for i, j := range h.req.Jobs {
+		done := 0
+		if i < len(cellDone) {
+			done = cellDone[i]
+		}
+		st.Cells[i] = CellStatus{
+			Workload:    j.Workload.Name,
+			Label:       j.Label,
+			Repeats:     h.req.Repeats,
+			RepeatsDone: done,
+			Done:        done == h.req.Repeats,
+		}
+	}
+	return st
+}
+
+// Job looks a handle up by id.
+func (s *Session) Job(id string) (*JobHandle, bool) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	h, ok := s.jobsByID[id]
+	return h, ok
+}
+
+// Status snapshots a job by id.
+func (s *Session) Status(id string) (JobStatus, bool) {
+	h, ok := s.Job(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	return h.Status(), true
+}
+
+// Cancel cancels a job by id, reporting whether it exists.
+func (s *Session) Cancel(id string) bool {
+	h, ok := s.Job(id)
+	if ok {
+		h.Cancel()
+	}
+	return ok
+}
+
+// Wait blocks until the identified job completes and returns its
+// result, reporting whether the id exists.
+func (s *Session) Wait(id string) (SweepResult, bool) {
+	h, ok := s.Job(id)
+	if !ok {
+		return SweepResult{}, false
+	}
+	return h.Wait(), true
+}
+
+// Remove evicts a finished job from the registry (the wire DELETE on a
+// completed job); active jobs are left registered and false is
+// returned.
+func (s *Session) Remove(id string) bool {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	h, ok := s.jobsByID[id]
+	if !ok {
+		return false
+	}
+	select {
+	case <-h.doneCh:
+	default:
+		return false
+	}
+	delete(s.jobsByID, id)
+	for i, o := range s.jobOrder {
+		if o == h {
+			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// JobIDs lists the registered jobs in admission order.
+func (s *Session) JobIDs() []string {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	ids := make([]string, len(s.jobOrder))
+	for i, h := range s.jobOrder {
+		ids[i] = h.id
+	}
+	return ids
+}

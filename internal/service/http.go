@@ -1,17 +1,32 @@
 // HTTP front end of the warm-session service: a net/http handler that
-// exposes a Session as three JSON endpoints, shared by the jossd
-// daemon (TCP or unix socket) and by tests. The wire schema is
-// deliberately small and additive — unknown request fields are
-// ignored, response fields only ever get added — so clients and
-// daemons can evolve independently.
+// exposes a Session as JSON endpoints, shared by the jossd daemon (TCP
+// or unix socket) and by tests. The wire schema is deliberately small
+// and additive — unknown request fields are ignored, response fields
+// only ever get added — so clients and daemons can evolve
+// independently.
 //
-//	POST /sweep   {benchmarks, schedulers, scale, seed, repeats,
-//	               parallel, share_plans, sensor_period_sec, sensor_off}
-//	            → {reports: {bench: {sched: report}}, plan_evals,
-//	               units, workers, plans_cached, elapsed_sec}
-//	POST /run     {bench, sched, scale, seed, repeats, share_plans, ...}
-//	            → {report, plan_evals, plans_cached, elapsed_sec}
-//	GET  /healthz → {plans_cached, requests, schedulers, benchmarks}
+//	POST /sweep    {benchmarks, schedulers, scale, seed, repeats,
+//	                parallel, share_plans, sensor_period_sec, sensor_off}
+//	             → {reports: {bench: {sched: report}}, plan_evals,
+//	                units, workers, plans_cached, elapsed_sec}
+//	POST /sweep?stream=1
+//	             → NDJSON: one {"type":"cell", ...} frame per completed
+//	               cell in completion order, then a final
+//	               {"type":"done","result":{...}} frame whose result is
+//	               exactly the synchronous /sweep response
+//	POST /run      {bench, sched, scale, seed, repeats, share_plans, ...}
+//	             → {report, plan_evals, plans_cached, elapsed_sec}
+//	POST /jobs     same body as /sweep
+//	             → 202 {job_id, state, units, cells, workers, poll}
+//	GET  /jobs     → {jobs: [{job_id, state, units_done, units_total}]}
+//	GET  /jobs/{id}
+//	             → {job_id, state, units_*, cells: [per-cell progress],
+//	                elapsed_sec, result?} — result appears once done
+//	DELETE /jobs/{id}
+//	             → cancels a running job (cooperative, unit-granular:
+//	               queued units are dropped, in-flight ones finish) or
+//	               evicts a finished one; returns the final status
+//	GET  /healthz  → {plans_cached, requests, jobs, schedulers, benchmarks}
 //
 // share_plans defaults to true on the wire (a *bool left null): the
 // daemon exists to serve warm plans, and a second request for kernels
@@ -78,13 +93,15 @@ type WireSweepResult struct {
 	Reports     map[string]map[string]WireReport `json:"reports"`
 	PlanEvals   int                              `json:"plan_evals"`
 	Units       int                              `json:"units"`
+	UnitsDone   int                              `json:"units_done"`
 	Workers     int                              `json:"workers"`
+	Cancelled   bool                             `json:"cancelled,omitempty"`
 	PlansCached int                              `json:"plans_cached"`
 	ElapsedSec  float64                          `json:"elapsed_sec"`
-	// PlanStoreError reports a failed periodic plan-store flush. The
-	// sweep itself succeeded and the reports are complete — the plans
-	// just were not persisted this time (another writer may hold the
-	// store lock), so the response is a 200, not an error.
+	// PlanStoreError reports a failed plan-store flush. The sweep
+	// itself succeeded and the reports are complete — the plans just
+	// were not persisted this time (another writer may hold the store
+	// lock), so the response is a 200, not an error.
 	PlanStoreError string `json:"plan_store_error,omitempty"`
 }
 
@@ -96,6 +113,63 @@ type WireRunResult struct {
 	ElapsedSec  float64    `json:"elapsed_sec"`
 	// PlanStoreError mirrors WireSweepResult.PlanStoreError.
 	PlanStoreError string `json:"plan_store_error,omitempty"`
+}
+
+// WireJobCreated is the 202 response of POST /jobs.
+type WireJobCreated struct {
+	JobID   string `json:"job_id"`
+	State   string `json:"state"`
+	Units   int    `json:"units"`
+	Cells   int    `json:"cells"`
+	Workers int    `json:"workers"`
+	// Poll is the status URL path, so clients need not build it.
+	Poll string `json:"poll"`
+}
+
+// WireCellStatus is one cell's progress in a job status response.
+type WireCellStatus struct {
+	Bench       string `json:"bench"`
+	Sched       string `json:"sched"`
+	Repeats     int    `json:"repeats"`
+	RepeatsDone int    `json:"repeats_done"`
+	Done        bool   `json:"done"`
+}
+
+// WireJobStatus is the GET /jobs/{id} response. Result is present only
+// once the job is done (or cancelled and drained); polling clients
+// loop until it appears.
+type WireJobStatus struct {
+	JobID         string           `json:"job_id"`
+	State         string           `json:"state"`
+	UnitsTotal    int              `json:"units_total"`
+	UnitsDone     int              `json:"units_done"`
+	UnitsInFlight int              `json:"units_in_flight"`
+	UnitsDropped  int              `json:"units_dropped,omitempty"`
+	Cells         []WireCellStatus `json:"cells"`
+	ElapsedSec    float64          `json:"elapsed_sec"`
+	Result        *WireSweepResult `json:"result,omitempty"`
+}
+
+// WireJobSummary is one row of the GET /jobs listing.
+type WireJobSummary struct {
+	JobID      string `json:"job_id"`
+	State      string `json:"state"`
+	UnitsDone  int    `json:"units_done"`
+	UnitsTotal int    `json:"units_total"`
+}
+
+// WireStreamFrame is one NDJSON line of a streamed sweep: "cell"
+// frames carry one completed cell's mean report in completion order;
+// the final "done" frame carries the full result (identical to the
+// synchronous /sweep response).
+type WireStreamFrame struct {
+	Type       string           `json:"type"`
+	Bench      string           `json:"bench,omitempty"`
+	Sched      string           `json:"sched,omitempty"`
+	Report     *WireReport      `json:"report,omitempty"`
+	CellsDone  int              `json:"cells_done,omitempty"`
+	CellsTotal int              `json:"cells_total,omitempty"`
+	Result     *WireSweepResult `json:"result,omitempty"`
 }
 
 func wireReport(rep taskrt.Report) WireReport {
@@ -112,6 +186,53 @@ func wireReport(rep taskrt.Report) WireReport {
 		Recruitments: rep.Stats.Recruitments,
 		FreqRequests: rep.Stats.FreqRequests,
 	}
+}
+
+// wireSweepResult converts a service result for the wire.
+func (s *Session) wireSweepResult(res SweepResult, elapsedSec float64) WireSweepResult {
+	out := WireSweepResult{
+		Reports:     make(map[string]map[string]WireReport, len(res.Reports)),
+		PlanEvals:   res.PlanEvals,
+		Units:       res.Units,
+		UnitsDone:   res.UnitsDone,
+		Workers:     res.Workers,
+		Cancelled:   res.Cancelled,
+		PlansCached: s.Plans().Len(),
+		ElapsedSec:  elapsedSec,
+	}
+	if res.PlanStoreErr != nil {
+		out.PlanStoreError = res.PlanStoreErr.Error()
+	}
+	for wl, m := range res.Reports {
+		out.Reports[wl] = make(map[string]WireReport, len(m))
+		for label, rep := range m {
+			out.Reports[wl][label] = wireReport(rep)
+		}
+	}
+	return out
+}
+
+func wireJobStatus(st JobStatus) WireJobStatus {
+	out := WireJobStatus{
+		JobID:         st.ID,
+		State:         string(st.State),
+		UnitsTotal:    st.UnitsTotal,
+		UnitsDone:     st.UnitsDone,
+		UnitsInFlight: st.UnitsInFlight,
+		UnitsDropped:  st.UnitsDropped,
+		Cells:         make([]WireCellStatus, len(st.Cells)),
+		ElapsedSec:    st.ElapsedSec,
+	}
+	for i, c := range st.Cells {
+		out.Cells[i] = WireCellStatus{
+			Bench:       c.Workload,
+			Sched:       c.Label,
+			Repeats:     c.Repeats,
+			RepeatsDone: c.RepeatsDone,
+			Done:        c.Done,
+		}
+	}
+	return out
 }
 
 // Wire-level resource bounds: the daemon may face untrusted clients,
@@ -197,7 +318,8 @@ func (s *Session) buildRequest(benchmarks, schedulers []string, scale float64, s
 }
 
 // NewHandler exposes a Session over HTTP. The handler is safe for
-// concurrent requests — Submit serialises them on the session mutex.
+// concurrent requests — the session's dispatcher interleaves their run
+// units over one worker pool.
 func NewHandler(s *Session) http.Handler {
 	mux := http.NewServeMux()
 
@@ -211,43 +333,147 @@ func NewHandler(s *Session) http.Handler {
 	writeErr := func(w http.ResponseWriter, code int, err error) {
 		writeJSON(w, code, map[string]string{"error": err.Error()})
 	}
+	decodeSweep := func(w http.ResponseWriter, r *http.Request) (SweepRequest, bool) {
+		var wr WireSweepRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxWireBodySize)).Decode(&wr); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return SweepRequest{}, false
+		}
+		req, err := s.buildRequest(wr.Benchmarks, wr.Schedulers, wr.Scale, wr.Seed,
+			wr.Repeats, wr.Parallel, wr.SharePlans, wr.SensorPeriodSec, wr.SensorOff)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return SweepRequest{}, false
+		}
+		return req, true
+	}
+
+	// streamSweep serves POST /sweep?stream=1: cells flush to the
+	// client as they complete, and a disconnected client cancels the
+	// job so abandoned sweeps stop consuming workers.
+	streamSweep := func(w http.ResponseWriter, r *http.Request, req SweepRequest) {
+		start := time.Now()
+		h := s.Enqueue(req)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		writeFrame := func(f WireStreamFrame) {
+			enc.Encode(f)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		cellsDone, cellsTotal := 0, len(req.Jobs)
+		for {
+			select {
+			case c, ok := <-h.Cells():
+				if !ok {
+					res := h.Wait()
+					out := s.wireSweepResult(res, time.Since(start).Seconds())
+					writeFrame(WireStreamFrame{Type: "done", CellsDone: cellsDone,
+						CellsTotal: cellsTotal, Result: &out})
+					return
+				}
+				cellsDone++
+				rep := wireReport(c.Report)
+				writeFrame(WireStreamFrame{Type: "cell", Bench: c.Workload, Sched: c.Label,
+					Report: &rep, CellsDone: cellsDone, CellsTotal: cellsTotal})
+			case <-r.Context().Done():
+				h.Cancel()
+				h.Wait()
+				return
+			}
+		}
+	}
 
 	mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
 			return
 		}
-		var wr WireSweepRequest
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxWireBodySize)).Decode(&wr); err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		req, ok := decodeSweep(w, r)
+		if !ok {
 			return
 		}
-		req, err := s.buildRequest(wr.Benchmarks, wr.Schedulers, wr.Scale, wr.Seed,
-			wr.Repeats, wr.Parallel, wr.SharePlans, wr.SensorPeriodSec, wr.SensorOff)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+		if r.URL.Query().Get("stream") == "1" {
+			streamSweep(w, r, req)
 			return
 		}
 		start := time.Now()
 		res := s.Submit(req)
-		out := WireSweepResult{
-			Reports:     make(map[string]map[string]WireReport, len(res.Reports)),
-			PlanEvals:   res.PlanEvals,
-			Units:       res.Units,
-			Workers:     res.Workers,
-			PlansCached: s.Plans().Len(),
-			ElapsedSec:  time.Since(start).Seconds(),
+		writeJSON(w, http.StatusOK, s.wireSweepResult(res, time.Since(start).Seconds()))
+	})
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodeSweep(w, r)
+		if !ok {
+			return
 		}
-		if res.PlanStoreErr != nil {
-			out.PlanStoreError = res.PlanStoreErr.Error()
-		}
-		for wl, m := range res.Reports {
-			out.Reports[wl] = make(map[string]WireReport, len(m))
-			for label, rep := range m {
-				out.Reports[wl][label] = wireReport(rep)
+		h := s.Enqueue(req)
+		st := h.Status()
+		writeJSON(w, http.StatusAccepted, WireJobCreated{
+			JobID:   h.ID(),
+			State:   string(st.State),
+			Units:   st.UnitsTotal,
+			Cells:   len(st.Cells),
+			Workers: h.Workers(),
+			Poll:    "/jobs/" + h.ID(),
+		})
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		ids := s.JobIDs()
+		jobs := make([]WireJobSummary, 0, len(ids))
+		for _, id := range ids {
+			if st, ok := s.Status(id); ok {
+				jobs = append(jobs, WireJobSummary{JobID: st.ID, State: string(st.State),
+					UnitsDone: st.UnitsDone, UnitsTotal: st.UnitsTotal})
 			}
 		}
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		h, ok := s.Job(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+			return
+		}
+		// The done check precedes the status snapshot, so a response
+		// carrying a result always reports the done/cancelled state (a
+		// finish racing the other way just means one more poll).
+		var result *SweepResult
+		select {
+		case <-h.Done():
+			res := h.Wait()
+			result = &res
+		default:
+		}
+		out := wireJobStatus(h.Status())
+		if result != nil {
+			wr := s.wireSweepResult(*result, out.ElapsedSec)
+			out.Result = &wr
+		}
 		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		h, ok := s.Job(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+			return
+		}
+		select {
+		case <-h.Done():
+			// Already finished: DELETE evicts the record.
+			s.Remove(id)
+		default:
+			h.Cancel()
+		}
+		writeJSON(w, http.StatusOK, wireJobStatus(h.Status()))
 	})
 
 	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) {
@@ -298,6 +524,7 @@ func NewHandler(s *Session) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"plans_cached": s.Plans().Len(),
 			"requests":     s.Requests(),
+			"jobs":         len(s.JobIDs()),
 			"schedulers":   SchedulerCatalog,
 			"benchmarks":   names,
 		})

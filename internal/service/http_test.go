@@ -1,12 +1,14 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"testing"
+	"time"
 )
 
 // postJSON posts v to the test server and decodes the response into
@@ -127,5 +129,250 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	if health.PlansCached == 0 || health.Requests < 4 {
 		t.Errorf("healthz = %+v, want cached plans and >= 4 requests", health)
+	}
+}
+
+// TestJobsAsyncEndToEnd is the fire-and-forget acceptance bar over the
+// wire: POST /jobs, poll GET /jobs/{id} to completion, and the fetched
+// result matches the synchronous /sweep response byte for byte.
+// DELETE cancels a running job and evicts a finished one.
+func TestJobsAsyncEndToEnd(t *testing.T) {
+	sess := newTestSession(t)
+	srv := httptest.NewServer(NewHandler(sess))
+	defer srv.Close()
+
+	off := false
+	body := WireSweepRequest{
+		Benchmarks: []string{"SLU", "DP"},
+		Schedulers: []string{"GRWS", "JOSS"},
+		Scale:      0.02,
+		Repeats:    2,
+		SharePlans: &off,
+	}
+
+	var sync WireSweepResult
+	if code := postJSON(t, srv, "/sweep", body, &sync); code != http.StatusOK {
+		t.Fatalf("baseline /sweep: status %d", code)
+	}
+
+	var created WireJobCreated
+	if code := postJSON(t, srv, "/jobs", body, &created); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: status %d", code)
+	}
+	if created.JobID == "" || created.Units != 8 || created.Poll != "/jobs/"+created.JobID {
+		t.Fatalf("job created = %+v", created)
+	}
+
+	// Poll until the result appears.
+	var st WireJobStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + created.Poll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Result != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.State != "done" || st.UnitsDone != 8 {
+		t.Errorf("final status = %+v, want done 8/8", st)
+	}
+	for _, c := range st.Cells {
+		if !c.Done || c.RepeatsDone != 2 {
+			t.Errorf("cell %s/%s not done in final status: %+v", c.Bench, c.Sched, c)
+		}
+	}
+	asyncJSON, _ := json.Marshal(st.Result.Reports)
+	syncJSON, _ := json.Marshal(sync.Reports)
+	if !bytes.Equal(asyncJSON, syncJSON) {
+		t.Errorf("async result differs from synchronous /sweep:\nasync: %s\nsync: %s", asyncJSON, syncJSON)
+	}
+	if st.Result.PlanEvals != sync.PlanEvals {
+		t.Errorf("async plan evals %d, sync %d", st.Result.PlanEvals, sync.PlanEvals)
+	}
+
+	// The listing knows the job.
+	var listing struct {
+		Jobs []WireJobSummary `json:"jobs"`
+	}
+	resp, err := http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, j := range listing.Jobs {
+		if j.JobID == created.JobID && j.State == "done" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("GET /jobs listing %+v misses job %s", listing.Jobs, created.JobID)
+	}
+
+	// Cancellation: a long job DELETEd right after admission drains
+	// cooperatively and reports itself cancelled with a partial result.
+	long := WireSweepRequest{
+		Benchmarks: []string{"SLU"},
+		Schedulers: []string{"GRWS"},
+		Scale:      0.02,
+		Repeats:    500,
+		Parallel:   1,
+		SharePlans: &off,
+	}
+	var longJob WireJobCreated
+	if code := postJSON(t, srv, "/jobs", long, &longJob); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs (long): status %d", code)
+	}
+	delReq, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+longJob.JobID, nil)
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delSt WireJobStatus
+	if err := json.NewDecoder(delResp.Body).Decode(&delSt); err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delSt.State != "cancelled" {
+		t.Errorf("DELETE returned state %q, want cancelled", delSt.State)
+	}
+	for {
+		resp, err := http.Get(srv.URL + "/jobs/" + longJob.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pst WireJobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&pst); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if pst.Result != nil {
+			if !pst.Result.Cancelled || pst.Result.UnitsDone >= pst.Result.Units {
+				t.Errorf("cancelled job result = %+v, want partial", pst.Result)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled job never drained")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// DELETE on the finished job evicts it; the id is then unknown.
+	delReq, _ = http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+created.JobID, nil)
+	delResp, err = http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	resp, err = http.Get(srv.URL + "/jobs/" + created.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET after evicting DELETE: status %d, want 404", resp.StatusCode)
+	}
+
+	// Unknown ids are 404s.
+	resp, err = http.Get(srv.URL + "/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSweepStreaming asserts /sweep?stream=1 delivers one NDJSON frame
+// per completed cell plus a final done frame, and that both the
+// reassembled cells and the final result are byte-identical to the
+// synchronous /sweep response.
+func TestSweepStreaming(t *testing.T) {
+	sess := newTestSession(t)
+	srv := httptest.NewServer(NewHandler(sess))
+	defer srv.Close()
+
+	off := false
+	body := WireSweepRequest{
+		Benchmarks: []string{"SLU", "DP", "MM_256_dop4"},
+		Schedulers: []string{"GRWS", "JOSS"},
+		Scale:      0.02,
+		Repeats:    2,
+		SharePlans: &off,
+	}
+	var sync WireSweepResult
+	if code := postJSON(t, srv, "/sweep", body, &sync); code != http.StatusOK {
+		t.Fatalf("baseline /sweep: status %d", code)
+	}
+
+	reqBody, _ := json.Marshal(body)
+	resp, err := http.Post(srv.URL+"/sweep?stream=1", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	reassembled := make(map[string]map[string]WireReport)
+	var done *WireStreamFrame
+	cellFrames := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var f WireStreamFrame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("bad frame %q: %v", sc.Text(), err)
+		}
+		switch f.Type {
+		case "cell":
+			cellFrames++
+			if f.Report == nil || f.CellsDone != cellFrames || f.CellsTotal != 6 {
+				t.Errorf("cell frame %d malformed: %+v", cellFrames, f)
+			}
+			if reassembled[f.Bench] == nil {
+				reassembled[f.Bench] = make(map[string]WireReport)
+			}
+			if _, dup := reassembled[f.Bench][f.Sched]; dup {
+				t.Errorf("cell %s/%s streamed twice", f.Bench, f.Sched)
+			}
+			reassembled[f.Bench][f.Sched] = *f.Report
+		case "done":
+			done = &f
+		default:
+			t.Errorf("unknown frame type %q", f.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if cellFrames != 6 || done == nil || done.Result == nil {
+		t.Fatalf("stream delivered %d cell frames, done=%v", cellFrames, done)
+	}
+
+	syncJSON, _ := json.Marshal(sync.Reports)
+	reJSON, _ := json.Marshal(reassembled)
+	finalJSON, _ := json.Marshal(done.Result.Reports)
+	if !bytes.Equal(reJSON, syncJSON) {
+		t.Errorf("reassembled stream differs from /sweep:\nstream: %s\nsync: %s", reJSON, syncJSON)
+	}
+	if !bytes.Equal(finalJSON, syncJSON) {
+		t.Errorf("stream's final result differs from /sweep:\nstream: %s\nsync: %s", finalJSON, syncJSON)
 	}
 }

@@ -4,29 +4,39 @@
 // a fixed pool of workers — each owning a resident taskrt.Runtime,
 // recycled dag.Graph arenas and Reset-recycled schedulers — and the
 // shared persistent sched.PlanCache. It serves an unbounded stream of
-// sweep requests through Submit without per-invocation training:
-// the first request pays cold-start setup and plan search, every later
-// request runs at warm-path allocation counts, and requests for
-// kernels the plan store already knows perform zero plan searches.
+// sweep requests without per-invocation training: the first request
+// pays cold-start setup and plan search, every later request runs at
+// warm-path allocation counts, and requests for kernels the plan store
+// already knows perform zero plan searches.
+//
+// Requests execute concurrently: every admitted request becomes a job
+// whose ⟨cell, repeat, seed⟩ run units enter the session's central
+// fair-share dispatcher (internal/dispatch), so a small request
+// admitted behind a large sweep takes the next free worker instead of
+// waiting for the sweep to drain. Submit is the synchronous form
+// (admit, then wait); Enqueue returns a JobHandle for the async
+// lifecycle — Status, Cancel, per-cell streaming, Wait.
 //
 // Every run unit a Session executes is an independent deterministic
 // simulation, so results do not depend on worker count, worker
-// assignment or unit dispatch order (with the documented exception of
-// SweepRequest.SharePlans, which trades that independence for skipped
-// sampling). That is what lets exp rebuild its figure drivers as thin
+// assignment, unit interleaving across jobs or dispatch order (with
+// the documented exception of SweepRequest.SharePlans, which trades
+// that independence for skipped sampling). That is what lets requests
+// interleave freely with per-request results bit-identical to serial
+// submission, and what lets exp rebuild its figure drivers as thin
 // clients of a Session with bit-identical outputs.
 package service
 
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"joss/internal/dag"
+	"joss/internal/dispatch"
 	"joss/internal/models"
 	"joss/internal/platform"
 	"joss/internal/sched"
@@ -49,13 +59,16 @@ type Config struct {
 	// SweepRequest.Parallel at 0 (default GOMAXPROCS).
 	Parallel int
 	// PlanStorePath, when set, makes the plan cache persistent: New
-	// loads the store, Submit flushes it back (lock-and-merge, see
-	// sched.PlanCache.SaveFileMerged) every SaveEvery requests, and
-	// Close flushes a final time.
+	// loads the store, completed jobs flush it back (lock-and-merge,
+	// see sched.PlanCache.SaveFileMerged) every SaveEvery requests,
+	// and Close flushes a final time.
 	PlanStorePath string
 	// SaveEvery is the flush period in requests (default 1 — every
 	// request that may have trained something writes the store back).
 	SaveEvery int
+	// RetainJobs bounds the finished jobs kept for Status/Wait lookup
+	// by id (default 256; active jobs are never evicted).
+	RetainJobs int
 }
 
 // DefaultConfig profiles the simulated TX2 and trains the JOSS models
@@ -72,11 +85,10 @@ func DefaultConfig() (Config, error) {
 	return Config{Oracle: o, Set: set, ERASE: sched.BuildERASETable(rows)}, nil
 }
 
-// Session is the warm execution service. Submit serialises requests
-// (one sweep runs at a time; its units spread over the worker pool)
-// and every resource a request warms — runtimes, graph arenas,
-// scheduler scratch, oracle memos, trained plans — stays resident for
-// the next one.
+// Session is the warm execution service. Admitted requests share one
+// dispatcher-fed worker pool, and every resource a request warms —
+// runtimes, graph arenas, scheduler scratch, oracle memos, trained
+// plans — stays resident for the next one.
 type Session struct {
 	oracle    *platform.Oracle
 	set       *models.Set
@@ -85,11 +97,38 @@ type Session struct {
 	parallel  int
 	storePath string
 	saveEvery int
+	retain    int
 
-	mu        sync.Mutex
-	workers   []*worker
-	requests  atomic.Int64
-	sinceSave int
+	pool *dispatch.Pool
+
+	// workerMu guards the worker-state slice, which grows in lockstep
+	// with the pool (index = dispatch worker id).
+	workerMu sync.Mutex
+	workers  []*worker
+
+	// costMu guards the ⟨workload name, scale⟩ → task-count memo and
+	// its scratch graph; a distinct workload pays one scratch DAG
+	// build per session, after which dispatch planning is
+	// allocation-free.
+	costMu sync.Mutex
+	costs  map[costKey]int
+	costG  *dag.Graph
+
+	// jobMu guards the job registry (id → handle, admission order).
+	jobMu    sync.Mutex
+	jobSeq   int64
+	jobsByID map[string]*JobHandle
+	jobOrder []*JobHandle
+
+	// saveMu guards the plan-store flush cadence: sinceSave counts
+	// requests since the last flush, flushedLen is the resident
+	// cache's length when the store last matched it (so only sessions
+	// whose cache outgrew the store pay a flush).
+	saveMu     sync.Mutex
+	sinceSave  int
+	flushedLen int
+
+	requests atomic.Int64
 }
 
 // New builds a Session from a trained configuration, loading the plan
@@ -107,6 +146,10 @@ func New(cfg Config) (*Session, error) {
 		parallel:  cfg.Parallel,
 		storePath: cfg.PlanStorePath,
 		saveEvery: cfg.SaveEvery,
+		retain:    cfg.RetainJobs,
+		pool:      dispatch.NewPool(0),
+		costs:     make(map[costKey]int),
+		jobsByID:  make(map[string]*JobHandle),
 	}
 	if s.plans == nil {
 		s.plans = sched.NewPlanCache()
@@ -117,10 +160,16 @@ func New(cfg Config) (*Session, error) {
 	if s.saveEvery < 1 {
 		s.saveEvery = 1
 	}
+	if s.retain < 1 {
+		s.retain = 256
+	}
 	if s.storePath != "" {
 		if _, err := s.plans.LoadFile(s.storePath); err != nil {
 			return nil, err
 		}
+		// Everything loaded from the store is, by definition, already
+		// persisted.
+		s.flushedLen = s.plans.Len()
 	}
 	return s, nil
 }
@@ -134,12 +183,12 @@ func (s *Session) Set() *models.Set { return s.set }
 // Oracle returns the simulated platform oracle.
 func (s *Session) Oracle() *platform.Oracle { return s.oracle }
 
-// Parallel returns the session's default worker count.
+// Parallel returns the session's default per-request worker bound.
 func (s *Session) Parallel() int { return s.parallel }
 
-// Requests returns the number of Submit calls served so far. It is
-// lock-free (atomic) so liveness probes never block behind an
-// in-flight sweep holding the session mutex.
+// Requests returns the number of requests completed so far. It is
+// lock-free (atomic) so liveness probes never block behind in-flight
+// work.
 func (s *Session) Requests() int { return int(s.requests.Load()) }
 
 // SavePlanStore flushes the resident plan cache to the configured
@@ -161,6 +210,9 @@ func (s *Session) Close() error { return s.SavePlanStore() }
 // must build a fresh scheduler each call; within one request — and
 // across requests on one session — a Label must always denote the same
 // constructor, because workers recycle cached schedulers per label.
+// Likewise a workload Name must always denote the same DAG shape at a
+// given scale (the session memoizes its task count for dispatch
+// costing).
 type Job struct {
 	Workload workloads.Config
 	Label    string
@@ -178,15 +230,17 @@ type SweepRequest struct {
 	Seed int64
 	// Repeats per cell (0 defaults to 1; negative panics).
 	Repeats int
-	// Parallel bounds the worker count for this request (0 defaults to
-	// the session's; negative panics).
+	// Parallel bounds the number of pool workers this request occupies
+	// at once (0 defaults to the session's; negative panics). It is a
+	// share ceiling, not a reservation: co-resident requests compete
+	// for workers under the dispatcher's fair-share policy.
 	Parallel int
 	// SharePlans lets model-driven schedulers adopt and publish plans
 	// through the plan cache: a kernel trained once — by an earlier
 	// repeat, a sibling cell, a previous request, or another process
 	// sharing the store — skips the §5.1 sampling phase. Off, every
 	// run samples afresh and results are bit-reproducible regardless
-	// of request history.
+	// of request history and co-resident requests.
 	SharePlans bool
 	// SensorPeriodSec overrides the simulated INA3221's 5 ms sampling
 	// period (0 = paper default); SensorOff removes the sensor.
@@ -201,19 +255,26 @@ type SweepRequest struct {
 // SweepResult carries a request's reports plus the service-level
 // telemetry the warm-path guarantees are asserted on.
 type SweepResult struct {
-	// Reports is keyed by workload name then job label.
+	// Reports is keyed by workload name then job label. A cancelled
+	// request carries only the cells whose repeats all completed.
 	Reports map[string]map[string]taskrt.Report
 	// PlanEvals is the total number of §5.2 configuration-search
 	// evaluations model-driven schedulers performed across all run
 	// units. Zero means zero plan searches — every kernel either
 	// adopted a cached plan or is not model-scheduled.
 	PlanEvals int
-	// Units is the number of ⟨cell, repeat⟩ run units executed.
-	Units int
-	// Workers is the number of pool workers the request used.
+	// Units is the number of ⟨cell, repeat⟩ run units admitted;
+	// UnitsDone the number that actually executed (less than Units
+	// only after a cancellation).
+	Units     int
+	UnitsDone int
+	// Workers is the request's worker-share ceiling (min of its
+	// Parallel and its unit count).
 	Workers int
-	// PlanStoreErr records a failed periodic plan-store flush (the
-	// sweep itself succeeded; callers decide whether that is fatal).
+	// Cancelled reports the request was cancelled before completing.
+	Cancelled bool
+	// PlanStoreErr records a failed plan-store flush (the sweep itself
+	// succeeded; callers decide whether that is fatal).
 	PlanStoreErr error
 }
 
@@ -222,13 +283,66 @@ type SweepResult struct {
 // with Reset between runs, a graph whose task/edge arenas are recycled
 // with BuildReuse between cells, and a per-label cache of recyclable
 // schedulers (ModelSched.Reset / sched.RunResetter) — all lazily built
-// on the worker's first unit and retained across requests.
+// on the worker's first unit and retained across jobs.
 type worker struct {
-	rt      *taskrt.Runtime
-	g       *dag.Graph
-	lastJob int
-	scheds  map[string]taskrt.Scheduler
-	evals   int
+	rt *taskrt.Runtime
+	g  *dag.Graph
+	// lastJob/lastCell key the graph currently built into the arenas;
+	// jobs interleave on the pool, so the key is ⟨job, cell⟩ rather
+	// than a request-scoped cell index.
+	lastJob  int64
+	lastCell int
+	scheds   map[string]taskrt.Scheduler
+}
+
+// workerAt returns the state slot for a dispatch worker id, growing
+// the slice (and the pool) as needed.
+func (s *Session) workerAt(id int) *worker {
+	s.workerMu.Lock()
+	defer s.workerMu.Unlock()
+	return s.workers[id]
+}
+
+// ensureWorkers grows the pool and its state slots to at least n.
+func (s *Session) ensureWorkers(n int) {
+	s.workerMu.Lock()
+	for len(s.workers) < n {
+		s.workers = append(s.workers, &worker{lastJob: -1})
+	}
+	s.workerMu.Unlock()
+	s.pool.Grow(n)
+}
+
+// costKey memoizes DAG task counts per ⟨workload name, scale⟩.
+type costKey struct {
+	name  string
+	scale float64
+}
+
+// taskCount returns the workload's DAG task count at the given scale —
+// the dispatch cost of one of its run units. The first lookup per
+// ⟨name, scale⟩ pays one scratch build into a session-resident
+// recycled arena; every later one is a map hit, so admission-time
+// planning allocates nothing once the session has seen its workloads.
+func (s *Session) taskCount(wl workloads.Config, scale float64) int {
+	k := costKey{wl.Name, scale}
+	s.costMu.Lock()
+	defer s.costMu.Unlock()
+	if c, ok := s.costs[k]; ok {
+		return c
+	}
+	s.costG = wl.BuildReuse(s.costG, scale)
+	c := s.costG.NumTasks()
+	s.costs[k] = c
+	return c
+}
+
+// cellCosts appends each cell's dispatch cost to buf and returns it.
+func (s *Session) cellCosts(jobs []Job, scale float64, buf []int) []int {
+	for _, j := range jobs {
+		buf = append(buf, s.taskCount(j.Workload, scale))
+	}
+	return buf
 }
 
 // runOptions builds the runtime options every service-driven run uses.
@@ -280,17 +394,20 @@ func (s *Session) schedulerFor(w *worker, j Job, req *SweepRequest, plans *sched
 }
 
 // runUnit executes one run unit — a single seeded repeat of one cell —
-// on the worker's recycled environment. The workload is rebuilt into
-// the worker's arenas only when the unit belongs to a different cell
-// than the worker's previous one (Runtime.Run rewinds predecessor
-// counters itself, so same-cell units re-run the built DAG).
-func (s *Session) runUnit(w *worker, req *SweepRequest, plans *sched.PlanCache, job, repeat int) taskrt.Report {
-	j := req.Jobs[job]
-	if w.g == nil || w.lastJob != job {
+// on the worker's recycled environment, returning the report and the
+// plan-search evaluations the unit performed. The workload is rebuilt
+// into the worker's arenas only when the unit belongs to a different
+// ⟨job, cell⟩ than the worker's previous one (Runtime.Run rewinds
+// predecessor counters itself, so same-cell units re-run the built
+// DAG).
+func (s *Session) runUnit(w *worker, h *JobHandle, cell, repeat int) (taskrt.Report, int) {
+	req := &h.req
+	j := req.Jobs[cell]
+	if w.g == nil || w.lastJob != h.seq || w.lastCell != cell {
 		w.g = j.Workload.BuildReuse(w.g, req.Scale)
-		w.lastJob = job
+		w.lastJob, w.lastCell = h.seq, cell
 	}
-	sc := s.schedulerFor(w, j, req, plans)
+	sc := s.schedulerFor(w, j, req, h.plans)
 	seed := req.Seed + int64(repeat)
 	if w.rt == nil {
 		w.rt = taskrt.New(s.oracle, sc, runOptions(req, seed))
@@ -300,161 +417,22 @@ func (s *Session) runUnit(w *worker, req *SweepRequest, plans *sched.PlanCache, 
 		w.rt.Reset(w.g)
 	}
 	rep := w.rt.Run(w.g)
+	evals := 0
 	if ms, ok := sc.(*sched.ModelSched); ok {
-		w.evals += ms.TotalEvals
+		evals = ms.TotalEvals
 	}
-	return rep
+	return rep, evals
 }
 
-// unitOrder returns the dispatch order of the request's run units:
-// largest cells first (DAG task count, so one large cell's repeats
-// spread over workers early instead of forming the straggler tail at
-// high Parallel), original unit index as the tie-break — which keeps a
-// cell's repeats adjacent and in repeat order. Cell costs come from a
-// single scratch build per distinct workload name, recycled through
-// one arena. Ordering never changes results (units are independent
-// deterministic simulations merged by original index), only wall
-// clock.
-func unitOrder(req *SweepRequest, nUnits int) []int {
-	order := make([]int, nUnits)
-	for i := range order {
-		order[i] = i
-	}
-	cost := make([]int, len(req.Jobs))
-	byName := make(map[string]int, len(req.Jobs))
-	var scratch *dag.Graph
-	for i, j := range req.Jobs {
-		if c, ok := byName[j.Workload.Name]; ok {
-			cost[i] = c
-			continue
-		}
-		scratch = j.Workload.BuildReuse(scratch, req.Scale)
-		cost[i] = scratch.NumTasks()
-		byName[j.Workload.Name] = cost[i]
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ca, cb := cost[order[a]/req.Repeats], cost[order[b]/req.Repeats]
-		if ca != cb {
-			return ca > cb
-		}
-		return order[a] < order[b]
-	})
-	return order
-}
-
-// Submit executes one sweep request on the session's worker pool and
-// returns the per-cell mean reports. Requests are serialised; units of
-// one request run concurrently on up to Parallel workers. Cells merge
-// their repeats in repeat order (taskrt.MeanReport), so per-cell
-// reports are bit-identical to running every repeat on a fresh runtime
-// in one place — the property exp's equivalence tests pin down.
+// Submit executes one sweep request and returns the per-cell mean
+// reports: the synchronous form of Enqueue + Wait. Units of this and
+// any co-resident requests interleave over the session's worker pool
+// under the fair-share dispatcher. Cells merge their repeats in repeat
+// order (taskrt.MeanReport), so per-cell reports are bit-identical to
+// running every repeat on a fresh runtime in one place — the property
+// exp's equivalence tests pin down.
 func (s *Session) Submit(req SweepRequest) SweepResult {
-	res, plans, flush := s.submitLocked(req)
-	if flush {
-		// The store flush happens outside the session mutex: the cache
-		// is internally synchronized and SaveFileMerged may wait up to
-		// 10 s on a contended .lock, which must not stall the next
-		// queued request.
-		res.PlanStoreErr = plans.SaveFileMerged(s.storePath)
-	}
-	return res
-}
-
-// submitLocked runs the request under the session mutex and decides
-// whether the plan store needs flushing (due by SaveEvery and the
-// cache actually gained plans).
-func (s *Session) submitLocked(req SweepRequest) (SweepResult, *sched.PlanCache, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	if req.Repeats == 0 {
-		req.Repeats = 1
-	}
-	if req.Repeats < 0 {
-		panic(fmt.Sprintf("service: SweepRequest.Repeats must be >= 1, got %d", req.Repeats))
-	}
-	if req.Parallel == 0 {
-		req.Parallel = s.parallel
-	}
-	if req.Parallel < 0 {
-		panic(fmt.Sprintf("service: SweepRequest.Parallel must be >= 1, got %d", req.Parallel))
-	}
-	plans := req.Plans
-	if plans == nil {
-		plans = s.plans
-	}
-	plansBefore := plans.Len()
-
-	res := SweepResult{Reports: make(map[string]map[string]taskrt.Report)}
-	nUnits := len(req.Jobs) * req.Repeats
-	res.Units = nUnits
-	if nUnits > 0 {
-		unitReports := make([]taskrt.Report, nUnits)
-		workers := min(req.Parallel, nUnits)
-		res.Workers = workers
-		for len(s.workers) < workers {
-			s.workers = append(s.workers, &worker{lastJob: -1})
-		}
-		ws := s.workers[:workers]
-		for _, w := range ws {
-			// Job indices are request-scoped, so the first unit of a
-			// request always rebuilds into the worker's warm arenas.
-			w.lastJob = -1
-			w.evals = 0
-		}
-
-		var order []int
-		if workers > 1 && nUnits > workers {
-			order = unitOrder(&req, nUnits)
-		} else {
-			order = make([]int, nUnits)
-			for i := range order {
-				order[i] = i
-			}
-		}
-
-		next := make(chan int)
-		var wg sync.WaitGroup
-		for _, w := range ws {
-			wg.Add(1)
-			go func(w *worker) {
-				defer wg.Done()
-				for idx := range next {
-					job, repeat := idx/req.Repeats, idx%req.Repeats
-					unitReports[idx] = s.runUnit(w, &req, plans, job, repeat)
-				}
-			}(w)
-		}
-		for _, idx := range order {
-			next <- idx
-		}
-		close(next)
-		wg.Wait()
-
-		for idx, j := range req.Jobs {
-			if res.Reports[j.Workload.Name] == nil {
-				res.Reports[j.Workload.Name] = make(map[string]taskrt.Report)
-			}
-			res.Reports[j.Workload.Name][j.Label] =
-				taskrt.MeanReport(unitReports[idx*req.Repeats : (idx+1)*req.Repeats])
-		}
-		for _, w := range ws {
-			res.PlanEvals += w.evals
-		}
-	}
-
-	s.requests.Add(1)
-	s.sinceSave++
-	// Flush the cache this request actually trained into — plans is
-	// s.plans unless the request overrode it — and only when it gained
-	// something: a fully-warm request has nothing new to persist, and
-	// rewriting the store per request would serialise the fleet on its
-	// lock for no benefit.
-	flush := s.storePath != "" && s.sinceSave >= s.saveEvery && plans.Len() != plansBefore
-	if flush {
-		s.sinceSave = 0
-	}
-	return res, plans, flush
+	return s.Enqueue(req).Wait()
 }
 
 // EnergyOf returns a report's sensor-sampled energy, falling back to

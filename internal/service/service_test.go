@@ -160,22 +160,61 @@ func TestSessionCostOrderIndependence(t *testing.T) {
 	}
 }
 
-// TestUnitOrderLargestFirst pins the dispatch order itself: units are
-// dealt largest-cell-first, with a cell's repeats adjacent and in
-// repeat order.
-func TestUnitOrderLargestFirst(t *testing.T) {
+// TestCellCostsMemoized pins the ⟨workload name, scale⟩ → task-count
+// memo: costs match a fresh build, a workload pays its scratch build
+// once per scale, and a warm lookup allocates nothing — the
+// admission-time planning the dispatcher's cost-aware ordering runs on
+// every request.
+func TestCellCostsMemoized(t *testing.T) {
 	s := newTestSession(t)
-	req := SweepRequest{
-		Jobs:    jobsFor(s, []string{"SLU", "HT_Small"}, []string{"GRWS"}),
-		Scale:   0.02,
-		Repeats: 2,
+	jobs := jobsFor(s, []string{"SLU", "HT_Small", "SLU"}, []string{"GRWS"})
+	costs := s.cellCosts(jobs, 0.02, nil)
+	for i, j := range jobs {
+		want := j.Workload.BuildReuse(nil, 0.02).NumTasks()
+		if costs[i] != want {
+			t.Errorf("cost[%d] (%s) = %d, want %d", i, j.Workload.Name, costs[i], want)
+		}
 	}
-	order := unitOrder(&req, len(req.Jobs)*req.Repeats)
-	// Job 1 (HT_Small) is the larger cell: its units (2, 3) must lead,
-	// in repeat order, followed by SLU's (0, 1).
-	want := []int{2, 3, 0, 1}
-	if !reflect.DeepEqual(order, want) {
-		t.Errorf("unit order = %v, want %v", order, want)
+	if costs[0] != costs[2] {
+		t.Errorf("same workload costed differently: %d vs %d", costs[0], costs[2])
+	}
+	// A different scale is a different DAG, so a different memo entry.
+	if same := s.cellCosts(jobs[:1], 0.04, nil); same[0] == costs[0] {
+		t.Errorf("scale 0.04 reused the scale 0.02 cost %d", costs[0])
+	}
+
+	buf := make([]int, 0, len(jobs))
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = s.cellCosts(jobs, 0.02, buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("warm cellCosts allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkCellCostsWarm measures admission-time dispatch planning on
+// a warm memo: the perfgate-visible form of the allocation-free
+// guarantee TestCellCostsMemoized asserts.
+func BenchmarkCellCostsWarm(b *testing.B) {
+	cfg, err := DefaultConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs []Job
+	for _, bn := range []string{"SLU", "HT_Small", "DP", "MM_256_dop4"} {
+		wl, _, _ := FindWorkload(bn)
+		jobs = append(jobs, Job{Workload: wl, Label: "GRWS",
+			Make: func() taskrt.Scheduler { return s.NewScheduler("GRWS") }})
+	}
+	buf := s.cellCosts(jobs, 0.02, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = s.cellCosts(jobs, 0.02, buf[:0])
 	}
 }
 
@@ -299,5 +338,235 @@ func TestParseScheduler(t *testing.T) {
 		if _, err := s.ParseScheduler(name); err == nil {
 			t.Errorf("ParseScheduler(%q) accepted", name)
 		}
+	}
+}
+
+// TestSessionConcurrentSubmitEquivalence is the dispatcher's
+// correctness bar under -race: N distinct requests submitted
+// concurrently over one session — their units interleaving arbitrarily
+// on the shared worker pool — produce byte-identical per-request
+// results to the same requests submitted serially.
+func TestSessionConcurrentSubmitEquivalence(t *testing.T) {
+	reqs := func(s *Session) []SweepRequest {
+		return []SweepRequest{
+			{Jobs: jobsFor(s, []string{"SLU", "HT_Small"}, []string{"GRWS", "JOSS"}),
+				Scale: 0.02, Seed: 1, Repeats: 2, Parallel: 2},
+			{Jobs: jobsFor(s, []string{"DP"}, []string{"ERASE", "JOSS"}),
+				Scale: 0.02, Seed: 5, Repeats: 3, Parallel: 2},
+			{Jobs: jobsFor(s, []string{"MM_256_dop4", "VG"}, []string{"JOSS_NoMemDVFS"}),
+				Scale: 0.02, Seed: 9, Repeats: 1, Parallel: 3},
+			{Jobs: jobsFor(s, []string{"SLU"}, []string{"STEER"}),
+				Scale: 0.02, Seed: 2, Repeats: 2, Parallel: 1},
+		}
+	}
+
+	serialSess := newTestSession(t)
+	serial := make([]SweepResult, len(reqs(serialSess)))
+	for i, req := range reqs(serialSess) {
+		serial[i] = serialSess.Submit(req)
+	}
+
+	concSess := newTestSession(t)
+	conc := make([]SweepResult, len(serial))
+	var wg sync.WaitGroup
+	for i, req := range reqs(concSess) {
+		wg.Add(1)
+		go func(i int, req SweepRequest) {
+			defer wg.Done()
+			conc[i] = concSess.Submit(req)
+		}(i, req)
+	}
+	wg.Wait()
+
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i].Reports, conc[i].Reports) {
+			t.Errorf("request %d: concurrent submission changed results:\nserial: %+v\nconcurrent: %+v",
+				i, serial[i].Reports, conc[i].Reports)
+		}
+		if serial[i].PlanEvals != conc[i].PlanEvals {
+			t.Errorf("request %d: concurrent submission changed plan evals: %d vs %d",
+				i, serial[i].PlanEvals, conc[i].PlanEvals)
+		}
+	}
+}
+
+// TestSessionSmallRequestOvertakesLargeSweep is the tail-latency bar
+// the dispatcher exists for: a 1-unit request submitted while a large
+// sweep occupies the session completes before the sweep does.
+func TestSessionSmallRequestOvertakesLargeSweep(t *testing.T) {
+	s := newTestSession(t)
+	large := s.Enqueue(SweepRequest{
+		Jobs:     jobsFor(s, []string{"HT_Small", "HT_Big", "MM_512_dop16", "ST_2048_dop16"}, []string{"GRWS", "JOSS"}),
+		Scale:    0.02,
+		Seed:     1,
+		Repeats:  3,
+		Parallel: 2,
+	})
+
+	small := s.Submit(SweepRequest{
+		Jobs:     jobsFor(s, []string{"SLU"}, []string{"GRWS"}),
+		Scale:    0.02,
+		Seed:     1,
+		Parallel: 1,
+	})
+	if small.Units != 1 || small.Reports["SLU"]["GRWS"].Stats.TasksExecuted == 0 {
+		t.Fatalf("small request degenerate: %+v", small)
+	}
+	select {
+	case <-large.Done():
+		t.Fatal("large sweep finished before the co-resident small request")
+	default:
+	}
+	if st := large.Status(); st.UnitsDone >= st.UnitsTotal {
+		t.Errorf("large sweep had %d/%d units done at small completion", st.UnitsDone, st.UnitsTotal)
+	}
+
+	big := large.Wait()
+	if big.Cancelled || big.UnitsDone != big.Units {
+		t.Fatalf("large sweep incomplete: %+v", big)
+	}
+	for _, wl := range []string{"HT_Small", "HT_Big", "MM_512_dop16", "ST_2048_dop16"} {
+		for _, sn := range []string{"GRWS", "JOSS"} {
+			if big.Reports[wl][sn].Stats.TasksExecuted == 0 {
+				t.Errorf("%s/%s missing from the interleaved sweep", wl, sn)
+			}
+		}
+	}
+}
+
+// TestSessionAsyncLifecycle drives Enqueue end to end: per-cell
+// streaming, status, Wait equivalence with Submit, and id lookups.
+func TestSessionAsyncLifecycle(t *testing.T) {
+	s := newTestSession(t)
+	req := func() SweepRequest {
+		return SweepRequest{
+			Jobs:     jobsFor(s, []string{"SLU", "DP"}, []string{"GRWS"}),
+			Scale:    0.02,
+			Seed:     3,
+			Repeats:  2,
+			Parallel: 2,
+		}
+	}
+
+	h := s.Enqueue(req())
+	var streamed []CellResult
+	for c := range h.Cells() {
+		streamed = append(streamed, c)
+	}
+	res := h.Wait()
+
+	if len(streamed) != 2 {
+		t.Fatalf("streamed %d cells, want 2", len(streamed))
+	}
+	for _, c := range streamed {
+		if !reflect.DeepEqual(res.Reports[c.Workload][c.Label], c.Report) {
+			t.Errorf("%s/%s: streamed report differs from the final result", c.Workload, c.Label)
+		}
+	}
+
+	st := h.Status()
+	if st.State != JobDone || st.UnitsDone != 4 || st.UnitsTotal != 4 {
+		t.Errorf("final status = %+v, want done 4/4", st)
+	}
+	for _, c := range st.Cells {
+		if !c.Done || c.RepeatsDone != 2 {
+			t.Errorf("cell %s/%s not reported done: %+v", c.Workload, c.Label, c)
+		}
+	}
+
+	// The async result is the Submit result.
+	if again := s.Submit(req()); !reflect.DeepEqual(again.Reports, res.Reports) {
+		t.Errorf("Enqueue+Wait differs from Submit:\nasync: %+v\nsync: %+v", res.Reports, again.Reports)
+	}
+
+	// Id lookups.
+	if got, ok := s.Wait(h.ID()); !ok || !reflect.DeepEqual(got.Reports, res.Reports) {
+		t.Errorf("Session.Wait(%q) = (%v, %v)", h.ID(), got.Reports, ok)
+	}
+	if _, ok := s.Status(h.ID()); !ok {
+		t.Errorf("Session.Status(%q) not found", h.ID())
+	}
+	if _, ok := s.Status("nope"); ok {
+		t.Error("Status of an unknown job id succeeded")
+	}
+	if s.Cancel("nope") {
+		t.Error("Cancel of an unknown job id succeeded")
+	}
+}
+
+// TestSessionCancelDropsQueuedUnits: cancelling an in-flight job drops
+// its queued units, keeps the completed cells' reports, and leaves the
+// handle in the cancelled state.
+func TestSessionCancelDropsQueuedUnits(t *testing.T) {
+	s := newTestSession(t)
+	benches := []string{"SLU", "DP", "HT_Small", "MM_256_dop4", "VG", "BI"}
+	h := s.Enqueue(SweepRequest{
+		Jobs:     jobsFor(s, benches, []string{"GRWS"}),
+		Scale:    0.02,
+		Repeats:  4,
+		Parallel: 1,
+	})
+	h.Cancel()
+	res := h.Wait()
+	if !res.Cancelled {
+		t.Fatal("cancelled job reported Cancelled=false")
+	}
+	if res.UnitsDone >= res.Units {
+		t.Errorf("cancellation dropped nothing: %d/%d units ran", res.UnitsDone, res.Units)
+	}
+	st := h.Status()
+	if st.State != JobCancelled {
+		t.Errorf("state = %q, want %q", st.State, JobCancelled)
+	}
+	if st.UnitsDone+st.UnitsDropped != st.UnitsTotal {
+		t.Errorf("units don't add up: %d done + %d dropped != %d", st.UnitsDone, st.UnitsDropped, st.UnitsTotal)
+	}
+	// Only fully completed cells appear in the partial result.
+	cells := 0
+	for _, m := range res.Reports {
+		cells += len(m)
+	}
+	if cells*4 > res.UnitsDone {
+		t.Errorf("%d reported cells exceed %d completed units", cells, res.UnitsDone)
+	}
+
+	// A finished job can be evicted by the wire DELETE; afterwards the
+	// id is unknown.
+	if !s.Remove(h.ID()) {
+		t.Errorf("Remove(%q) failed on a finished job", h.ID())
+	}
+	if _, ok := s.Job(h.ID()); ok {
+		t.Error("removed job still registered")
+	}
+}
+
+// TestSessionJobRetention: finished jobs are evicted oldest-first
+// beyond RetainJobs; active jobs never are.
+func TestSessionJobRetention(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.RetainJobs = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := func() SweepRequest {
+		return SweepRequest{
+			Jobs:     jobsFor(s, []string{"SLU"}, []string{"GRWS"}),
+			Scale:    0.02,
+			Parallel: 1,
+		}
+	}
+	var last string
+	for i := 0; i < 5; i++ {
+		h := s.Enqueue(req())
+		h.Wait()
+		last = h.ID()
+	}
+	ids := s.JobIDs()
+	if len(ids) > 3 { // retain bound + the one admitted before eviction ran
+		t.Errorf("registry holds %d jobs (%v), want <= 3", len(ids), ids)
+	}
+	if _, ok := s.Job(last); !ok {
+		t.Errorf("most recent job %q was evicted", last)
 	}
 }
