@@ -4,15 +4,21 @@ GO ?= go
 
 # PERF_BASELINE is the committed BENCH_*.json the perf gate compares
 # against; update it when a PR intentionally moves the baseline.
-PERF_BASELINE ?= BENCH_20260726T224437.json
+PERF_BASELINE ?= BENCH_20260807T151451.json
 
-.PHONY: tier1 vet build test bench bench-json perfgate clean
+.PHONY: tier1 fmt vet build test chaos bench bench-json perfgate clean
 
-# tier1 is the repo's merge gate: vet, build, full test suite and the
-# short benchmark smoke (one iteration per benchmark proves the bench
-# harness still runs; perf numbers come from `make bench`).
-tier1: vet build test
+# tier1 is the repo's merge gate: formatting, vet, build, full test
+# suite and the short benchmark smoke (one iteration per benchmark
+# proves the bench harness still runs; perf numbers come from
+# `make bench`).
+tier1: fmt vet build test
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
+
+# fmt fails (listing the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +28,17 @@ build:
 
 test:
 	$(GO) test ./...
+
+# chaos repeats the failure-path suite under the race detector:
+# overload storms, mid-run cancellation, drain refusals, SIGKILL crash
+# recovery and journal replay — the tests most sensitive to timing, so
+# they get extra iterations beyond the single tier-1 pass.
+chaos:
+	$(GO) test -race -count=3 \
+		-run 'TestSessionOverloadStormByteIdentical|TestSessionCancelInterruptsInFlight|TestSessionDrain|TestSessionJobJournalReplay|TestHTTPOverloadAndDrain|TestCrashRecoverySIGKILL' \
+		./internal/service
+	$(GO) test -race -count=3 ./internal/jobstore
+	$(GO) test -race -count=3 -run 'TestCancel' ./internal/taskrt
 
 # bench runs the perf-tracking benchmarks with allocation stats.
 bench:

@@ -197,7 +197,7 @@ func runBench(outPath string, reuse bool) error {
 			totalTasks = 0
 			start := time.Now()
 			for i := 0; i < b.N; i++ {
-				res := sess.Submit(sweepReq())
+				res, _ := sess.Submit(sweepReq())
 				for _, m := range res.Reports {
 					for _, rep := range m {
 						totalTasks += rep.Stats.TasksExecuted * sweepRepeats

@@ -15,6 +15,16 @@
 //
 //	jossd [-listen ADDR] [-socket PATH] [-parallel N]
 //	      [-planstore FILE] [-saveevery N] [-retainjobs N]
+//	      [-maxjobs N] [-maxqueue N] [-jobstore FILE]
+//
+// -maxjobs/-maxqueue bound admission: excess requests get 429 Too Many
+// Requests with a Retry-After hint instead of queueing without bound.
+// -jobstore makes async jobs crash-durable: specs are journaled at
+// admission and results on completion, so after a crash or restart the
+// daemon still serves finished results byte-identically and reports
+// jobs that died mid-run as "interrupted". On SIGINT/SIGTERM the
+// daemon drains: admission stops (503 + Retry-After), in-flight jobs
+// finish, stores flush, then the process exits.
 //
 // Endpoints (see internal/service/http.go for the schema):
 //
@@ -57,13 +67,17 @@ func main() {
 		"persistent plan store shared with other jossd/jossbench/jossrun processes: loaded at startup, flushed lock-and-merge after requests")
 	saveEvery := flag.Int("saveevery", 1, "flush the plan store every N requests")
 	retainJobs := flag.Int("retainjobs", 0, "finished jobs kept for /jobs/{id} polling (0 = default 256)")
+	maxJobs := flag.Int("maxjobs", 0, "admission bound on concurrently admitted jobs (0 = unbounded); excess requests get 429")
+	maxQueue := flag.Int("maxqueue", 0, "admission bound on queued run units across all jobs (0 = unbounded); excess requests get 429")
+	jobStore := flag.String("jobstore", "",
+		"crash-durable job journal: specs recorded at admission, results on completion, replayed at startup")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: jossd [-listen ADDR] [-socket PATH] [-parallel N] [-planstore FILE] [-saveevery N] [-retainjobs N]")
+		fmt.Fprintln(os.Stderr, "usage: jossd [-listen ADDR] [-socket PATH] [-parallel N] [-planstore FILE] [-saveevery N] [-retainjobs N] [-maxjobs N] [-maxqueue N] [-jobstore FILE]")
 		os.Exit(2)
 	}
-	if *parallel < 0 || *saveEvery < 1 || *retainJobs < 0 {
-		fmt.Fprintln(os.Stderr, "jossd: -parallel must be >= 0, -saveevery >= 1 and -retainjobs >= 0")
+	if *parallel < 0 || *saveEvery < 1 || *retainJobs < 0 || *maxJobs < 0 || *maxQueue < 0 {
+		fmt.Fprintln(os.Stderr, "jossd: -parallel must be >= 0, -saveevery >= 1 and -retainjobs/-maxjobs/-maxqueue >= 0")
 		os.Exit(2)
 	}
 
@@ -78,6 +92,9 @@ func main() {
 	cfg.PlanStorePath = *planStore
 	cfg.SaveEvery = *saveEvery
 	cfg.RetainJobs = *retainJobs
+	cfg.MaxJobs = *maxJobs
+	cfg.MaxQueuedUnits = *maxQueue
+	cfg.JobStorePath = *jobStore
 	sess, err := service.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jossd:", err)
@@ -88,6 +105,11 @@ func main() {
 		fmt.Printf(", %d plans loaded from %s", sess.Plans().Len(), *planStore)
 	}
 	fmt.Println()
+	if *jobStore != "" {
+		if n := len(sess.RestoredSummaries()); n > 0 {
+			fmt.Printf("jossd: %d jobs replayed from %s\n", n, *jobStore)
+		}
+	}
 
 	var ln net.Listener
 	if *socket != "" {
@@ -110,12 +132,27 @@ func main() {
 	}
 	fmt.Printf("jossd: serving on %s\n", ln.Addr())
 
-	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain
-	// in-flight requests (killing one mid-SaveFileMerged would orphan
-	// the plan store's never-auto-broken .lock), then flush the store a
-	// final time so plans trained since the last periodic save survive.
-	// A second signal forces an immediate exit.
-	srv := &http.Server{Handler: service.NewHandler(sess)}
+	// The server is hardened against slow or stalled clients: a client
+	// must deliver its headers within 10 s and its (<= 1 MiB) body
+	// within a minute, and idle keep-alive connections are reaped.
+	// WriteTimeout stays generous because /sweep?stream=1 legitimately
+	// holds a response open for the length of a large sweep — it bounds
+	// a dead client, not a slow sweep.
+	srv := &http.Server{
+		Handler:           service.NewHandler(sess),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      30 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM, in dependency order: stop
+	// admitting (new requests get 503 + Retry-After), stop accepting
+	// and drain in-flight HTTP requests, wait out fire-and-forget async
+	// jobs no request is attached to (killing one mid-run would lose
+	// its journaled result), then flush and close the stores — the plan
+	// store a final time, the job journal under its lifetime lock. A
+	// second signal forces an immediate exit.
 	done := make(chan struct{})
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -127,9 +164,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "jossd: forced exit")
 			os.Exit(1)
 		}()
+		sess.StartDrain()
 		srv.Shutdown(context.Background())
+		sess.WaitIdle()
 		if err := sess.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "jossd: final plan store flush:", err)
+			fmt.Fprintln(os.Stderr, "jossd: final store flush:", err)
 		}
 		if *socket != "" {
 			os.Remove(*socket)

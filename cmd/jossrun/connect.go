@@ -5,8 +5,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"net/http"
+	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,6 +34,98 @@ func daemonClient(target string) (*http.Client, string, error) {
 		return nil, "", fmt.Errorf("-connect wants http://host:port or unix://PATH, got %q", target)
 	}
 	return http.DefaultClient, strings.TrimSuffix(target, "/"), nil
+}
+
+// Retry policy for transient daemon failures: exponential backoff from
+// retryBase, doubling per attempt, capped at retryCap, with half-range
+// jitter so a burst of refused clients doesn't re-arrive in lockstep.
+const (
+	retryBase = 200 * time.Millisecond
+	retryCap  = 5 * time.Second
+)
+
+// remote is a connection to one jossd daemon: the HTTP client for the
+// target (TCP or unix://), its base URL, and the retry budget spent on
+// transient failures.
+type remote struct {
+	client  *http.Client
+	base    string
+	retries int
+}
+
+func newRemote(target string, retries int) (*remote, error) {
+	client, base, err := daemonClient(target)
+	if err != nil {
+		return nil, err
+	}
+	return &remote{client: client, base: base, retries: retries}, nil
+}
+
+// retryable reports whether a response status is worth retrying: 429
+// means admission was refused — the request was NOT accepted, so a
+// retry cannot duplicate work — and 5xx covers transient server states
+// (503 drain, gateway errors). Other 4xx are permanent client errors.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// retryDelay returns how long to wait after failed attempt (0-based):
+// the daemon's own Retry-After hint when it sent one, otherwise
+// jittered exponential backoff.
+func retryDelay(attempt int, retryAfter string) time.Duration {
+	if sec, err := strconv.Atoi(retryAfter); err == nil && sec >= 0 {
+		d := time.Duration(sec) * time.Second
+		if d > retryCap {
+			d = retryCap
+		}
+		return d
+	}
+	d := retryBase << attempt
+	if d <= 0 || d > retryCap { // <= 0 catches shift overflow
+		d = retryCap
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// do issues one request, retrying transient failures — dial/transport
+// errors, 429 admission refusals and 5xx responses — up to r.retries
+// times. The body is replayed from bytes on each attempt. A response
+// with any other status is returned as-is for the caller to decode.
+func (r *remote) do(method, path string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, r.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := r.client.Do(req)
+		retryAfter := ""
+		switch {
+		case err != nil:
+			lastErr = fmt.Errorf("reaching daemon: %w (is jossd running?)", err)
+		case retryable(resp.StatusCode):
+			retryAfter = resp.Header.Get("Retry-After")
+			lastErr = fmt.Errorf("daemon refused the request: %s", resp.Status)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		default:
+			return resp, nil
+		}
+		if attempt >= r.retries {
+			return nil, lastErr
+		}
+		d := retryDelay(attempt, retryAfter)
+		fmt.Fprintf(os.Stderr, "jossrun: %v; retrying in %v (attempt %d/%d)\n",
+			lastErr, d.Round(time.Millisecond), attempt+1, r.retries)
+		time.Sleep(d)
+	}
 }
 
 // constrainedName spells the scheduler the way the service parses it:
@@ -75,8 +171,8 @@ func decodeOrError(resp *http.Response, okCode int, out any) error {
 // asyncRemote enqueues one run as a fire-and-forget job on the daemon
 // (POST /jobs) and prints the job id — the handle for `jossrun
 // -connect ... -watch ID` or plain curl polling.
-func asyncRemote(target, bench, schedName string, speedup, scale float64, seed int64, repeats int) error {
-	client, base, err := daemonClient(target)
+func asyncRemote(target, bench, schedName string, speedup, scale float64, seed int64, repeats, retries int) error {
+	r, err := newRemote(target, retries)
 	if err != nil {
 		return err
 	}
@@ -90,9 +186,9 @@ func asyncRemote(target, bench, schedName string, speedup, scale float64, seed i
 	if err != nil {
 		return err
 	}
-	resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(reqBody))
+	resp, err := r.do(http.MethodPost, "/jobs", reqBody)
 	if err != nil {
-		return fmt.Errorf("reaching daemon: %w (is jossd running?)", err)
+		return err
 	}
 	var created service.WireJobCreated
 	if err := decodeOrError(resp, http.StatusAccepted, &created); err != nil {
@@ -107,16 +203,16 @@ func asyncRemote(target, bench, schedName string, speedup, scale float64, seed i
 
 // watchRemote polls a daemon job (GET /jobs/{id}) until it completes,
 // printing progress as it changes, then renders the result.
-func watchRemote(target, jobID string) error {
-	client, base, err := daemonClient(target)
+func watchRemote(target, jobID string, retries int) error {
+	r, err := newRemote(target, retries)
 	if err != nil {
 		return err
 	}
 	lastLine := ""
 	for {
-		resp, err := client.Get(base + "/jobs/" + jobID)
+		resp, err := r.do(http.MethodGet, "/jobs/"+jobID, nil)
 		if err != nil {
-			return fmt.Errorf("reaching daemon: %w (is jossd running?)", err)
+			return err
 		}
 		var st service.WireJobStatus
 		if err := decodeOrError(resp, http.StatusOK, &st); err != nil {
@@ -156,8 +252,8 @@ func watchRemote(target, jobID string) error {
 
 // runRemote posts one run request to a jossd daemon and prints the
 // served report.
-func runRemote(target, bench, schedName string, speedup, scale float64, seed int64, repeats int) error {
-	client, base, err := daemonClient(target)
+func runRemote(target, bench, schedName string, speedup, scale float64, seed int64, repeats, retries int) error {
+	r, err := newRemote(target, retries)
 	if err != nil {
 		return err
 	}
@@ -173,9 +269,9 @@ func runRemote(target, bench, schedName string, speedup, scale float64, seed int
 	}
 
 	start := time.Now()
-	resp, err := client.Post(base+"/run", "application/json", bytes.NewReader(reqBody))
+	resp, err := r.do(http.MethodPost, "/run", reqBody)
 	if err != nil {
-		return fmt.Errorf("reaching daemon: %w (is jossd running?)", err)
+		return err
 	}
 	var res service.WireRunResult
 	if err := decodeOrError(resp, http.StatusOK, &res); err != nil {

@@ -5,8 +5,8 @@
 // Usage:
 //
 //	jossrun [-scale F] [-seed N] [-speedup S] [-planstore FILE] -bench NAME -sched NAME
-//	jossrun -connect URL [-scale F] [-seed N] [-repeats N] [-speedup S] -bench NAME -sched NAME
-//	jossrun -connect URL -async [-scale F] [-seed N] [-repeats N] -bench NAME -sched NAME
+//	jossrun -connect URL [-retries N] [-scale F] [-seed N] [-repeats N] [-speedup S] -bench NAME -sched NAME
+//	jossrun -connect URL -async [-retries N] [-scale F] [-seed N] [-repeats N] -bench NAME -sched NAME
 //	jossrun -connect URL -watch JOBID
 //
 // Benchmarks: the 21 Figure 8 configurations (e.g. SLU, MM_256_dop4).
@@ -25,6 +25,11 @@
 // dispatcher interleaves it with other requests, and -watch JOBID
 // attaches later — polling GET /jobs/JOBID with progress lines until
 // the result is served (or the job is cancelled via DELETE).
+//
+// Transient failures — the daemon unreachable, 429 when its admission
+// bounds are full, 5xx while it drains — are retried up to -retries
+// times with jittered exponential backoff, honouring the daemon's
+// Retry-After hint; -retries 0 fails fast on the first refusal.
 package main
 
 import (
@@ -58,6 +63,8 @@ func main() {
 	watch := flag.String("watch", "",
 		"with -connect: attach to an existing daemon job by id, poll its progress and print the result")
 	repeats := flag.Int("repeats", 1, "with -connect: seeds per cell, averaged on the daemon")
+	retries := flag.Int("retries", 4,
+		"with -connect: retries for transient failures (dial errors, 429 overload, 5xx), with jittered exponential backoff honouring Retry-After")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file")
 	gantt := flag.Bool("gantt", false, "print a text Gantt chart of the run")
 	dotOut := flag.String("dot", "", "write the task DAG in Graphviz DOT format (truncated to 400 tasks)")
@@ -72,16 +79,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "jossrun: -trace/-gantt/-dot/-planstore are local-run options (the daemon owns its plan store)")
 			os.Exit(2)
 		}
+		if *retries < 0 {
+			fmt.Fprintln(os.Stderr, "jossrun: -retries must be >= 0")
+			os.Exit(2)
+		}
 		var err error
 		switch {
 		case *async && *watch != "":
 			err = fmt.Errorf("-async enqueues a new job, -watch attaches to an existing one; pick one")
 		case *watch != "":
-			err = watchRemote(*connect, *watch)
+			err = watchRemote(*connect, *watch, *retries)
 		case *async:
-			err = asyncRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *repeats)
+			err = asyncRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *repeats, *retries)
 		default:
-			err = runRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *repeats)
+			err = runRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *repeats, *retries)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jossrun:", err)

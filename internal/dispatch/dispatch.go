@@ -29,14 +29,64 @@
 //
 // Cancellation is cooperative and unit-granular: Cancel drops a job's
 // queued units; in-flight units run to completion (a simulation step
-// is not interruptible) and the job finishes once they drain.
+// is not interruptible) and the job finishes once they drain. Callers
+// that can abort a unit mid-run (the service's runtimes poll a cancel
+// flag) layer that on top of Spec.Run.
+//
+// Overload is handled at admission, not by queueing without bound:
+// SetLimits caps the jobs in flight and the queued units across the
+// pool, and Admit rejects excess jobs with an error matching
+// ErrOverloaded so the serving layer can shed load (HTTP 429) instead
+// of accumulating latency.
 package dispatch
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 )
+
+// ErrOverloaded is the sentinel matched (via errors.Is) by admission
+// rejections. The concrete error is an *OverloadError carrying the
+// pool occupancy that triggered the rejection.
+var ErrOverloaded = errors.New("dispatch: pool overloaded")
+
+// OverloadError reports an admission rejection against the pool's
+// configured Limits. errors.Is(err, ErrOverloaded) is true.
+type OverloadError struct {
+	Jobs           int // jobs in flight at rejection
+	MaxJobs        int // configured bound (0 = unbounded)
+	QueuedUnits    int // undispatched units at rejection, job included
+	MaxQueuedUnits int // configured bound (0 = unbounded)
+}
+
+func (e *OverloadError) Error() string {
+	jobs := fmt.Sprintf("%d jobs", e.Jobs)
+	if e.MaxJobs > 0 {
+		jobs = fmt.Sprintf("%d/%d jobs", e.Jobs, e.MaxJobs)
+	}
+	units := fmt.Sprintf("%d queued units", e.QueuedUnits)
+	if e.MaxQueuedUnits > 0 {
+		units = fmt.Sprintf("%d/%d queued units", e.QueuedUnits, e.MaxQueuedUnits)
+	}
+	return "dispatch: pool overloaded (" + jobs + ", " + units + ")"
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match without callers needing
+// the concrete type.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// Limits bounds pool occupancy at admission. Zero values mean
+// unbounded; the zero Limits preserves the historical accept-everything
+// behaviour.
+type Limits struct {
+	// MaxJobs caps jobs admitted and not yet finished.
+	MaxJobs int
+	// MaxQueuedUnits caps undispatched units summed over all jobs,
+	// counting the candidate job's own units.
+	MaxQueuedUnits int
+}
 
 // Unit identifies one schedulable unit of a job: one seeded repeat of
 // one cell.
@@ -59,6 +109,18 @@ type Spec struct {
 	// Width bounds the job's in-flight units (its share ceiling): a
 	// job never occupies more than Width workers at once.
 	Width int
+	// Weight scales the job's fair-share deficit: a job accrues
+	// attained service at cost/Weight per dispatched unit, so a
+	// Weight-2 job receives twice the unit throughput of a Weight-1
+	// job under contention. 0 means 1; negative panics.
+	Weight float64
+	// Deadline, when non-zero, breaks ties among jobs at equal
+	// attained service earliest-deadline-first; a job with a deadline
+	// beats one without. The unit is caller-defined but must be
+	// consistent across the jobs sharing a pool (the service uses
+	// milliseconds since session start). Deadlines order work, they
+	// do not expire it.
+	Deadline int64
 	// Run executes one unit on the given worker slot. It is called
 	// from pool worker goroutines, never concurrently for the same
 	// worker id, and must not panic.
@@ -85,6 +147,8 @@ type Job struct {
 	spec Spec
 	seq  uint64
 
+	weight float64 // spec.Weight defaulted to 1; immutable after Admit
+
 	// All fields below are guarded by pool.mu.
 	queue     []Unit // pending units, largest cell first; head is next
 	head      int
@@ -92,7 +156,7 @@ type Job struct {
 	done      int
 	dropped   int
 	cellDone  []int
-	served    int64
+	served    float64 // virtual attained service: Σ cost/weight
 	cancelled bool
 	completed bool
 
@@ -107,6 +171,9 @@ type Pool struct {
 	workers int
 	nextSeq uint64
 	closed  bool
+	limits  Limits
+	active  int // admitted, not yet finished (excludes zero-unit jobs)
+	queued  int // undispatched units across all jobs
 }
 
 // NewPool builds a pool with the given number of workers (more can be
@@ -137,6 +204,21 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// SetLimits installs admission bounds; the zero Limits removes them.
+// Already-admitted jobs are unaffected.
+func (p *Pool) SetLimits(l Limits) {
+	p.mu.Lock()
+	p.limits = l
+	p.mu.Unlock()
+}
+
+// Occupancy reports the jobs in flight and undispatched queued units.
+func (p *Pool) Occupancy() (jobs, queuedUnits int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active, p.queued
+}
+
 // Close makes idle workers exit. It is a test convenience: a closed
 // pool must not be admitted to, and jobs should be drained first.
 func (p *Pool) Close() {
@@ -149,20 +231,30 @@ func (p *Pool) Close() {
 // Admit enters a job into the multi-queue and returns its handle. The
 // job's attained-service counter starts at the minimum of the active
 // jobs' (fairness from admission onward, not replayed history). A job
-// with zero units is returned already finished.
-func (p *Pool) Admit(spec Spec) *Job {
+// with zero units is returned already finished and is never counted
+// against Limits. When admitting the job would exceed the pool's
+// Limits, Admit returns an *OverloadError (matching ErrOverloaded)
+// and the job is not entered. Malformed specs panic: they are caller
+// bugs, not load conditions.
+func (p *Pool) Admit(spec Spec) (*Job, error) {
 	if spec.Cells < 0 || spec.Repeats < 0 {
 		panic(fmt.Sprintf("dispatch: negative Cells (%d) or Repeats (%d)", spec.Cells, spec.Repeats))
 	}
 	if len(spec.Costs) != spec.Cells {
 		panic(fmt.Sprintf("dispatch: %d costs for %d cells", len(spec.Costs), spec.Cells))
 	}
-	j := &Job{pool: p, spec: spec, finished: make(chan struct{})}
+	if spec.Weight < 0 {
+		panic(fmt.Sprintf("dispatch: negative Weight (%g)", spec.Weight))
+	}
+	j := &Job{pool: p, spec: spec, weight: spec.Weight, finished: make(chan struct{})}
+	if j.weight == 0 {
+		j.weight = 1
+	}
 	total := spec.Cells * spec.Repeats
 	if total == 0 {
 		j.completed = true
 		close(j.finished)
-		return j
+		return j, nil
 	}
 	if spec.Width < 1 {
 		panic(fmt.Sprintf("dispatch: Width must be >= 1, got %d", spec.Width))
@@ -197,6 +289,17 @@ func (p *Pool) Admit(spec Spec) *Job {
 		p.mu.Unlock()
 		panic("dispatch: Admit on a closed pool")
 	}
+	if (p.limits.MaxJobs > 0 && p.active >= p.limits.MaxJobs) ||
+		(p.limits.MaxQueuedUnits > 0 && p.queued+total > p.limits.MaxQueuedUnits) {
+		err := &OverloadError{
+			Jobs:           p.active,
+			MaxJobs:        p.limits.MaxJobs,
+			QueuedUnits:    p.queued + total,
+			MaxQueuedUnits: p.limits.MaxQueuedUnits,
+		}
+		p.mu.Unlock()
+		return nil, err
+	}
 	j.seq = p.nextSeq
 	p.nextSeq++
 	for _, other := range p.jobs {
@@ -204,27 +307,50 @@ func (p *Pool) Admit(spec Spec) *Job {
 			j.served = other.served
 		}
 	}
+	p.active++
+	p.queued += total
 	p.jobs = append(p.jobs, j)
 	p.cond.Broadcast()
 	p.mu.Unlock()
-	return j
+	return j, nil
+}
+
+// beats reports whether job a should be served before job b. Called
+// with p.mu held.
+func beats(a, b *Job) bool {
+	// Least attained service wins. With unit weights and integer
+	// costs, served values are exact in float64, so ties compare
+	// exactly as they did under integer accounting.
+	if a.served != b.served {
+		return a.served < b.served
+	}
+	// At equal attained service, earliest deadline first; a job with
+	// a deadline beats one without.
+	da, db := a.spec.Deadline, b.spec.Deadline
+	if da != db {
+		if da == 0 || db == 0 {
+			return da != 0
+		}
+		return da < db
+	}
+	// Final tie goes to the newest job, so a just-admitted job
+	// (normalised to the minimum attained service) gets the very next
+	// free worker — the overtake that bounds small-request latency —
+	// and then interleaves fairly once its own service accrues.
+	return a.seq > b.seq
 }
 
 // pick selects the next unit under the fair-share policy, or nil when
-// no job has an eligible unit. Called with p.mu held.
-func (p *Pool) pick() (*Job, Unit, int64) {
+// no job has an eligible unit. The returned quantum is the virtual
+// service the dispatching worker must charge (cost/weight). Called
+// with p.mu held.
+func (p *Pool) pick() (*Job, Unit, float64) {
 	var best *Job
 	for _, j := range p.jobs {
 		if j.head >= len(j.queue) || j.inflight >= j.spec.Width {
 			continue
 		}
-		// Least attained service wins; ties go to the newest job, so
-		// a just-admitted job (normalised to the minimum attained
-		// service) gets the very next free worker — the overtake that
-		// bounds small-request latency — and then interleaves fairly
-		// once its own service accrues.
-		if best == nil || j.served < best.served ||
-			(j.served == best.served && j.seq > best.seq) {
+		if best == nil || beats(j, best) {
 			best = j
 		}
 	}
@@ -233,13 +359,14 @@ func (p *Pool) pick() (*Job, Unit, int64) {
 	}
 	u := best.queue[best.head]
 	best.head++
+	p.queued--
 	// A zero-cost cell still consumes a worker; floor the quantum at 1
 	// so fair-share accounting always advances.
 	cost := int64(best.spec.Costs[u.Cell])
 	if cost < 1 {
 		cost = 1
 	}
-	return best, u, cost
+	return best, u, float64(cost) / best.weight
 }
 
 // remove drops j from the dispatchable set. Called with p.mu held.
@@ -255,7 +382,7 @@ func (p *Pool) remove(j *Job) {
 func (p *Pool) worker(id int) {
 	p.mu.Lock()
 	for {
-		j, u, cost := p.pick()
+		j, u, quantum := p.pick()
 		if j == nil {
 			if p.closed {
 				p.mu.Unlock()
@@ -265,7 +392,7 @@ func (p *Pool) worker(id int) {
 			continue
 		}
 		j.inflight++
-		j.served += cost
+		j.served += quantum
 		if j.head >= len(j.queue) {
 			// Nothing left to dispatch; stop offering the job.
 			p.remove(j)
@@ -290,6 +417,7 @@ func (p *Pool) worker(id int) {
 		finished := j.inflight == 0 && j.head >= len(j.queue) && !j.completed
 		if finished {
 			j.completed = true
+			p.active--
 		}
 		// A unit completing frees a slot a width-limited sibling job
 		// may have been waiting for.
@@ -314,10 +442,12 @@ func (j *Job) Cancel() {
 	j.cancelled = true
 	j.dropped = len(j.queue) - j.head
 	j.head = len(j.queue)
+	p.queued -= j.dropped
 	p.remove(j)
 	finished := j.inflight == 0
 	if finished {
 		j.completed = true
+		p.active--
 	}
 	p.mu.Unlock()
 	if finished {

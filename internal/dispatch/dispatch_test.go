@@ -1,11 +1,24 @@
 package dispatch
 
 import (
+	"errors"
 	"reflect"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 )
+
+// mustAdmit admits a spec that the test expects to fit within the
+// pool's limits.
+func mustAdmit(t *testing.T, p *Pool, spec Spec) *Job {
+	t.Helper()
+	j, err := p.Admit(spec)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	return j
+}
 
 // TestLargestCellFirstWithinJob pins the within-job dispatch order on
 // a single worker: units run largest cell first, a cell's repeats
@@ -15,7 +28,7 @@ func TestLargestCellFirstWithinJob(t *testing.T) {
 	defer p.Close()
 	var mu sync.Mutex
 	var order []Unit
-	j := p.Admit(Spec{
+	j := mustAdmit(t, p, Spec{
 		Cells:   3,
 		Repeats: 2,
 		Costs:   []int{5, 40, 5},
@@ -47,7 +60,7 @@ func gatedJob(p *Pool, tag string, cells, repeats, cost, width int,
 	for i := range costs {
 		costs[i] = cost
 	}
-	j := p.Admit(Spec{
+	j, err := p.Admit(Spec{
 		Cells:   cells,
 		Repeats: repeats,
 		Costs:   costs,
@@ -62,6 +75,9 @@ func gatedJob(p *Pool, tag string, cells, repeats, cost, width int,
 			<-release
 		},
 	})
+	if err != nil {
+		panic(err)
+	}
 	return j, release
 }
 
@@ -156,7 +172,7 @@ func TestCancelDropsQueuedUnits(t *testing.T) {
 	var cellsDone []int
 	started := make(chan string, 8)
 	release := make(chan struct{})
-	j := p.Admit(Spec{
+	j := mustAdmit(t, p, Spec{
 		Cells:   5,
 		Repeats: 1,
 		Costs:   []int{9, 8, 7, 6, 5},
@@ -201,7 +217,7 @@ func TestCancelDropsQueuedUnits(t *testing.T) {
 func TestZeroUnitJobIsBornFinished(t *testing.T) {
 	p := NewPool(1)
 	defer p.Close()
-	j := p.Admit(Spec{Cells: 0, Repeats: 4, Costs: nil})
+	j := mustAdmit(t, p, Spec{Cells: 0, Repeats: 4, Costs: nil})
 	j.Wait()
 	if pr := j.Progress(); !pr.Finished || pr.Total != 0 {
 		t.Errorf("progress = %+v, want finished with 0 units", pr)
@@ -215,7 +231,7 @@ func TestOnCellDoneCountsRepeats(t *testing.T) {
 	p := NewPool(3)
 	defer p.Close()
 	var fired atomic.Int64
-	j := p.Admit(Spec{
+	j := mustAdmit(t, p, Spec{
 		Cells:   4,
 		Repeats: 3,
 		Costs:   []int{1, 2, 3, 4},
@@ -246,7 +262,7 @@ func TestManyConcurrentJobs(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			j := p.Admit(Spec{
+			j := mustAdmit(t, p, Spec{
 				Cells:   3,
 				Repeats: 2,
 				Costs:   []int{i, 2 * i, 3 * i},
@@ -279,7 +295,7 @@ func TestGrow(t *testing.T) {
 		t.Fatalf("pool has %d workers, want 3", n)
 	}
 	seen := make(chan int, 8)
-	j := p.Admit(Spec{Cells: 8, Repeats: 1, Costs: make([]int, 8), Width: 3,
+	j := mustAdmit(t, p, Spec{Cells: 8, Repeats: 1, Costs: make([]int, 8), Width: 3,
 		Run: func(w int, _ Unit) { seen <- w }})
 	j.Wait()
 	close(seen)
@@ -288,4 +304,179 @@ func TestGrow(t *testing.T) {
 			t.Errorf("unit ran on worker %d, want [0,3)", w)
 		}
 	}
+}
+
+// TestWeightScalesShare pins the weighted deficit policy on a single
+// worker: a Weight-2 job accrues service at half rate, so it receives
+// two units for every one of a Weight-1 job under contention.
+func TestWeightScalesShare(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	started := make(chan string, 16)
+	release := make(chan struct{})
+	admit := func(tag string, units int, weight float64) *Job {
+		costs := make([]int, units)
+		for i := range costs {
+			costs[i] = 10
+		}
+		return mustAdmit(t, p, Spec{
+			Cells: units, Repeats: 1, Costs: costs, Width: 1, Weight: weight,
+			Run: func(int, Unit) {
+				started <- tag
+				<-release
+			},
+		})
+	}
+	// Occupy the worker so heavy and light queue up together.
+	gate := admit("gate", 1, 0)
+	<-started
+	heavy := admit("heavy", 6, 2)
+	light := admit("light", 3, 1)
+
+	// One release frees the worker per step, so each start is
+	// unambiguous. Both jobs enter at attained service 0; light (the
+	// newest) wins the first tie, then heavy's half-rate accrual earns
+	// it two units per light unit: l h h l h h l h h.
+	want := []string{"light", "heavy", "heavy", "light", "heavy", "heavy", "light", "heavy", "heavy"}
+	for step, w := range want {
+		release <- struct{}{}
+		if got := <-started; got != w {
+			t.Fatalf("step %d: ran %q, want %q", step, got, w)
+		}
+	}
+	release <- struct{}{} // last in-flight unit
+	gate.Wait()
+	heavy.Wait()
+	light.Wait()
+}
+
+// TestDeadlineBreaksTies pins the EDF tie-break: among jobs at equal
+// attained service, the earliest deadline runs first, a job with a
+// deadline beats one without, and only then does newest-seq decide.
+func TestDeadlineBreaksTies(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	admit := func(tag string, deadline int64) *Job {
+		return mustAdmit(t, p, Spec{
+			Cells: 1, Repeats: 1, Costs: []int{10}, Width: 1, Deadline: deadline,
+			Run: func(int, Unit) {
+				started <- tag
+				<-release
+			},
+		})
+	}
+	gate := admit("gate", 0)
+	<-started
+	// Admission order deliberately disagrees with deadline order, and
+	// the newest job has no deadline at all.
+	a := admit("a", 200)
+	b := admit("b", 100)
+	c := admit("c", 0)
+
+	for step, w := range []string{"b", "a", "c"} {
+		release <- struct{}{}
+		if got := <-started; got != w {
+			t.Fatalf("step %d: ran %q, want %q", step, got, w)
+		}
+	}
+	release <- struct{}{}
+	for _, j := range []*Job{gate, a, b, c} {
+		j.Wait()
+	}
+}
+
+// TestAdmissionQueuedUnitsBound: with MaxQueuedUnits set, Admit
+// rejects jobs whose units would exceed the undispatched backlog, the
+// rejection matches ErrOverloaded and carries the occupancy, and
+// Cancel releases capacity. A zero-worker pool keeps the backlog
+// deterministic.
+func TestAdmissionQueuedUnitsBound(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	p.SetLimits(Limits{MaxQueuedUnits: 10})
+	noop := func(int, Unit) {}
+	admit := func(units int) (*Job, error) {
+		costs := make([]int, units)
+		return p.Admit(Spec{Cells: units, Repeats: 1, Costs: costs, Width: 1, Run: noop})
+	}
+	first, err := admit(6)
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if _, err := admit(5); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-budget admit: err = %v, want ErrOverloaded", err)
+	} else {
+		var oe *OverloadError
+		if !errors.As(err, &oe) || oe.QueuedUnits != 11 || oe.MaxQueuedUnits != 10 {
+			t.Fatalf("overload detail = %+v, want 11/10 queued units", err)
+		}
+	}
+	if _, err := admit(4); err != nil {
+		t.Fatalf("exact-fit admit: %v", err)
+	}
+	if jobs, queued := p.Occupancy(); jobs != 2 || queued != 10 {
+		t.Fatalf("occupancy = %d jobs, %d queued; want 2, 10", jobs, queued)
+	}
+	// Zero-unit jobs bypass admission accounting entirely.
+	if _, err := admit(0); err != nil {
+		t.Fatalf("zero-unit admit: %v", err)
+	}
+	first.Cancel()
+	first.Wait()
+	if _, err := admit(5); err != nil {
+		t.Fatalf("admit after cancel freed capacity: %v", err)
+	}
+}
+
+// TestAdmissionJobBound: MaxJobs caps jobs in flight; completion and
+// cancellation both release slots.
+func TestAdmissionJobBound(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	p.SetLimits(Limits{MaxJobs: 2})
+	noop := func(int, Unit) {}
+	admit := func() (*Job, error) {
+		return p.Admit(Spec{Cells: 1, Repeats: 1, Costs: []int{1}, Width: 1, Run: noop})
+	}
+	a, err := admit()
+	if err != nil {
+		t.Fatalf("admit a: %v", err)
+	}
+	b, err := admit()
+	if err != nil {
+		t.Fatalf("admit b: %v", err)
+	}
+	if _, err := admit(); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third admit: err = %v, want ErrOverloaded", err)
+	}
+	a.Cancel()
+	a.Wait()
+	c, err := admit()
+	if err != nil {
+		t.Fatalf("admit after cancel: %v", err)
+	}
+	// Draining the queue through a worker releases slots too.
+	p.Grow(1)
+	b.Wait()
+	c.Wait()
+	deadlineWait(t, func() bool { jobs, _ := p.Occupancy(); return jobs == 0 })
+	if _, err := admit(); err != nil {
+		t.Fatalf("admit after completion: %v", err)
+	}
+}
+
+// deadlineWait polls cond until true, failing the test if it never
+// holds. The polled state changes shortly after an observable event
+// (Job.Wait returning), so this converges in a few iterations.
+func deadlineWait(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		if cond() {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatal("condition never held")
 }

@@ -188,7 +188,13 @@ func (e *Env) sweep(jobs []sweepJob) map[string]map[string]taskrt.Report {
 	for i, j := range jobs {
 		req.Jobs[i] = service.Job{Workload: j.wl, Label: j.label, Make: j.mk}
 	}
-	return e.session.Submit(req).Reports
+	res, err := e.session.Submit(req)
+	if err != nil {
+		// The Env owns its session and never configures admission
+		// bounds or drains it, so Submit cannot be refused.
+		panic(fmt.Sprintf("exp: session refused sweep: %v", err))
+	}
+	return res.Reports
 }
 
 // LoadPlanStore merges a persisted plan store (written by

@@ -1,0 +1,46 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package jobstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"time"
+)
+
+// acquireStoreLock takes an exclusive flock(2) on the journal's
+// sibling lock file, retrying (non-blocking, so the timeout stays
+// enforceable) until storeLockTimeout. Same discipline as the plan
+// store's lock (internal/sched): the kernel drops a dead process's
+// flock with its descriptors, so a daemon killed mid-append never
+// orphans the journal — the restarted daemon acquires immediately.
+// The lock file is deliberately never unlinked: the lock lives on the
+// descriptor, and unlinking would let a third opener lock a fresh
+// inode while a second still spins on the old one.
+func acquireStoreLock(lock string) (func(), error) {
+	f, err := os.OpenFile(lock, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: acquiring journal lock: %w", err)
+	}
+	deadline := time.Now().Add(storeLockTimeout)
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		if err == nil {
+			return func() {
+				syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+				f.Close()
+			}, nil
+		}
+		if err != syscall.EWOULDBLOCK && err != syscall.EAGAIN {
+			f.Close()
+			return nil, fmt.Errorf("jobstore: acquiring journal lock: %w", err)
+		}
+		if time.Now().After(deadline) {
+			f.Close()
+			return nil, fmt.Errorf("jobstore: journal lock %s held for over %v by a live process",
+				lock, storeLockTimeout)
+		}
+		time.Sleep(storeLockRetry)
+	}
+}

@@ -1,0 +1,38 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package jobstore
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// acquireStoreLock is the portable fallback for platforms without
+// flock(2): the lock is the existence of the sibling file, taken via
+// O_CREATE|O_EXCL and retried until storeLockTimeout. Locks are never
+// broken automatically (git-style): a staleness heuristic races
+// against a live daemon re-acquiring, and a stolen lock readmits the
+// interleaved-append corruption this file exists to prevent. A lock
+// orphaned by a crashed daemon therefore times out with an error
+// naming it, and the operator removes it once.
+func acquireStoreLock(lock string) (func(), error) {
+	deadline := time.Now().Add(storeLockTimeout)
+	for {
+		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return func() { os.Remove(lock) }, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, fmt.Errorf("jobstore: acquiring journal lock: %w", err)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("jobstore: journal lock %s held for over %v (remove it if its owner is dead)",
+				lock, storeLockTimeout)
+		}
+		time.Sleep(storeLockRetry)
+	}
+}

@@ -10,6 +10,7 @@
 package service
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,10 @@ const (
 	JobCancelled JobState = "cancelled"
 	// JobDone: all units completed and the result is available.
 	JobDone JobState = "done"
+	// JobInterrupted: replayed from the job journal with a spec but no
+	// result — the previous process died while the job was admitted or
+	// running. Only restored jobs carry this state.
+	JobInterrupted JobState = "interrupted"
 )
 
 // CellResult is one completed cell of an in-flight job: the mean
@@ -93,6 +98,19 @@ type JobHandle struct {
 	cellReady   []bool
 	evals       atomic.Int64
 
+	// cancel is the cooperative abort flag every runtime executing
+	// this job's units polls (taskrt.Options.Cancel): Cancel sets it,
+	// bounding in-flight units to CancelPollEvents further simulated
+	// events instead of a full cell. cellAborted marks cells whose
+	// units were cut short — they are excluded from the result.
+	cancel      atomic.Bool
+	cellAborted []atomic.Bool
+	aborted     atomic.Int64
+
+	// journaled marks jobs whose spec went into the session's job
+	// store; finalize journals their result on completion.
+	journaled bool
+
 	cells chan CellResult
 
 	start  time.Time
@@ -103,9 +121,14 @@ type JobHandle struct {
 
 // Enqueue validates and admits a sweep request as a job, returning its
 // handle immediately. Validation matches Submit: zero Repeats/Parallel
-// take defaults, negative ones panic (the trusted Go-API contract; the
-// wire layer rejects them with a 400 before reaching here).
-func (s *Session) Enqueue(req SweepRequest) *JobHandle {
+// take defaults, negative ones (and negative Weight/DeadlineMS) panic
+// (the trusted Go-API contract; the wire layer rejects them with a 400
+// before reaching here). Admission can fail: a draining session
+// returns ErrDraining, a session at its configured admission bounds
+// returns an error matching dispatch.ErrOverloaded, and a session
+// with a job store propagates a failed spec journal write. On error
+// no job is registered.
+func (s *Session) Enqueue(req SweepRequest) (*JobHandle, error) {
 	if req.Repeats == 0 {
 		req.Repeats = 1
 	}
@@ -117,6 +140,15 @@ func (s *Session) Enqueue(req SweepRequest) *JobHandle {
 	}
 	if req.Parallel < 0 {
 		panic(fmt.Sprintf("service: SweepRequest.Parallel must be >= 1, got %d", req.Parallel))
+	}
+	if req.Weight < 0 {
+		panic(fmt.Sprintf("service: SweepRequest.Weight must be >= 0, got %g", req.Weight))
+	}
+	if req.DeadlineMS < 0 {
+		panic(fmt.Sprintf("service: SweepRequest.DeadlineMS must be >= 0, got %d", req.DeadlineMS))
+	}
+	if s.draining.Load() {
+		return nil, ErrDraining
 	}
 	plans := req.Plans
 	if plans == nil {
@@ -134,9 +166,18 @@ func (s *Session) Enqueue(req SweepRequest) *JobHandle {
 		unitReports: make([]taskrt.Report, nUnits),
 		cellMeans:   make([]taskrt.Report, nCells),
 		cellReady:   make([]bool, nCells),
+		cellAborted: make([]atomic.Bool, nCells),
 		cells:       make(chan CellResult, nCells),
 		start:       time.Now(),
 		doneCh:      make(chan struct{}),
+	}
+
+	// A relative deadline becomes absolute at admission, in
+	// milliseconds since the session epoch — the consistent unit the
+	// dispatcher's EDF tie-break requires.
+	var deadline int64
+	if req.DeadlineMS > 0 {
+		deadline = time.Since(s.epoch).Milliseconds() + req.DeadlineMS
 	}
 
 	s.jobMu.Lock()
@@ -149,17 +190,30 @@ func (s *Session) Enqueue(req SweepRequest) *JobHandle {
 	s.jobMu.Unlock()
 
 	s.ensureWorkers(h.width)
-	h.d = s.pool.Admit(dispatch.Spec{
-		Cells:   nCells,
-		Repeats: req.Repeats,
-		Costs:   s.cellCosts(req.Jobs, req.Scale, make([]int, 0, nCells)),
-		Width:   h.width,
+	d, err := s.pool.Admit(dispatch.Spec{
+		Cells:    nCells,
+		Repeats:  req.Repeats,
+		Costs:    s.cellCosts(req.Jobs, req.Scale, make([]int, 0, nCells)),
+		Width:    h.width,
+		Weight:   req.Weight,
+		Deadline: deadline,
 		Run: func(wid int, u dispatch.Unit) {
-			rep, evals := s.runUnit(s.workerAt(wid), h, u.Cell, u.Repeat)
-			h.unitReports[u.Cell*req.Repeats+u.Repeat] = rep
+			rep, evals, aborted := s.runUnit(s.workerAt(wid), h, u.Cell, u.Repeat)
 			h.evals.Add(int64(evals))
+			if aborted {
+				h.cellAborted[u.Cell].Store(true)
+				h.aborted.Add(1)
+				return
+			}
+			h.unitReports[u.Cell*req.Repeats+u.Repeat] = rep
 		},
 		OnCellDone: func(cell int) {
+			if h.cellAborted[cell].Load() {
+				// One of the cell's repeats was cut short by Cancel;
+				// a mean over partial repeats would be wrong, so the
+				// cell is neither announced nor reported.
+				return
+			}
 			// The cell's last repeat just completed on this worker; the
 			// buffered send (capacity = cell count) cannot block.
 			h.cellMeans[cell] = taskrt.MeanReport(
@@ -173,8 +227,46 @@ func (s *Session) Enqueue(req SweepRequest) *JobHandle {
 			}
 		},
 	})
+	if err != nil {
+		s.unregister(h.id)
+		return nil, err
+	}
+	h.d = d
+
+	// Journal the spec before finalize can possibly journal the
+	// result (finalize starts below), so replay never sees a result
+	// without its spec.
+	if s.store != nil && req.WireSpec != nil {
+		if jerr := s.store.AppendSpec(h.id, req.WireSpec); jerr != nil {
+			// Durability was requested and cannot be honoured: refuse
+			// the job rather than run it untracked.
+			d.Cancel()
+			d.Wait()
+			s.unregister(h.id)
+			return nil, jerr
+		}
+		h.journaled = true
+	}
 	go s.finalize(h)
-	return h
+	return h, nil
+}
+
+// unregister removes a job admitted by Enqueue whose admission later
+// failed; it never runs once finalize has been started.
+func (s *Session) unregister(id string) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	h, ok := s.jobsByID[id]
+	if !ok {
+		return
+	}
+	delete(s.jobsByID, id)
+	for i, o := range s.jobOrder {
+		if o == h {
+			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 // evictLocked drops the oldest finished jobs beyond the retention
@@ -200,12 +292,13 @@ func (s *Session) finalize(h *JobHandle) {
 
 	p := h.d.Progress()
 	res := SweepResult{
-		Reports:   make(map[string]map[string]taskrt.Report),
-		PlanEvals: int(h.evals.Load()),
-		Units:     p.Total,
-		UnitsDone: p.Done,
-		Workers:   h.width,
-		Cancelled: p.Cancelled,
+		Reports:     make(map[string]map[string]taskrt.Report),
+		PlanEvals:   int(h.evals.Load()),
+		Units:       p.Total,
+		UnitsDone:   p.Done,
+		Workers:     h.width,
+		Cancelled:   p.Cancelled,
+		Interrupted: int(h.aborted.Load()),
 	}
 	for i, j := range h.req.Jobs {
 		if !h.cellReady[i] {
@@ -261,6 +354,17 @@ func (s *Session) finalize(h *JobHandle) {
 
 	h.end = time.Now()
 	h.result = res
+	// Journal the result before publishing completion, so a shutdown
+	// ordered on WaitIdle cannot close the store under this append and
+	// a journaled "done" is never observable before it is durable.
+	if h.journaled {
+		if b, err := json.Marshal(h.s.wireSweepResult(res, h.end.Sub(h.start).Seconds())); err == nil {
+			// A failed append leaves the spec without a result: the
+			// job replays as interrupted, which is honest — its result
+			// did not survive.
+			_ = h.s.store.AppendResult(h.id, b)
+		}
+	}
 	close(h.doneCh)
 }
 
@@ -287,10 +391,15 @@ func (h *JobHandle) Done() <-chan struct{} { return h.doneCh }
 // count, so an unconsumed stream never blocks workers.
 func (h *JobHandle) Cells() <-chan CellResult { return h.cells }
 
-// Cancel drops the job's queued units; in-flight units complete (a
-// simulation step is not interruptible) and the job then finishes with
-// a partial result. Safe to call repeatedly and after completion.
-func (h *JobHandle) Cancel() { h.d.Cancel() }
+// Cancel drops the job's queued units and flips the cooperative abort
+// flag the job's running simulations poll, so in-flight units unwind
+// within taskrt.CancelPollEvents simulated events instead of running
+// their cell to completion. The job then finishes with a partial
+// result. Safe to call repeatedly and after completion.
+func (h *JobHandle) Cancel() {
+	h.cancel.Store(true)
+	h.d.Cancel()
+}
 
 // Status snapshots the job's progress. State and unit counts come
 // from one dispatch snapshot, so they never contradict each other.

@@ -16,7 +16,8 @@
 //	               exactly the synchronous /sweep response
 //	POST /run      {bench, sched, scale, seed, repeats, share_plans, ...}
 //	             → {report, plan_evals, plans_cached, elapsed_sec}
-//	POST /jobs     same body as /sweep
+//	POST /jobs     same body as /sweep, plus optional {weight,
+//	               deadline_ms} dispatch hints
 //	             → 202 {job_id, state, units, cells, workers, poll}
 //	GET  /jobs     → {jobs: [{job_id, state, units_done, units_total}]}
 //	GET  /jobs/{id}
@@ -32,14 +33,24 @@
 // daemon exists to serve warm plans, and a second request for kernels
 // the session already trained then performs zero plan searches. Send
 // "share_plans": false for sample-every-run paper semantics.
+//
+// Overload semantics: when the session runs with admission bounds and
+// a request would exceed them, sweep-admitting endpoints answer
+// 429 Too Many Requests with a Retry-After header instead of queueing
+// without bound; a draining (shutting-down) session answers 503
+// Service Unavailable, also with Retry-After. Both bodies carry the
+// usual {"error": ...} JSON.
 package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
+	"joss/internal/dispatch"
 	"joss/internal/taskrt"
 	"joss/internal/workloads"
 )
@@ -59,6 +70,11 @@ type WireSweepRequest struct {
 	SharePlans      *bool    `json:"share_plans,omitempty"` // null = true
 	SensorPeriodSec float64  `json:"sensor_period_sec,omitempty"`
 	SensorOff       bool     `json:"sensor_off,omitempty"`
+	// Weight scales the job's fair share on the dispatcher (0 = 1).
+	Weight float64 `json:"weight,omitempty"`
+	// DeadlineMS is a relative soft deadline used only to break
+	// fair-share ties in the dispatcher (0 = none).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // WireRunRequest is the JSON form of a single-cell run request.
@@ -244,14 +260,22 @@ const (
 	maxWireParallel = 1024
 	maxWireJobs     = 4096    // benchmarks × schedulers after expansion
 	maxWireScale    = 100     // paper-sized DAGs are scale 1
+	maxWireWeight   = 1000    // fair-share ratio, not a priority space
 	maxWireBodySize = 1 << 20 // decoded before validation, so bounded first
 )
 
-// buildRequest validates a wire sweep request against the session and
-// fills defaults, returning a Submit-ready request.
-func (s *Session) buildRequest(benchmarks, schedulers []string, scale float64, seed *int64,
-	repeats, parallel int, sharePlans *bool, sensorPeriod float64, sensorOff bool) (SweepRequest, error) {
+// Retry-After values for the two refusal modes: overload clears as
+// soon as a co-resident job drains a few units; a drain means the
+// process is going away and the client should wait for its successor.
+const (
+	overloadRetryAfterSec = 1
+	drainRetryAfterSec    = 5
+)
 
+// buildRequest validates a wire sweep request against the session and
+// fills defaults, returning an Enqueue-ready request.
+func (s *Session) buildRequest(wr WireSweepRequest) (SweepRequest, error) {
+	benchmarks, schedulers := wr.Benchmarks, wr.Schedulers
 	var wls []workloads.Config
 	if len(benchmarks) == 0 {
 		wls = workloads.Fig8Configs()
@@ -274,13 +298,15 @@ func (s *Session) buildRequest(benchmarks, schedulers []string, scale float64, s
 	}
 
 	req := SweepRequest{
-		Scale:           scale,
+		Scale:           wr.Scale,
 		Seed:            1,
-		Repeats:         repeats,
-		Parallel:        parallel,
-		SharePlans:      sharePlans == nil || *sharePlans,
-		SensorPeriodSec: sensorPeriod,
-		SensorOff:       sensorOff,
+		Repeats:         wr.Repeats,
+		Parallel:        wr.Parallel,
+		SharePlans:      wr.SharePlans == nil || *wr.SharePlans,
+		SensorPeriodSec: wr.SensorPeriodSec,
+		SensorOff:       wr.SensorOff,
+		Weight:          wr.Weight,
+		DeadlineMS:      wr.DeadlineMS,
 	}
 	if req.Scale == 0 {
 		req.Scale = workloads.DefaultScale
@@ -291,11 +317,17 @@ func (s *Session) buildRequest(benchmarks, schedulers []string, scale float64, s
 	if req.Scale > maxWireScale {
 		return SweepRequest{}, fmt.Errorf("scale %g exceeds the wire limit %d", req.Scale, maxWireScale)
 	}
-	if seed != nil {
-		req.Seed = *seed
+	if wr.Seed != nil {
+		req.Seed = *wr.Seed
 	}
 	if req.Repeats < 0 || req.Parallel < 0 || req.SensorPeriodSec < 0 {
 		return SweepRequest{}, fmt.Errorf("repeats, parallel and sensor_period_sec must be >= 0")
+	}
+	if req.Weight < 0 || req.DeadlineMS < 0 {
+		return SweepRequest{}, fmt.Errorf("weight and deadline_ms must be >= 0")
+	}
+	if req.Weight > maxWireWeight {
+		return SweepRequest{}, fmt.Errorf("weight %g exceeds the wire limit %d", req.Weight, maxWireWeight)
 	}
 	if req.Repeats > maxWireRepeats {
 		return SweepRequest{}, fmt.Errorf("repeats %d exceeds the wire limit %d", req.Repeats, maxWireRepeats)
@@ -333,17 +365,37 @@ func NewHandler(s *Session) http.Handler {
 	writeErr := func(w http.ResponseWriter, code int, err error) {
 		writeJSON(w, code, map[string]string{"error": err.Error()})
 	}
+	// writeAdmitErr maps an Enqueue/Submit refusal to its wire shape:
+	// overload and drain are retryable conditions with explicit
+	// Retry-After hints, anything else (a failed spec journal append)
+	// is a 500.
+	writeAdmitErr := func(w http.ResponseWriter, err error) {
+		switch {
+		case errors.Is(err, dispatch.ErrOverloaded):
+			w.Header().Set("Retry-After", strconv.Itoa(overloadRetryAfterSec))
+			writeErr(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", strconv.Itoa(drainRetryAfterSec))
+			writeErr(w, http.StatusServiceUnavailable, err)
+		default:
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+	}
 	decodeSweep := func(w http.ResponseWriter, r *http.Request) (SweepRequest, bool) {
 		var wr WireSweepRequest
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxWireBodySize)).Decode(&wr); err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 			return SweepRequest{}, false
 		}
-		req, err := s.buildRequest(wr.Benchmarks, wr.Schedulers, wr.Scale, wr.Seed,
-			wr.Repeats, wr.Parallel, wr.SharePlans, wr.SensorPeriodSec, wr.SensorOff)
+		req, err := s.buildRequest(wr)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return SweepRequest{}, false
+		}
+		if s.store != nil {
+			// The normalised wire form is what the job journal records:
+			// compact, self-contained, replayable by a fresh process.
+			req.WireSpec, _ = json.Marshal(wr)
 		}
 		return req, true
 	}
@@ -353,7 +405,11 @@ func NewHandler(s *Session) http.Handler {
 	// job so abandoned sweeps stop consuming workers.
 	streamSweep := func(w http.ResponseWriter, r *http.Request, req SweepRequest) {
 		start := time.Now()
-		h := s.Enqueue(req)
+		h, err := s.Enqueue(req)
+		if err != nil {
+			writeAdmitErr(w, err)
+			return
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 		flusher, _ := w.(http.Flusher)
@@ -401,7 +457,11 @@ func NewHandler(s *Session) http.Handler {
 			return
 		}
 		start := time.Now()
-		res := s.Submit(req)
+		res, err := s.Submit(req)
+		if err != nil {
+			writeAdmitErr(w, err)
+			return
+		}
 		writeJSON(w, http.StatusOK, s.wireSweepResult(res, time.Since(start).Seconds()))
 	})
 
@@ -410,7 +470,11 @@ func NewHandler(s *Session) http.Handler {
 		if !ok {
 			return
 		}
-		h := s.Enqueue(req)
+		h, err := s.Enqueue(req)
+		if err != nil {
+			writeAdmitErr(w, err)
+			return
+		}
 		st := h.Status()
 		writeJSON(w, http.StatusAccepted, WireJobCreated{
 			JobID:   h.ID(),
@@ -424,7 +488,9 @@ func NewHandler(s *Session) http.Handler {
 
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
 		ids := s.JobIDs()
-		jobs := make([]WireJobSummary, 0, len(ids))
+		// Journal-replayed jobs lead the listing: they predate every
+		// job of the live session.
+		jobs := append(s.RestoredSummaries(), make([]WireJobSummary, 0, len(ids))...)
 		for _, id := range ids {
 			if st, ok := s.Status(id); ok {
 				jobs = append(jobs, WireJobSummary{JobID: st.ID, State: string(st.State),
@@ -438,6 +504,10 @@ func NewHandler(s *Session) http.Handler {
 		id := r.PathValue("id")
 		h, ok := s.Job(id)
 		if !ok {
+			if st, ok := s.RestoredStatus(id); ok {
+				writeJSON(w, http.StatusOK, st)
+				return
+			}
 			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 			return
 		}
@@ -463,6 +533,11 @@ func NewHandler(s *Session) http.Handler {
 		id := r.PathValue("id")
 		h, ok := s.Job(id)
 		if !ok {
+			if st, ok := s.RestoredStatus(id); ok {
+				s.RemoveRestored(id)
+				writeJSON(w, http.StatusOK, st)
+				return
+			}
 			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 			return
 		}
@@ -490,14 +565,26 @@ func NewHandler(s *Session) http.Handler {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bench and sched are required"))
 			return
 		}
-		req, err := s.buildRequest([]string{wr.Bench}, []string{wr.Sched}, wr.Scale, wr.Seed,
-			wr.Repeats, 0, wr.SharePlans, wr.SensorPeriodSec, wr.SensorOff)
+		req, err := s.buildRequest(WireSweepRequest{
+			Benchmarks:      []string{wr.Bench},
+			Schedulers:      []string{wr.Sched},
+			Scale:           wr.Scale,
+			Seed:            wr.Seed,
+			Repeats:         wr.Repeats,
+			SharePlans:      wr.SharePlans,
+			SensorPeriodSec: wr.SensorPeriodSec,
+			SensorOff:       wr.SensorOff,
+		})
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
 		start := time.Now()
-		res := s.Submit(req)
+		res, err := s.Submit(req)
+		if err != nil {
+			writeAdmitErr(w, err)
+			return
+		}
 		var rep taskrt.Report
 		for _, m := range res.Reports {
 			for _, r := range m {
@@ -525,6 +612,7 @@ func NewHandler(s *Session) http.Handler {
 			"plans_cached": s.Plans().Len(),
 			"requests":     s.Requests(),
 			"jobs":         len(s.JobIDs()),
+			"draining":     s.Draining(),
 			"schedulers":   SchedulerCatalog,
 			"benchmarks":   names,
 		})

@@ -1,0 +1,172 @@
+// Crash recovery of the async job registry: a session configured with
+// Config.JobStorePath replays its job journal at New, turning every
+// journaled job into a restoredJob — completed jobs keep serving their
+// journaled wire results byte for byte, and jobs that died without a
+// result are reported with state "interrupted" so clients know to
+// resubmit. Restored jobs live beside the live registry under the same
+// jobMu; ids stay unique across restarts because the live sequence
+// resumes above the highest replayed id.
+package service
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+
+	"joss/internal/jobstore"
+	"joss/internal/workloads"
+)
+
+// restoredJob is one journal-replayed job. Immutable after New;
+// registry membership is guarded by jobMu.
+type restoredJob struct {
+	id    string
+	state JobState // JobDone, JobCancelled or JobInterrupted
+	spec  json.RawMessage
+	// result is the journaled wire result (nil for interrupted jobs).
+	// Serving it decoded keeps GET /jobs/{id} responses byte-identical
+	// to the pre-crash ones: every field round-trips exactly.
+	result *WireSweepResult
+	units  int
+}
+
+// openJobStore opens/replays the job journal into the restored-job
+// registry and resumes the id sequence. Called from New, before the
+// session is shared.
+func (s *Session) openJobStore(path string) error {
+	store, entries, err := jobstore.Open(path)
+	if err != nil {
+		return err
+	}
+	s.store = store
+	for _, e := range entries {
+		rj := &restoredJob{id: e.ID, spec: e.Spec, state: JobInterrupted}
+		if e.Result != nil {
+			var res WireSweepResult
+			if json.Unmarshal(e.Result, &res) == nil {
+				rj.result = &res
+				rj.state = JobDone
+				if res.Cancelled {
+					rj.state = JobCancelled
+				}
+				rj.units = res.Units
+			}
+		}
+		if rj.result == nil {
+			rj.units = unitsFromWireSpec(e.Spec)
+		}
+		s.restored[e.ID] = rj
+		s.restoredOrder = append(s.restoredOrder, e.ID)
+		if n, ok := parseJobSeq(e.ID); ok && n > s.jobSeq {
+			s.jobSeq = n
+		}
+	}
+	return nil
+}
+
+// parseJobSeq extracts N from a "jN" job id.
+func parseJobSeq(id string) (int64, bool) {
+	rest, ok := strings.CutPrefix(id, "j")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	return n, err == nil && n > 0
+}
+
+// unitsFromWireSpec recomputes an interrupted job's admitted unit
+// count from its journaled wire spec (the result that would have
+// carried it never existed).
+func unitsFromWireSpec(spec json.RawMessage) int {
+	var wr WireSweepRequest
+	if json.Unmarshal(spec, &wr) != nil {
+		return 0
+	}
+	nb := len(wr.Benchmarks)
+	if nb == 0 {
+		nb = len(workloads.Fig8Configs())
+	}
+	ns := len(wr.Schedulers)
+	if ns == 0 {
+		ns = len(SchedulerNames)
+	}
+	rep := wr.Repeats
+	if rep == 0 {
+		rep = 1
+	}
+	return nb * ns * rep
+}
+
+// wireStatus renders a restored job in the GET /jobs/{id} schema. A
+// done/cancelled job carries its journaled result verbatim; an
+// interrupted one carries counts only — its partial progress died with
+// the previous process.
+func (rj *restoredJob) wireStatus() WireJobStatus {
+	out := WireJobStatus{
+		JobID:      rj.id,
+		State:      string(rj.state),
+		UnitsTotal: rj.units,
+		Cells:      []WireCellStatus{},
+	}
+	if rj.result != nil {
+		out.UnitsDone = rj.result.UnitsDone
+		out.UnitsDropped = rj.result.Units - rj.result.UnitsDone
+		out.ElapsedSec = rj.result.ElapsedSec
+		out.Result = rj.result
+	}
+	return out
+}
+
+// RestoredStatus looks a journal-replayed job up by id.
+func (s *Session) RestoredStatus(id string) (WireJobStatus, bool) {
+	s.jobMu.Lock()
+	rj, ok := s.restored[id]
+	s.jobMu.Unlock()
+	if !ok {
+		return WireJobStatus{}, false
+	}
+	return rj.wireStatus(), true
+}
+
+// RestoredSummaries lists the journal-replayed jobs in journal order
+// (they predate every live job).
+func (s *Session) RestoredSummaries() []WireJobSummary {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	out := make([]WireJobSummary, 0, len(s.restoredOrder))
+	for _, id := range s.restoredOrder {
+		rj, ok := s.restored[id]
+		if !ok {
+			continue
+		}
+		sum := WireJobSummary{JobID: rj.id, State: string(rj.state), UnitsTotal: rj.units}
+		if rj.result != nil {
+			sum.UnitsDone = rj.result.UnitsDone
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// RemoveRestored evicts a restored job, journaling the eviction so it
+// stays gone after the next restart. Reports whether the id existed.
+func (s *Session) RemoveRestored(id string) bool {
+	s.jobMu.Lock()
+	_, ok := s.restored[id]
+	if ok {
+		delete(s.restored, id)
+		for i, o := range s.restoredOrder {
+			if o == id {
+				s.restoredOrder = append(s.restoredOrder[:i], s.restoredOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	s.jobMu.Unlock()
+	if ok && s.store != nil {
+		// Best effort: a failed evict append resurfaces the job after
+		// the next restart, which is safe.
+		_ = s.store.Evict(id)
+	}
+	return ok
+}

@@ -28,15 +28,19 @@
 package service
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"joss/internal/dag"
 	"joss/internal/dispatch"
+	"joss/internal/jobstore"
 	"joss/internal/models"
 	"joss/internal/platform"
 	"joss/internal/sched"
@@ -44,6 +48,11 @@ import (
 	"joss/internal/taskrt"
 	"joss/internal/workloads"
 )
+
+// ErrDraining is returned by Enqueue/Submit once StartDrain has been
+// called: the session finishes its in-flight jobs but admits nothing
+// new. The HTTP layer maps it to 503 Service Unavailable.
+var ErrDraining = errors.New("service: session is draining, not admitting new jobs")
 
 // Config assembles a Session. Oracle and Set are required; the rest
 // default sensibly.
@@ -69,6 +78,20 @@ type Config struct {
 	// RetainJobs bounds the finished jobs kept for Status/Wait lookup
 	// by id (default 256; active jobs are never evicted).
 	RetainJobs int
+	// MaxJobs and MaxQueuedUnits bound admission (0 = unbounded):
+	// MaxJobs caps concurrently admitted unfinished jobs,
+	// MaxQueuedUnits caps the undispatched run units across all jobs.
+	// Enqueue/Submit reject excess requests with an error matching
+	// dispatch.ErrOverloaded, which the HTTP layer turns into 429 +
+	// Retry-After.
+	MaxJobs        int
+	MaxQueuedUnits int
+	// JobStorePath, when set, makes jobs crash-durable: every wire
+	// request (SweepRequest.WireSpec non-nil) is journaled at
+	// admission and its result on completion, New replays the journal
+	// into the restored-job registry, and Close closes the journal. A
+	// session owns its journal exclusively (flock) from New to Close.
+	JobStorePath string
 }
 
 // DefaultConfig profiles the simulated TX2 and trains the JOSS models
@@ -114,11 +137,21 @@ type Session struct {
 	costs  map[costKey]int
 	costG  *dag.Graph
 
-	// jobMu guards the job registry (id → handle, admission order).
-	jobMu    sync.Mutex
-	jobSeq   int64
-	jobsByID map[string]*JobHandle
-	jobOrder []*JobHandle
+	// jobMu guards the job registry (id → handle, admission order)
+	// and the restored-job registry replayed from the job journal.
+	jobMu         sync.Mutex
+	jobSeq        int64
+	jobsByID      map[string]*JobHandle
+	jobOrder      []*JobHandle
+	restored      map[string]*restoredJob
+	restoredOrder []string
+
+	// store is the crash-durable job journal (nil without
+	// Config.JobStorePath); epoch anchors deadline arithmetic and
+	// draining gates admission.
+	store    *jobstore.Store
+	epoch    time.Time
+	draining atomic.Bool
 
 	// saveMu guards the plan-store flush cadence: sinceSave counts
 	// requests since the last flush, flushedLen is the resident
@@ -150,7 +183,13 @@ func New(cfg Config) (*Session, error) {
 		pool:      dispatch.NewPool(0),
 		costs:     make(map[costKey]int),
 		jobsByID:  make(map[string]*JobHandle),
+		restored:  make(map[string]*restoredJob),
+		epoch:     time.Now(),
 	}
+	s.pool.SetLimits(dispatch.Limits{
+		MaxJobs:        cfg.MaxJobs,
+		MaxQueuedUnits: cfg.MaxQueuedUnits,
+	})
 	if s.plans == nil {
 		s.plans = sched.NewPlanCache()
 	}
@@ -170,6 +209,11 @@ func New(cfg Config) (*Session, error) {
 		// Everything loaded from the store is, by definition, already
 		// persisted.
 		s.flushedLen = s.plans.Len()
+	}
+	if cfg.JobStorePath != "" {
+		if err := s.openJobStore(cfg.JobStorePath); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -201,10 +245,53 @@ func (s *Session) SavePlanStore() error {
 	return s.plans.SaveFileMerged(s.storePath)
 }
 
-// Close flushes the plan store a final time. The session stays usable
-// (Close is a flush point, not a teardown — workers hold no external
-// resources).
-func (s *Session) Close() error { return s.SavePlanStore() }
+// Close flushes the plan store a final time and closes the job
+// journal (releasing its exclusive lock). A session without a job
+// store stays usable after Close (a flush point, not a teardown);
+// one with a job store must not admit further work afterwards.
+func (s *Session) Close() error {
+	err := s.SavePlanStore()
+	if s.store != nil {
+		if cerr := s.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// StartDrain stops admission: every subsequent Enqueue/Submit fails
+// with ErrDraining while in-flight jobs run to completion. The daemon
+// calls this on SIGTERM, then WaitIdle, then Close.
+func (s *Session) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Session) Draining() bool { return s.draining.Load() }
+
+// WaitIdle blocks until every registered job has finished. Combined
+// with StartDrain (no new admissions) this is the daemon's graceful
+// shutdown barrier for fire-and-forget async jobs, which no HTTP
+// request is left waiting on.
+func (s *Session) WaitIdle() {
+	for {
+		var pending *JobHandle
+		s.jobMu.Lock()
+		for _, h := range s.jobOrder {
+			select {
+			case <-h.doneCh:
+			default:
+				pending = h
+			}
+			if pending != nil {
+				break
+			}
+		}
+		s.jobMu.Unlock()
+		if pending == nil {
+			return
+		}
+		<-pending.doneCh
+	}
+}
 
 // Job is one (workload, scheduler-constructor) cell of a sweep. Make
 // must build a fresh scheduler each call; within one request — and
@@ -250,6 +337,23 @@ type SweepRequest struct {
 	// request (nil = the resident cache). The exp.Env thin client uses
 	// this so its exported Plans field keeps working.
 	Plans *sched.PlanCache
+	// Weight scales the request's fair share on the dispatcher: a
+	// Weight-2 request receives twice the unit throughput of a
+	// Weight-1 request under contention (0 defaults to 1; negative
+	// panics). Weights shape scheduling only — results stay
+	// bit-identical to any other interleaving.
+	Weight float64
+	// DeadlineMS, when positive, is a relative soft deadline: among
+	// requests at equal attained service the dispatcher runs the
+	// earliest absolute deadline (admission time + DeadlineMS) first,
+	// and a request with a deadline beats one without. Deadlines
+	// order work; they never expire or drop it.
+	DeadlineMS int64
+	// WireSpec, when non-nil on a session with a job store, is the
+	// opaque (compact-JSON) wire form of this request, journaled at
+	// admission so the job can be reported after a crash. The HTTP
+	// layer sets it; Go-API callers normally leave it nil.
+	WireSpec json.RawMessage
 }
 
 // SweepResult carries a request's reports plus the service-level
@@ -273,6 +377,11 @@ type SweepResult struct {
 	Workers int
 	// Cancelled reports the request was cancelled before completing.
 	Cancelled bool
+	// Interrupted counts run units aborted mid-simulation by the
+	// cooperative cancel (Cancelled requests only; dropped queued
+	// units are counted in Units−UnitsDone instead). Aborted units
+	// produce no report and their cells are absent from Reports.
+	Interrupted int
 	// PlanStoreErr records a failed plan-store flush (the sweep itself
 	// succeeded; callers decide whether that is fatal).
 	PlanStoreErr error
@@ -394,13 +503,14 @@ func (s *Session) schedulerFor(w *worker, j Job, req *SweepRequest, plans *sched
 }
 
 // runUnit executes one run unit — a single seeded repeat of one cell —
-// on the worker's recycled environment, returning the report and the
-// plan-search evaluations the unit performed. The workload is rebuilt
-// into the worker's arenas only when the unit belongs to a different
-// ⟨job, cell⟩ than the worker's previous one (Runtime.Run rewinds
-// predecessor counters itself, so same-cell units re-run the built
-// DAG).
-func (s *Session) runUnit(w *worker, h *JobHandle, cell, repeat int) (taskrt.Report, int) {
+// on the worker's recycled environment, returning the report, the
+// plan-search evaluations the unit performed, and whether the run was
+// aborted mid-simulation by the job's cancel flag. The workload is
+// rebuilt into the worker's arenas only when the unit belongs to a
+// different ⟨job, cell⟩ than the worker's previous one (Runtime.Run
+// rewinds predecessor counters itself, so same-cell units re-run the
+// built DAG).
+func (s *Session) runUnit(w *worker, h *JobHandle, cell, repeat int) (taskrt.Report, int, bool) {
 	req := &h.req
 	j := req.Jobs[cell]
 	if w.g == nil || w.lastJob != h.seq || w.lastCell != cell {
@@ -409,11 +519,13 @@ func (s *Session) runUnit(w *worker, h *JobHandle, cell, repeat int) (taskrt.Rep
 	}
 	sc := s.schedulerFor(w, j, req, h.plans)
 	seed := req.Seed + int64(repeat)
+	opt := runOptions(req, seed)
+	opt.Cancel = &h.cancel
 	if w.rt == nil {
-		w.rt = taskrt.New(s.oracle, sc, runOptions(req, seed))
+		w.rt = taskrt.New(s.oracle, sc, opt)
 	} else {
 		w.rt.Sched = sc
-		w.rt.Opt = runOptions(req, seed)
+		w.rt.Opt = opt
 		w.rt.Reset(w.g)
 	}
 	rep := w.rt.Run(w.g)
@@ -421,7 +533,13 @@ func (s *Session) runUnit(w *worker, h *JobHandle, cell, repeat int) (taskrt.Rep
 	if ms, ok := sc.(*sched.ModelSched); ok {
 		evals = ms.TotalEvals
 	}
-	return rep, evals
+	if w.rt.Interrupted() {
+		// The arenas hold a half-executed graph; invalidate the
+		// ⟨job, cell⟩ key so the next unit rebuilds from scratch.
+		w.lastJob = -1
+		return taskrt.Report{}, evals, true
+	}
+	return rep, evals, false
 }
 
 // Submit executes one sweep request and returns the per-cell mean
@@ -430,9 +548,15 @@ func (s *Session) runUnit(w *worker, h *JobHandle, cell, repeat int) (taskrt.Rep
 // under the fair-share dispatcher. Cells merge their repeats in repeat
 // order (taskrt.MeanReport), so per-cell reports are bit-identical to
 // running every repeat on a fresh runtime in one place — the property
-// exp's equivalence tests pin down.
-func (s *Session) Submit(req SweepRequest) SweepResult {
-	return s.Enqueue(req).Wait()
+// exp's equivalence tests pin down. The error is non-nil only when
+// admission rejects the request (dispatch.ErrOverloaded, ErrDraining,
+// or a job-journal write failure).
+func (s *Session) Submit(req SweepRequest) (SweepResult, error) {
+	h, err := s.Enqueue(req)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	return h.Wait(), nil
 }
 
 // EnergyOf returns a report's sensor-sampled energy, falling back to

@@ -37,6 +37,26 @@ func newTestSession(t *testing.T) *Session {
 	return s
 }
 
+// mustSubmit / mustEnqueue: most tests run without admission bounds,
+// where Submit/Enqueue cannot be refused.
+func mustSubmit(t *testing.T, s *Session, req SweepRequest) SweepResult {
+	t.Helper()
+	res, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	return res
+}
+
+func mustEnqueue(t *testing.T, s *Session, req SweepRequest) *JobHandle {
+	t.Helper()
+	h, err := s.Enqueue(req)
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	return h
+}
+
 // jobsFor builds one job per scheduler name over the named benchmarks.
 func jobsFor(s *Session, benchNames, schedNames []string) []Job {
 	var jobs []Job
@@ -69,7 +89,7 @@ func TestSessionWarmRequestsIdentical(t *testing.T) {
 			Parallel: 3,
 		}
 	}
-	first := s.Submit(req())
+	first := mustSubmit(t, s, req())
 	if first.Units != 12 {
 		t.Fatalf("first request ran %d units, want 12", first.Units)
 	}
@@ -77,7 +97,7 @@ func TestSessionWarmRequestsIdentical(t *testing.T) {
 		t.Fatal("cold request performed no plan searches (JOSS never selected?)")
 	}
 	for i := 0; i < 3; i++ {
-		again := s.Submit(req())
+		again := mustSubmit(t, s, req())
 		if !reflect.DeepEqual(first.Reports, again.Reports) {
 			t.Fatalf("warm request %d differs from the first:\nfirst: %+v\nagain: %+v",
 				i+2, first.Reports, again.Reports)
@@ -105,7 +125,7 @@ func TestSessionSecondRequestZeroPlanSearches(t *testing.T) {
 			SharePlans: true,
 		}
 	}
-	first := s.Submit(req())
+	first := mustSubmit(t, s, req())
 	if first.PlanEvals == 0 {
 		t.Fatal("training request performed no plan searches")
 	}
@@ -113,7 +133,7 @@ func TestSessionSecondRequestZeroPlanSearches(t *testing.T) {
 		t.Fatal("training request published no plans")
 	}
 
-	second := s.Submit(req())
+	second := mustSubmit(t, s, req())
 	if second.PlanEvals != 0 {
 		t.Errorf("second request performed %d plan search evaluations, want 0", second.PlanEvals)
 	}
@@ -125,7 +145,7 @@ func TestSessionSecondRequestZeroPlanSearches(t *testing.T) {
 		}
 	}
 
-	third := s.Submit(req())
+	third := mustSubmit(t, s, req())
 	if third.PlanEvals != 0 {
 		t.Errorf("third request performed %d evaluations, want 0", third.PlanEvals)
 	}
@@ -152,8 +172,8 @@ func TestSessionCostOrderIndependence(t *testing.T) {
 			Parallel: parallel,
 		}
 	}
-	serial := s.Submit(req(1))
-	pooled := s.Submit(req(3))
+	serial := mustSubmit(t, s, req(1))
+	pooled := mustSubmit(t, s, req(3))
 	if !reflect.DeepEqual(serial.Reports, pooled.Reports) {
 		t.Errorf("cost-ordered pool changed sweep results:\nserial: %+v\npooled: %+v",
 			serial.Reports, pooled.Reports)
@@ -237,7 +257,7 @@ func TestSessionPlanStoreLifecycle(t *testing.T) {
 		Scale:      0.02,
 		SharePlans: true,
 	}
-	res := first.Submit(req)
+	res := mustSubmit(t, first, req)
 	if res.PlanStoreErr != nil {
 		t.Fatal(res.PlanStoreErr)
 	}
@@ -262,7 +282,7 @@ func TestSessionPlanStoreLifecycle(t *testing.T) {
 		Scale:      0.02,
 		SharePlans: true,
 	}
-	res2 := second.Submit(req2)
+	res2 := mustSubmit(t, second, req2)
 	if res2.PlanStoreErr != nil {
 		t.Fatal(res2.PlanStoreErr)
 	}
@@ -283,9 +303,9 @@ func TestSessionParallelGrowth(t *testing.T) {
 			Parallel: parallel,
 		}
 	}
-	small := s.Submit(req(1))
-	grown := s.Submit(req(4))
-	back := s.Submit(req(2))
+	small := mustSubmit(t, s, req(1))
+	grown := mustSubmit(t, s, req(4))
+	back := mustSubmit(t, s, req(2))
 	if !reflect.DeepEqual(small.Reports, grown.Reports) || !reflect.DeepEqual(small.Reports, back.Reports) {
 		t.Error("changing Parallel across requests changed results")
 	}
@@ -312,7 +332,7 @@ func TestSessionRejectsInvalidRequests(t *testing.T) {
 			})
 		}()
 	}
-	empty := s.Submit(SweepRequest{Scale: 0.02})
+	empty := mustSubmit(t, s, SweepRequest{Scale: 0.02})
 	if empty.Units != 0 || len(empty.Reports) != 0 {
 		t.Errorf("empty request ran %d units", empty.Units)
 	}
@@ -363,7 +383,7 @@ func TestSessionConcurrentSubmitEquivalence(t *testing.T) {
 	serialSess := newTestSession(t)
 	serial := make([]SweepResult, len(reqs(serialSess)))
 	for i, req := range reqs(serialSess) {
-		serial[i] = serialSess.Submit(req)
+		serial[i] = mustSubmit(t, serialSess, req)
 	}
 
 	concSess := newTestSession(t)
@@ -373,7 +393,12 @@ func TestSessionConcurrentSubmitEquivalence(t *testing.T) {
 		wg.Add(1)
 		go func(i int, req SweepRequest) {
 			defer wg.Done()
-			conc[i] = concSess.Submit(req)
+			res, err := concSess.Submit(req)
+			if err != nil {
+				t.Errorf("concurrent Submit %d: %v", i, err)
+				return
+			}
+			conc[i] = res
 		}(i, req)
 	}
 	wg.Wait()
@@ -395,7 +420,7 @@ func TestSessionConcurrentSubmitEquivalence(t *testing.T) {
 // sweep occupies the session completes before the sweep does.
 func TestSessionSmallRequestOvertakesLargeSweep(t *testing.T) {
 	s := newTestSession(t)
-	large := s.Enqueue(SweepRequest{
+	large := mustEnqueue(t, s, SweepRequest{
 		Jobs:     jobsFor(s, []string{"HT_Small", "HT_Big", "MM_512_dop16", "ST_2048_dop16"}, []string{"GRWS", "JOSS"}),
 		Scale:    0.02,
 		Seed:     1,
@@ -403,7 +428,7 @@ func TestSessionSmallRequestOvertakesLargeSweep(t *testing.T) {
 		Parallel: 2,
 	})
 
-	small := s.Submit(SweepRequest{
+	small := mustSubmit(t, s, SweepRequest{
 		Jobs:     jobsFor(s, []string{"SLU"}, []string{"GRWS"}),
 		Scale:    0.02,
 		Seed:     1,
@@ -448,7 +473,7 @@ func TestSessionAsyncLifecycle(t *testing.T) {
 		}
 	}
 
-	h := s.Enqueue(req())
+	h := mustEnqueue(t, s, req())
 	var streamed []CellResult
 	for c := range h.Cells() {
 		streamed = append(streamed, c)
@@ -475,7 +500,7 @@ func TestSessionAsyncLifecycle(t *testing.T) {
 	}
 
 	// The async result is the Submit result.
-	if again := s.Submit(req()); !reflect.DeepEqual(again.Reports, res.Reports) {
+	if again := mustSubmit(t, s, req()); !reflect.DeepEqual(again.Reports, res.Reports) {
 		t.Errorf("Enqueue+Wait differs from Submit:\nasync: %+v\nsync: %+v", res.Reports, again.Reports)
 	}
 
@@ -500,7 +525,7 @@ func TestSessionAsyncLifecycle(t *testing.T) {
 func TestSessionCancelDropsQueuedUnits(t *testing.T) {
 	s := newTestSession(t)
 	benches := []string{"SLU", "DP", "HT_Small", "MM_256_dop4", "VG", "BI"}
-	h := s.Enqueue(SweepRequest{
+	h := mustEnqueue(t, s, SweepRequest{
 		Jobs:     jobsFor(s, benches, []string{"GRWS"}),
 		Scale:    0.02,
 		Repeats:  4,
@@ -558,7 +583,7 @@ func TestSessionJobRetention(t *testing.T) {
 	}
 	var last string
 	for i := 0; i < 5; i++ {
-		h := s.Enqueue(req())
+		h := mustEnqueue(t, s, req())
 		h.Wait()
 		last = h.ID()
 	}
