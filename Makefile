@@ -31,14 +31,19 @@ test:
 
 # chaos repeats the failure-path suite under the race detector:
 # overload storms, mid-run cancellation, drain refusals, SIGKILL crash
-# recovery and journal replay — the tests most sensitive to timing, so
-# they get extra iterations beyond the single tier-1 pass.
+# recovery, journal replay and the fleet fault drills (multi-daemon
+# shard kill, drain spillover, 429 storm) — the tests most sensitive
+# to timing, so they get extra iterations beyond the single tier-1
+# pass.
 chaos:
 	$(GO) test -race -count=3 \
 		-run 'TestSessionOverloadStormByteIdentical|TestSessionCancelInterruptsInFlight|TestSessionDrain|TestSessionJobJournalReplay|TestHTTPOverloadAndDrain|TestCrashRecoverySIGKILL' \
 		./internal/service
 	$(GO) test -race -count=3 ./internal/jobstore
 	$(GO) test -race -count=3 -run 'TestCancel' ./internal/taskrt
+	$(GO) test -race -count=3 \
+		-run 'TestFleetSIGKILLDrill|TestFleetShardDeathFailover|TestFleetDrainSpillover|TestFleet429Spillover|TestFleetAllShardsDownDegradedError' \
+		./internal/fleet
 
 # bench runs the perf-tracking benchmarks with allocation stats.
 bench:

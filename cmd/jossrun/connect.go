@@ -1,131 +1,29 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
-	"math/rand"
-	"net"
 	"net/http"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
+	"joss/internal/fleet"
 	"joss/internal/service"
 )
 
-// daemonClient returns an HTTP client and base URL for a -connect
-// target: a plain http:// URL, or unix://PATH for a daemon serving on
-// a unix socket (the HTTP host is then a placeholder).
-func daemonClient(target string) (*http.Client, string, error) {
-	if path, ok := strings.CutPrefix(target, "unix://"); ok {
-		tr := &http.Transport{
-			DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
-				var d net.Dialer
-				return d.DialContext(ctx, "unix", path)
-			},
-		}
-		return &http.Client{Transport: tr}, "http://jossd", nil
-	}
-	if !strings.HasPrefix(target, "http://") && !strings.HasPrefix(target, "https://") {
-		return nil, "", fmt.Errorf("-connect wants http://host:port or unix://PATH, got %q", target)
-	}
-	return http.DefaultClient, strings.TrimSuffix(target, "/"), nil
-}
-
-// Retry policy for transient daemon failures: exponential backoff from
-// retryBase, doubling per attempt, capped at retryCap, with half-range
-// jitter so a burst of refused clients doesn't re-arrive in lockstep.
-const (
-	retryBase = 200 * time.Millisecond
-	retryCap  = 5 * time.Second
-)
-
-// remote is a connection to one jossd daemon: the HTTP client for the
-// target (TCP or unix://), its base URL, and the retry budget spent on
-// transient failures.
-type remote struct {
-	client  *http.Client
-	base    string
-	retries int
-}
-
-func newRemote(target string, retries int) (*remote, error) {
-	client, base, err := daemonClient(target)
+// newRemote builds the daemon client for a -connect target on the
+// shared fleet retry machinery, narrating each backoff to stderr.
+func newRemote(target string, retries int) (*fleet.Client, error) {
+	c, err := fleet.NewClient(target, retries)
 	if err != nil {
 		return nil, err
 	}
-	return &remote{client: client, base: base, retries: retries}, nil
-}
-
-// retryable reports whether a response status is worth retrying: 429
-// means admission was refused — the request was NOT accepted, so a
-// retry cannot duplicate work — and 5xx covers transient server states
-// (503 drain, gateway errors). Other 4xx are permanent client errors.
-func retryable(code int) bool {
-	return code == http.StatusTooManyRequests || code >= 500
-}
-
-// retryDelay returns how long to wait after failed attempt (0-based):
-// the daemon's own Retry-After hint when it sent one, otherwise
-// jittered exponential backoff.
-func retryDelay(attempt int, retryAfter string) time.Duration {
-	if sec, err := strconv.Atoi(retryAfter); err == nil && sec >= 0 {
-		d := time.Duration(sec) * time.Second
-		if d > retryCap {
-			d = retryCap
-		}
-		return d
-	}
-	d := retryBase << attempt
-	if d <= 0 || d > retryCap { // <= 0 catches shift overflow
-		d = retryCap
-	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
-}
-
-// do issues one request, retrying transient failures — dial/transport
-// errors, 429 admission refusals and 5xx responses — up to r.retries
-// times. The body is replayed from bytes on each attempt. A response
-// with any other status is returned as-is for the caller to decode.
-func (r *remote) do(method, path string, body []byte) (*http.Response, error) {
-	var lastErr error
-	for attempt := 0; ; attempt++ {
-		var rd io.Reader
-		if body != nil {
-			rd = bytes.NewReader(body)
-		}
-		req, err := http.NewRequest(method, r.base+path, rd)
-		if err != nil {
-			return nil, err
-		}
-		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
-		resp, err := r.client.Do(req)
-		retryAfter := ""
-		switch {
-		case err != nil:
-			lastErr = fmt.Errorf("reaching daemon: %w (is jossd running?)", err)
-		case retryable(resp.StatusCode):
-			retryAfter = resp.Header.Get("Retry-After")
-			lastErr = fmt.Errorf("daemon refused the request: %s", resp.Status)
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-		default:
-			return resp, nil
-		}
-		if attempt >= r.retries {
-			return nil, lastErr
-		}
-		d := retryDelay(attempt, retryAfter)
+	c.OnRetry = func(err error, delay time.Duration, attempt, total int) {
 		fmt.Fprintf(os.Stderr, "jossrun: %v; retrying in %v (attempt %d/%d)\n",
-			lastErr, d.Round(time.Millisecond), attempt+1, r.retries)
-		time.Sleep(d)
+			err, delay.Round(time.Millisecond), attempt, total)
 	}
+	return c, nil
 }
 
 // constrainedName spells the scheduler the way the service parses it:
@@ -148,8 +46,8 @@ func printReport(r service.WireReport) {
 	fmt.Printf("DVFS            %d requests\n", r.FreqRequests)
 }
 
-// decodeOrError decodes a 200 response into out, or surfaces the
-// daemon's JSON error body.
+// decodeOrError decodes an okCode response into out, or surfaces the
+// daemon's JSON error body as a permanent error.
 func decodeOrError(resp *http.Response, okCode int, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != okCode {
@@ -186,7 +84,7 @@ func asyncRemote(target, bench, schedName string, speedup, scale float64, seed i
 	if err != nil {
 		return err
 	}
-	resp, err := r.do(http.MethodPost, "/jobs", reqBody)
+	resp, err := r.Do(context.Background(), http.MethodPost, "/jobs", reqBody)
 	if err != nil {
 		return err
 	}
@@ -210,7 +108,7 @@ func watchRemote(target, jobID string, retries int) error {
 	}
 	lastLine := ""
 	for {
-		resp, err := r.do(http.MethodGet, "/jobs/"+jobID, nil)
+		resp, err := r.Do(context.Background(), http.MethodGet, "/jobs/"+jobID, nil)
 		if err != nil {
 			return err
 		}
@@ -269,7 +167,7 @@ func runRemote(target, bench, schedName string, speedup, scale float64, seed int
 	}
 
 	start := time.Now()
-	resp, err := r.do(http.MethodPost, "/run", reqBody)
+	resp, err := r.Do(context.Background(), http.MethodPost, "/run", reqBody)
 	if err != nil {
 		return err
 	}

@@ -3,144 +3,82 @@ package main
 import (
 	"fmt"
 	"net/http"
-	"net/http/httptest"
 	"strings"
-	"sync/atomic"
 	"testing"
 	"time"
+
+	"joss/internal/fleet"
 )
 
-// TestRemoteRetriesOverloadThenSucceeds exercises the client half of
-// the overload contract: a daemon answering 429 + Retry-After must be
-// retried (the request was not admitted, so a retry cannot duplicate
-// it), and the retry must eventually be served.
-func TestRemoteRetriesOverloadThenSucceeds(t *testing.T) {
-	var hits atomic.Int32
-	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		if n := hits.Add(1); n <= 2 {
-			w.Header().Set("Retry-After", "0")
-			w.WriteHeader(http.StatusTooManyRequests)
-			fmt.Fprint(w, `{"error":"session overloaded"}`)
-			return
-		}
-		fmt.Fprint(w, `{"ok":true}`)
-	}))
-	defer srv.Close()
-
-	r, err := newRemote(srv.URL, 3)
-	if err != nil {
-		t.Fatalf("newRemote: %v", err)
+// TestExitCode pins the remote-mode exit contract scripts rely on:
+// transient failures (retries exhausted, degraded fleet sweeps) exit 3
+// so a wrapper can retry, permanent protocol rejections exit 1 so it
+// does not.
+func TestExitCode(t *testing.T) {
+	transient := &fleet.TransientError{Attempts: 5, Code: http.StatusTooManyRequests, RetryAfter: "2",
+		Err: fmt.Errorf("daemon refused the request: 429 Too Many Requests")}
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"success", nil, 0},
+		{"permanent rejection", fmt.Errorf("daemon rejected the request: unknown benchmark"), exitPermanent},
+		{"transient exhausted", transient, exitTransient},
+		{"transient wrapped", fmt.Errorf("sweeping: %w", transient), exitTransient},
+		{"fleet degraded", &fleet.DegradedError{Deg: fleet.Degradation{LostCells: []string{"SLU/JOSS"}}}, exitTransient},
+		{"fleet degraded wrapped", fmt.Errorf("fleet: %w", &fleet.DegradedError{}), exitTransient},
 	}
-	resp, err := r.do(http.MethodPost, "/jobs", []byte(`{}`))
-	if err != nil {
-		t.Fatalf("do: %v", err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d, want 200", resp.StatusCode)
-	}
-	if got := hits.Load(); got != 3 {
-		t.Fatalf("server hit %d times, want 3 (two 429s then success)", got)
-	}
-}
-
-// TestRemoteRetriesExhausted asserts the retry budget is a hard bound:
-// retries+1 total attempts, then the last refusal is surfaced.
-func TestRemoteRetriesExhausted(t *testing.T) {
-	var hits atomic.Int32
-	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		hits.Add(1)
-		w.Header().Set("Retry-After", "0")
-		w.WriteHeader(http.StatusServiceUnavailable)
-	}))
-	defer srv.Close()
-
-	r, err := newRemote(srv.URL, 2)
-	if err != nil {
-		t.Fatalf("newRemote: %v", err)
-	}
-	if _, err := r.do(http.MethodGet, "/healthz", nil); err == nil {
-		t.Fatal("do succeeded against an always-503 daemon")
-	} else if !strings.Contains(err.Error(), "503") {
-		t.Fatalf("error %q does not name the refusal status", err)
-	}
-	if got := hits.Load(); got != 3 {
-		t.Fatalf("server hit %d times, want 3 (1 try + 2 retries)", got)
-	}
-}
-
-// TestRemotePermanentErrorNotRetried asserts 4xx client errors other
-// than 429 pass straight through for the caller to decode — retrying
-// a malformed request would never help.
-func TestRemotePermanentErrorNotRetried(t *testing.T) {
-	var hits atomic.Int32
-	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		hits.Add(1)
-		w.WriteHeader(http.StatusBadRequest)
-		fmt.Fprint(w, `{"error":"unknown benchmark"}`)
-	}))
-	defer srv.Close()
-
-	r, err := newRemote(srv.URL, 5)
-	if err != nil {
-		t.Fatalf("newRemote: %v", err)
-	}
-	resp, err := r.do(http.MethodPost, "/run", []byte(`{"bench":"nope"}`))
-	if err != nil {
-		t.Fatalf("do: %v", err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("status = %d, want 400", resp.StatusCode)
-	}
-	if got := hits.Load(); got != 1 {
-		t.Fatalf("server hit %d times, want exactly 1", got)
-	}
-}
-
-// TestRemoteRetriesDialError asserts transport-level failures (daemon
-// not running yet) are retried and reported with the usual hint.
-func TestRemoteRetriesDialError(t *testing.T) {
-	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {}))
-	url := srv.URL
-	srv.Close() // nothing listens here any more
-
-	r, err := newRemote(url, 1)
-	if err != nil {
-		t.Fatalf("newRemote: %v", err)
-	}
-	start := time.Now()
-	if _, err := r.do(http.MethodGet, "/healthz", nil); err == nil {
-		t.Fatal("do succeeded against a closed port")
-	} else if !strings.Contains(err.Error(), "is jossd running") {
-		t.Fatalf("error %q lacks the daemon hint", err)
-	}
-	// One backoff sleep happened (attempt 0 → retry 1): base/2 ≤ d ≤ base.
-	if elapsed := time.Since(start); elapsed < retryBase/2 {
-		t.Fatalf("retried after %v, want at least %v of backoff", elapsed, retryBase/2)
-	}
-}
-
-func TestRetryDelay(t *testing.T) {
-	if d := retryDelay(0, "3"); d != 3*time.Second {
-		t.Errorf("retryDelay(0, \"3\") = %v, want 3s (Retry-After wins)", d)
-	}
-	if d := retryDelay(0, "9999"); d != retryCap {
-		t.Errorf("retryDelay(0, \"9999\") = %v, want cap %v", d, retryCap)
-	}
-	if d := retryDelay(0, "0"); d != 0 {
-		t.Errorf("retryDelay(0, \"0\") = %v, want 0", d)
-	}
-	for attempt := 0; attempt < 40; attempt++ {
-		d := retryDelay(attempt, "")
-		if d < retryBase/2 || d > retryCap {
-			t.Errorf("retryDelay(%d, \"\") = %v, want within [%v, %v]",
-				attempt, d, retryBase/2, retryCap)
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("%s: exitCode(%v) = %d, want %d", c.name, c.err, got, c.want)
 		}
 	}
-	// A garbage Retry-After falls back to backoff, not a panic or 0.
-	if d := retryDelay(0, "soon"); d < retryBase/2 || d > retryBase {
-		t.Errorf("retryDelay(0, \"soon\") = %v, want backoff in [%v, %v]",
-			d, retryBase/2, retryBase)
+}
+
+// TestTransientErrorStateInMessage asserts the final Retry-After and
+// backoff state reach the user on failure — the error string is what
+// jossrun prints before exiting 3.
+func TestTransientErrorStateInMessage(t *testing.T) {
+	te := &fleet.TransientError{
+		Attempts:   3,
+		Code:       http.StatusTooManyRequests,
+		RetryAfter: "7",
+		LastDelay:  1200 * time.Millisecond,
+		Err:        fmt.Errorf("daemon refused the request: 429 Too Many Requests"),
+	}
+	msg := te.Error()
+	for _, want := range []string{"3 attempts", "Retry-After: 7", "1.2s"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("TransientError message %q lacks %q", msg, want)
+		}
+	}
+}
+
+// TestSplitList covers the -fleet/-bench/-sched comma-list parsing.
+func TestSplitList(t *testing.T) {
+	if got := splitList("all"); got != nil {
+		t.Errorf(`splitList("all") = %v, want nil (everything)`, got)
+	}
+	if got := splitList(""); got != nil {
+		t.Errorf(`splitList("") = %v, want nil`, got)
+	}
+	got := splitList(" SLU, MM_256_dop4 ,,JOSS ")
+	want := []string{"SLU", "MM_256_dop4", "JOSS"}
+	if len(got) != len(want) {
+		t.Fatalf("splitList = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitList = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestNewRemoteBadTarget asserts target validation still happens at
+// the CLI boundary after the move to the shared fleet client.
+func TestNewRemoteBadTarget(t *testing.T) {
+	if _, err := newRemote("host:8080", 0); err == nil {
+		t.Fatal("newRemote accepted a bare host:port")
 	}
 }

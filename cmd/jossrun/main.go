@@ -8,6 +8,7 @@
 //	jossrun -connect URL [-retries N] [-scale F] [-seed N] [-repeats N] [-speedup S] -bench NAME -sched NAME
 //	jossrun -connect URL -async [-retries N] [-scale F] [-seed N] [-repeats N] -bench NAME -sched NAME
 //	jossrun -connect URL -watch JOBID
+//	jossrun -fleet URL1,URL2,... [-scale F] [-seed N] [-repeats N] [-bench A,B|all] [-sched X,Y|all]
 //
 // Benchmarks: the 21 Figure 8 configurations (e.g. SLU, MM_256_dop4).
 // Schedulers: GRWS, ERASE, Aequitas, STEER, JOSS, JOSS_NoMemDVFS,
@@ -30,6 +31,20 @@
 // bounds are full, 5xx while it drains — are retried up to -retries
 // times with jittered exponential backoff, honouring the daemon's
 // Retry-After hint; -retries 0 fails fast on the first refusal.
+//
+// -fleet shards one sweep across several daemons: cells are routed by
+// benchmark identity on a consistent hash ring (keeping each daemon's
+// plan cache warm for its kernels), a dead or draining shard's
+// unfinished cells fail over to survivors, an overloaded shard's cells
+// spill to the next ring candidate, and the merged per-cell reports
+// are byte-identical to a single daemon's /sweep response. -bench and
+// -sched accept comma lists or "all" in this mode.
+//
+// Remote-mode exit codes: 1 permanent failure (the daemon rejected the
+// request — retrying cannot help), 2 usage error, 3 transient failure
+// (retries exhausted against an overloaded/unreachable daemon, or a
+// fleet sweep that lost cells — worth retrying; the final Retry-After
+// and backoff state are printed).
 package main
 
 import (
@@ -58,6 +73,8 @@ func main() {
 		"path to a persistent plan store shared with jossbench: known plans are adopted (skipping sampling and search) and newly trained ones written back")
 	connect := flag.String("connect", "",
 		"serve the run from a jossd daemon instead of simulating locally (http://host:port, or unix://PATH)")
+	fleetList := flag.String("fleet", "",
+		"shard a sweep across a comma-separated fleet of jossd daemons with failover (-bench/-sched take comma lists or \"all\")")
 	async := flag.Bool("async", false,
 		"with -connect: enqueue the run as a daemon job (POST /jobs) and print its id instead of waiting")
 	watch := flag.String("watch", "",
@@ -72,16 +89,36 @@ func main() {
 
 	if *connect == "" && (*async || *watch != "") {
 		fmt.Fprintln(os.Stderr, "jossrun: -async and -watch are -connect modes (the job lives on a daemon)")
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+	if *fleetList != "" {
+		if *connect != "" || *async || *watch != "" {
+			fmt.Fprintln(os.Stderr, "jossrun: -fleet shards a sweep itself; it does not combine with -connect/-async/-watch")
+			os.Exit(exitUsage)
+		}
+		if *traceOut != "" || *gantt || *dotOut != "" || *planStore != "" {
+			fmt.Fprintln(os.Stderr, "jossrun: -trace/-gantt/-dot/-planstore are local-run options (the daemons own their plan stores)")
+			os.Exit(exitUsage)
+		}
+		targets := splitList(*fleetList)
+		if len(targets) == 0 {
+			fmt.Fprintln(os.Stderr, "jossrun: -fleet wants a comma-separated list of daemon targets")
+			os.Exit(exitUsage)
+		}
+		if err := fleetSweep(targets, *benchName, *schedName, *speedup, *scale, *seed, *repeats); err != nil {
+			fmt.Fprintln(os.Stderr, "jossrun:", err)
+			os.Exit(exitCode(err))
+		}
+		return
 	}
 	if *connect != "" {
 		if *traceOut != "" || *gantt || *dotOut != "" || *planStore != "" {
 			fmt.Fprintln(os.Stderr, "jossrun: -trace/-gantt/-dot/-planstore are local-run options (the daemon owns its plan store)")
-			os.Exit(2)
+			os.Exit(exitUsage)
 		}
 		if *retries < 0 {
 			fmt.Fprintln(os.Stderr, "jossrun: -retries must be >= 0")
-			os.Exit(2)
+			os.Exit(exitUsage)
 		}
 		var err error
 		switch {
@@ -96,7 +133,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jossrun:", err)
-			os.Exit(1)
+			os.Exit(exitCode(err))
 		}
 		return
 	}

@@ -174,6 +174,7 @@ type Pool struct {
 	limits  Limits
 	active  int // admitted, not yet finished (excludes zero-unit jobs)
 	queued  int // undispatched units across all jobs
+	running int // units being executed right now, across all jobs
 }
 
 // NewPool builds a pool with the given number of workers (more can be
@@ -217,6 +218,16 @@ func (p *Pool) Occupancy() (jobs, queuedUnits int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.active, p.queued
+}
+
+// Load reports the pool's full load triple: jobs in flight,
+// undispatched queued units, and units executing right now. The fleet
+// coordinator reads it through /healthz to break hash-ring ties toward
+// the least-loaded shard.
+func (p *Pool) Load() (jobs, queuedUnits, inflightUnits int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active, p.queued, p.running
 }
 
 // Close makes idle workers exit. It is a test convenience: a closed
@@ -392,6 +403,7 @@ func (p *Pool) worker(id int) {
 			continue
 		}
 		j.inflight++
+		p.running++
 		j.served += quantum
 		if j.head >= len(j.queue) {
 			// Nothing left to dispatch; stop offering the job.
@@ -413,6 +425,7 @@ func (p *Pool) worker(id int) {
 			p.mu.Lock()
 		}
 		j.inflight--
+		p.running--
 		j.done++
 		finished := j.inflight == 0 && j.head >= len(j.queue) && !j.completed
 		if finished {

@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"joss/internal/service"
+)
+
+// TestFleetSIGKILLDrill is the acceptance drill for fleet mode: three
+// real jossd-equivalent daemons (this test binary re-exec'd, one
+// process each), one of them SIGKILLed mid-sweep — no deferred close,
+// no goodbye 503, exactly what a crashed machine leaves behind. The
+// sweep must complete on the two survivors and the merged reports must
+// be byte-identical to a single surviving daemon's /sweep response.
+//
+// Child and parent rendezvous over stdout: each child prints
+// "READY <url>" once its warm session is listening, then serves until
+// killed. Children throttle streamed frames (JOSS_FLEET_SHARD_DELAY_MS)
+// so the kill deterministically lands between two of the victim's
+// cells, leaving unfinished work to fail over.
+func TestFleetSIGKILLDrill(t *testing.T) {
+	if os.Getenv("JOSS_FLEET_SHARD") != "" {
+		fleetShardHelper()
+		return
+	}
+	if testing.Short() {
+		t.Skip("spawns three child daemons that train their own model sets")
+	}
+
+	const shards = 3
+	var cmds []*exec.Cmd
+	var targets []string
+	for i := 0; i < shards; i++ {
+		cmd := exec.Command(os.Args[0], "-test.run=^TestFleetSIGKILLDrill$")
+		cmd.Env = append(os.Environ(),
+			"JOSS_FLEET_SHARD=1",
+			"JOSS_FLEET_SHARD_DELAY_MS=150",
+		)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer cmd.Process.Kill()
+		cmds = append(cmds, cmd)
+
+		deadline := time.AfterFunc(2*time.Minute, func() { cmd.Process.Kill() })
+		sc := bufio.NewScanner(out)
+		target := ""
+		for sc.Scan() {
+			if u, ok := strings.CutPrefix(sc.Text(), "READY "); ok {
+				target = u
+				break
+			}
+		}
+		deadline.Stop()
+		if target == "" {
+			t.Fatalf("shard %d never announced readiness", i)
+		}
+		targets = append(targets, target)
+	}
+
+	req := service.WireSweepRequest{
+		Benchmarks: []string{"SLU", "VG", "MM_256_dop4", "DP"},
+		Schedulers: []string{"GRWS", "JOSS"},
+		Scale:      0.02,
+		Parallel:   1, // serialise each shard so the victim dies with cells pending
+	}
+	off := false
+	seed := int64(1)
+	req.SharePlans, req.Seed = &off, &seed
+
+	// The victim is the shard owning the most benchmarks, so the kill
+	// leaves real work behind.
+	r := newRing(targets, 0)
+	owned := make(map[int]int)
+	for _, b := range req.Benchmarks {
+		owned[r.owner(b)]++
+	}
+	victim := 0
+	for si := range targets {
+		if owned[si] > owned[victim] {
+			victim = si
+		}
+	}
+
+	var killed atomic.Bool
+	cfg := Config{
+		Shards:             targets,
+		HeartbeatPeriod:    -1,
+		StreamStallTimeout: 30 * time.Second,
+		Logf:               t.Logf,
+	}
+	cfg.OnCellMerged = func(bench, sched, shard string) {
+		if shard == targets[victim] && killed.CompareAndSwap(false, true) {
+			cmds[victim].Process.Kill() // SIGKILL, mid-stream
+		}
+	}
+	c := newCoordinator(t, cfg)
+
+	res, deg, err := c.Sweep(req)
+	if err != nil {
+		t.Fatalf("fleet sweep did not survive the SIGKILL: %v", err)
+	}
+	if owned[victim] >= 2 {
+		// The victim had pending cells when it died, so the drill must
+		// have exercised real failover, not a lucky clean finish.
+		if !killed.Load() {
+			t.Fatal("victim never served a cell; drill did not run")
+		}
+		if len(deg.FailedShards) == 0 || deg.ReassignedCells == 0 {
+			t.Fatalf("SIGKILL left no trace in the degradation report: %+v", deg)
+		}
+	}
+
+	// Byte-identity bar: the merged response equals a survivor's own
+	// single-daemon /sweep for the same request.
+	survivor := targets[(victim+1)%shards]
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(survivor+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("survivor baseline /sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	var single service.WireSweepResult
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&single) != nil {
+		t.Fatalf("survivor baseline /sweep: status %d", resp.StatusCode)
+	}
+	requireByteIdentical(t, res, single)
+	if res.UnitsDone < res.Units {
+		t.Errorf("fleet finished %d/%d units despite byte-identical reports", res.UnitsDone, res.Units)
+	}
+}
+
+// fleetShardHelper is the child side of the drill: one warm daemon on
+// a loopback port, announced over stdout, served until killed.
+func fleetShardHelper() {
+	cfg, err := service.DefaultConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shard helper: training:", err)
+		os.Exit(1)
+	}
+	sess, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shard helper:", err)
+		os.Exit(1)
+	}
+	var h http.Handler = service.NewHandler(sess)
+	if ms, _ := strconv.Atoi(os.Getenv("JOSS_FLEET_SHARD_DELAY_MS")); ms > 0 {
+		delay := time.Duration(ms) * time.Millisecond
+		inner := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			inner.ServeHTTP(&slowFrames{ResponseWriter: w, delay: delay}, r)
+		})
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shard helper:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("READY http://%s\n", ln.Addr())
+	http.Serve(ln, h) // until SIGKILL
+}

@@ -1,0 +1,470 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"joss/internal/service"
+)
+
+// One trained config shared by every test shard: training is the
+// expensive once-per-platform stage, and sessions built from it are
+// independent (each gets its own plan cache and pool).
+var (
+	cfgOnce sync.Once
+	cfgVal  service.Config
+	cfgErr  error
+)
+
+func trainedConfig(t *testing.T) service.Config {
+	t.Helper()
+	cfgOnce.Do(func() { cfgVal, cfgErr = service.DefaultConfig() })
+	if cfgErr != nil {
+		t.Fatalf("DefaultConfig: %v", cfgErr)
+	}
+	return cfgVal
+}
+
+// newShard stands up one daemon-equivalent: a warm session behind the
+// real HTTP handler. mid, when non-nil, wraps the handler (fault
+// injection).
+func newShard(t *testing.T, mid func(http.Handler) http.Handler) (*httptest.Server, *service.Session) {
+	t.Helper()
+	sess, err := service.New(trainedConfig(t))
+	if err != nil {
+		t.Fatalf("service.New: %v", err)
+	}
+	t.Cleanup(func() { sess.Close() })
+	var h http.Handler = service.NewHandler(sess)
+	if mid != nil {
+		h = mid(h)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, sess
+}
+
+// testRequest is the drill workload: a few cells across two
+// schedulers, sampling every run (share_plans=false) so each cell is
+// fully deterministic and independent — the property the byte-identity
+// bar rests on.
+func testRequest() service.WireSweepRequest {
+	off := false
+	seed := int64(1)
+	return service.WireSweepRequest{
+		Benchmarks: []string{"SLU", "VG", "MM_256_dop4", "DP"},
+		Schedulers: []string{"GRWS", "JOSS"},
+		Scale:      0.02,
+		Seed:       &seed,
+		SharePlans: &off,
+	}
+}
+
+// baseline returns the single-daemon /sweep response for req — the
+// byte-identity reference every fleet drill compares against.
+func baseline(t *testing.T, req service.WireSweepRequest) service.WireSweepResult {
+	t.Helper()
+	srv, _ := newShard(t, nil)
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("baseline /sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	var res service.WireSweepResult
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&res) != nil {
+		t.Fatalf("baseline /sweep: status %d", resp.StatusCode)
+	}
+	return res
+}
+
+// requireByteIdentical fails unless the fleet's merged reports marshal
+// to exactly the single-daemon bytes (json.Marshal sorts map keys, so
+// this is content identity independent of merge order).
+func requireByteIdentical(t *testing.T, fleetRes, single service.WireSweepResult) {
+	t.Helper()
+	got, err := json.Marshal(fleetRes.Reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(single.Reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged fleet reports differ from the single-daemon response:\nfleet:  %s\nsingle: %s", got, want)
+	}
+}
+
+func newCoordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestFleetByteIdenticalHealthy is the baseline contract: a healthy
+// 3-shard fleet returns the byte-identical single-daemon reports with
+// an empty degradation report.
+func TestFleetByteIdenticalHealthy(t *testing.T) {
+	var targets []string
+	for i := 0; i < 3; i++ {
+		srv, _ := newShard(t, nil)
+		targets = append(targets, srv.URL)
+	}
+	c := newCoordinator(t, Config{Shards: targets, HeartbeatPeriod: -1})
+
+	req := testRequest()
+	res, deg, err := c.Sweep(req)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if deg.Degraded {
+		t.Fatalf("healthy fleet reported degradation: %+v", deg)
+	}
+	if res.Units != 8 || res.UnitsDone != 8 {
+		t.Errorf("units %d/%d, want 8/8", res.UnitsDone, res.Units)
+	}
+	if len(deg.Survivors) != 3 {
+		t.Errorf("survivors = %v, want all 3 shards", deg.Survivors)
+	}
+	requireByteIdentical(t, res, baseline(t, req))
+}
+
+// slowFrames delays every response write after the first by delay,
+// giving a fault drill a deterministic window between streamed frames
+// to land its kill in.
+type slowFrames struct {
+	http.ResponseWriter
+	n     int
+	delay time.Duration
+}
+
+func (s *slowFrames) Write(b []byte) (int, error) {
+	s.n++
+	if s.n > 1 {
+		time.Sleep(s.delay)
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+func (s *slowFrames) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestFleetShardDeathFailover kills one shard's connections after its
+// first merged cell: the coordinator must reassign the shard's
+// unfinished cells to survivors, record the failure, and still return
+// the byte-identical reports.
+func TestFleetShardDeathFailover(t *testing.T) {
+	throttle := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			next.ServeHTTP(&slowFrames{ResponseWriter: w, delay: 100 * time.Millisecond}, r)
+		})
+	}
+	var srvs []*httptest.Server
+	var targets []string
+	for i := 0; i < 3; i++ {
+		srv, _ := newShard(t, throttle)
+		srvs = append(srvs, srv)
+		targets = append(targets, srv.URL)
+	}
+
+	req := testRequest()
+	// Pick the victim deterministically: the shard owning the most
+	// benchmarks, so at least two cells ride on it and Parallel 1
+	// leaves some unfinished when the first completes.
+	r := newRing(targets, 0)
+	owned := make(map[int]int)
+	for _, b := range req.Benchmarks {
+		owned[r.owner(b)]++
+	}
+	victim := 0
+	for si, n := range owned {
+		if n > owned[victim] || (n == owned[victim] && si < victim) {
+			victim = si
+		}
+	}
+	if owned[victim] < 2 {
+		t.Skipf("no shard owns 2+ benchmarks (split %v); need a multi-cell victim", owned)
+	}
+	req.Parallel = 1 // serialise each shard so the victim dies with cells pending
+
+	var killed atomic.Bool
+	cfg := Config{
+		Shards:             targets,
+		HeartbeatPeriod:    -1,
+		StreamStallTimeout: 10 * time.Second,
+		Logf:               t.Logf,
+	}
+	cfg.OnCellMerged = func(bench, sched, shard string) {
+		if shard == targets[victim] && killed.CompareAndSwap(false, true) {
+			srvs[victim].CloseClientConnections()
+		}
+	}
+	c := newCoordinator(t, cfg)
+
+	res, deg, err := c.Sweep(req)
+	if err != nil {
+		t.Fatalf("Sweep after shard death: %v", err)
+	}
+	if !killed.Load() {
+		t.Fatal("victim shard never served a cell; drill did not run")
+	}
+	if !deg.Degraded || len(deg.FailedShards) == 0 {
+		t.Fatalf("degradation report missed the shard death: %+v", deg)
+	}
+	found := false
+	for _, f := range deg.FailedShards {
+		if f.Shard == targets[victim] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("failed shards %+v do not name the victim %s", deg.FailedShards, targets[victim])
+	}
+	if deg.ReassignedCells == 0 {
+		t.Errorf("no cells reassigned after a mid-sweep shard death: %+v", deg)
+	}
+	requireByteIdentical(t, res, baseline(t, req))
+}
+
+// TestFleetDrainSpillover drains one of two shards before the sweep:
+// its 503 + Retry-After must spill every cell to the survivor without
+// counting as a shard failure, and the result stays byte-identical.
+func TestFleetDrainSpillover(t *testing.T) {
+	srvA, sessA := newShard(t, nil)
+	srvB, sessB := newShard(t, nil)
+	targets := []string{srvA.URL, srvB.URL}
+	req := testRequest()
+
+	// Drain the shard that owns the most benchmarks so the sweep is
+	// guaranteed to knock on it (ring placement depends on the random
+	// test ports).
+	r := newRing(targets, 0)
+	owned := make(map[int]int)
+	for _, b := range req.Benchmarks {
+		owned[r.owner(b)]++
+	}
+	drained, drainedSess := srvA, sessA
+	if owned[1] > owned[0] {
+		drained, drainedSess = srvB, sessB
+	}
+	drainedSess.StartDrain()
+
+	c := newCoordinator(t, Config{Shards: targets, HeartbeatPeriod: -1, Logf: t.Logf})
+	res, deg, err := c.Sweep(req)
+	if err != nil {
+		t.Fatalf("Sweep with a draining shard: %v", err)
+	}
+	if len(deg.FailedShards) != 0 {
+		t.Errorf("drain counted as shard failure: %+v", deg.FailedShards)
+	}
+	if deg.SpilloverCells == 0 {
+		t.Errorf("no spillover recorded against a draining shard: %+v", deg)
+	}
+	for _, h := range c.Health() {
+		if h.Target == drained.URL && !h.Draining {
+			t.Errorf("draining shard not marked draining in health: %+v", h)
+		}
+	}
+	requireByteIdentical(t, res, baseline(t, req))
+}
+
+// TestFleet429Spillover storms one shard with admission refusals: the
+// first refusals spill its cells to the ring successor, health is not
+// penalised (the shard is alive), and the merged result is
+// byte-identical.
+func TestFleet429Spillover(t *testing.T) {
+	// Every shard refuses its first /sweep: whichever shard owns cells
+	// (ring placement depends on the random test ports), its first
+	// dispatch 429s and spills to the other, whose own first-refusal
+	// bounces it back — by then both storms have passed.
+	var refusals atomic.Int32
+	refuse := func(next http.Handler) http.Handler {
+		var first atomic.Bool
+		first.Store(true)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/sweep" && first.CompareAndSwap(true, false) {
+				refusals.Add(1)
+				w.Header().Set("Retry-After", "0")
+				w.WriteHeader(http.StatusTooManyRequests)
+				w.Write([]byte(`{"error":"session overloaded"}`))
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	srvA, _ := newShard(t, refuse)
+	srvB, _ := newShard(t, refuse)
+
+	c := newCoordinator(t, Config{Shards: []string{srvA.URL, srvB.URL}, HeartbeatPeriod: -1, Logf: t.Logf})
+	req := testRequest()
+	res, deg, err := c.Sweep(req)
+	if err != nil {
+		t.Fatalf("Sweep through a 429 storm: %v", err)
+	}
+	if refusals.Load() == 0 {
+		t.Fatal("the stormed shard was never asked; drill did not run")
+	}
+	if deg.SpilloverCells == 0 {
+		t.Errorf("429 storm recorded no spillover: %+v", deg)
+	}
+	if len(deg.FailedShards) != 0 {
+		t.Errorf("admission refusals counted as shard failures: %+v", deg.FailedShards)
+	}
+	for _, h := range c.Health() {
+		if !h.Healthy {
+			t.Errorf("429s must not mark a shard unhealthy: %+v", h)
+		}
+	}
+	requireByteIdentical(t, res, baseline(t, req))
+}
+
+// TestFleetAllShardsDownDegradedError asserts the terminal case: every
+// shard unreachable yields a *DegradedError naming every lost cell
+// (the retriable condition jossrun exits 3 on), not a hang or a
+// partial silent success.
+func TestFleetAllShardsDownDegradedError(t *testing.T) {
+	var targets []string
+	for i := 0; i < 2; i++ {
+		srv := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+		url := srv.URL
+		srv.Close() // nothing listens any more
+		targets = append(targets, url)
+	}
+	c := newCoordinator(t, Config{Shards: targets, HeartbeatPeriod: -1, MaxReassignments: 2, FailureThreshold: 1})
+
+	req := testRequest()
+	res, deg, err := c.Sweep(req)
+	var de *DegradedError
+	if !errors.As(err, &de) {
+		t.Fatalf("Sweep over a dead fleet returned %v, want *DegradedError", err)
+	}
+	cells := len(req.Benchmarks) * len(req.Schedulers)
+	if len(deg.LostCells) != cells {
+		t.Errorf("lost %d cells, want all %d", len(deg.LostCells), cells)
+	}
+	if len(res.Reports) != 0 {
+		t.Errorf("dead fleet produced %d reports", len(res.Reports))
+	}
+	if len(deg.Survivors) != 0 {
+		t.Errorf("dead fleet lists survivors: %v", deg.Survivors)
+	}
+}
+
+// TestFleetHeartbeatRoutesAroundDeadShard gives the coordinator time
+// to discover a dead shard via heartbeats: once marked unhealthy the
+// sweep routes around it from the start — no failure entry, no
+// reassignment, clean result.
+func TestFleetHeartbeatRoutesAroundDeadShard(t *testing.T) {
+	srvLive, _ := newShard(t, nil)
+	srvDead := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	deadURL := srvDead.URL
+	srvDead.Close()
+
+	c := newCoordinator(t, Config{
+		Shards:           []string{srvLive.URL, deadURL},
+		HeartbeatPeriod:  20 * time.Millisecond,
+		FailureThreshold: 2,
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var dead ShardHealth
+		for _, h := range c.Health() {
+			if h.Target == deadURL {
+				dead = h
+			}
+		}
+		if !dead.Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("heartbeats never marked the dead shard unhealthy: %+v", c.Health())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	req := testRequest()
+	res, deg, err := c.Sweep(req)
+	if err != nil {
+		t.Fatalf("Sweep around a known-dead shard: %v", err)
+	}
+	if len(deg.FailedShards) != 0 || deg.ReassignedCells != 0 {
+		t.Errorf("known-dead shard was still dispatched to: %+v", deg)
+	}
+	if len(deg.Survivors) != 1 || deg.Survivors[0] != srvLive.URL {
+		t.Errorf("survivors = %v, want only the live shard", deg.Survivors)
+	}
+	requireByteIdentical(t, res, baseline(t, req))
+}
+
+// TestMergeSinkDedup pins the dedup rule that keeps failover
+// byte-identical: the first frame for a cell wins, late duplicates are
+// counted and dropped.
+func TestMergeSinkDedup(t *testing.T) {
+	m := newMergeSink()
+	first := service.WireReport{Scheduler: "JOSS", Tasks: 10}
+	late := service.WireReport{Scheduler: "JOSS", Tasks: 99}
+	if !m.add("SLU", "JOSS", first) {
+		t.Fatal("first frame rejected")
+	}
+	if m.add("SLU", "JOSS", late) {
+		t.Fatal("duplicate frame accepted")
+	}
+	if got := m.reports["SLU"]["JOSS"]; got.Tasks != 10 {
+		t.Fatalf("duplicate overwrote the first frame: %+v", got)
+	}
+	if m.dups != 1 {
+		t.Fatalf("dups = %d, want 1", m.dups)
+	}
+	missing := m.missing([]string{"SLU", "VG"}, []string{"GRWS", "JOSS"})
+	if len(missing["SLU"]) != 1 || missing["SLU"][0] != "GRWS" || len(missing["VG"]) != 2 {
+		t.Fatalf("missing = %v, want SLU:[GRWS] VG:[GRWS JOSS]", missing)
+	}
+}
+
+// TestFleetPermanentErrorAborts asserts a protocol-level 400 aborts
+// the sweep with a permanent error instead of bouncing the bad request
+// around the ring.
+func TestFleetPermanentErrorAborts(t *testing.T) {
+	var hits atomic.Int32
+	count := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/sweep" {
+				hits.Add(1)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	srvA, _ := newShard(t, count)
+	srvB, _ := newShard(t, count)
+	c := newCoordinator(t, Config{Shards: []string{srvA.URL, srvB.URL}, HeartbeatPeriod: -1})
+
+	req := testRequest()
+	req.Benchmarks = []string{"no-such-benchmark"}
+	_, _, err := c.Sweep(req)
+	if err == nil {
+		t.Fatal("Sweep of an unknown benchmark succeeded")
+	}
+	var de *DegradedError
+	var te *TransientError
+	if errors.As(err, &de) || errors.As(err, &te) {
+		t.Fatalf("protocol rejection classified as transient: %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("bad request dispatched %d times, want exactly 1", hits.Load())
+	}
+}

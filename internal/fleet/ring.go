@@ -1,0 +1,98 @@
+// Consistent hash ring of the fleet coordinator: cells are routed to
+// shards by kernel identity (the workload name, which determines the
+// DAG's kernel set), so every request for a given benchmark lands on
+// the same daemon and its plan cache stays warm for exactly the
+// kernels it serves. Virtual nodes smooth the load split; consistency
+// means adding or removing one shard only moves the keys that hashed
+// to it, leaving every other shard's plan locality intact.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringReplicas is the default virtual-node count per shard — enough
+// that a 21-benchmark sweep splits within a few cells of even across
+// 2–8 shards.
+const ringReplicas = 64
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// ring maps string keys to shard indices with consistent hashing.
+type ring struct {
+	points []ringPoint
+	shards int
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// newRing builds a ring with replicas virtual nodes per target.
+// Targets must be non-empty and the point set deterministic in them.
+func newRing(targets []string, replicas int) *ring {
+	if replicas < 1 {
+		replicas = ringReplicas
+	}
+	r := &ring{shards: len(targets)}
+	r.points = make([]ringPoint, 0, len(targets)*replicas)
+	for si, t := range targets {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", t, v)), shard: si})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		pa, pb := r.points[a], r.points[b]
+		if pa.hash != pb.hash {
+			return pa.hash < pb.hash
+		}
+		return pa.shard < pb.shard // colliding virtual nodes: stable owner
+	})
+	return r
+}
+
+// candidates appends the shards owning key in ring-successor order —
+// the key's owner first, then each distinct shard as the ring is
+// walked clockwise — and returns the slice. Every shard appears
+// exactly once, so the result is a complete failover order.
+func (r *ring) candidates(key string, buf []int) []int {
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := 0
+	var mask uint64 // shards fit in a word for any sane fleet; fall back below if not
+	var seenMap map[int]bool
+	if r.shards > 64 {
+		seenMap = make(map[int]bool, r.shards)
+	}
+	for i := 0; i < len(r.points) && seen < r.shards; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seenMap != nil {
+			if seenMap[p.shard] {
+				continue
+			}
+			seenMap[p.shard] = true
+		} else {
+			if mask&(1<<uint(p.shard)) != 0 {
+				continue
+			}
+			mask |= 1 << uint(p.shard)
+		}
+		buf = append(buf, p.shard)
+		seen++
+	}
+	return buf
+}
+
+// owner returns the shard owning key (the first candidate).
+func (r *ring) owner(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	return r.points[i%len(r.points)].shard
+}

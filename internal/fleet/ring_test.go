@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"testing"
+
+	"joss/internal/workloads"
+)
+
+func fig8Names() []string {
+	var names []string
+	for _, wl := range workloads.Fig8Configs() {
+		names = append(names, wl.Name)
+	}
+	return names
+}
+
+// TestRingDeterministicAndComplete pins the routing invariants the
+// byte-identity guarantee leans on: the same key always maps to the
+// same owner, and the candidate list is a permutation of all shards
+// (a complete failover order) starting with the owner.
+func TestRingDeterministicAndComplete(t *testing.T) {
+	targets := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := newRing(targets, 0)
+	for _, key := range fig8Names() {
+		own := r.owner(key)
+		if own != r.owner(key) {
+			t.Fatalf("owner(%q) not deterministic", key)
+		}
+		cands := r.candidates(key, nil)
+		if len(cands) != len(targets) {
+			t.Fatalf("candidates(%q) = %v, want all %d shards", key, cands, len(targets))
+		}
+		if cands[0] != own {
+			t.Fatalf("candidates(%q)[0] = %d, want owner %d", key, cands[0], own)
+		}
+		seen := make(map[int]bool)
+		for _, si := range cands {
+			if si < 0 || si >= len(targets) || seen[si] {
+				t.Fatalf("candidates(%q) = %v, want a permutation of shard indices", key, cands)
+			}
+			seen[si] = true
+		}
+	}
+}
+
+// TestRingSpread asserts the virtual nodes split the 21 Fig8
+// benchmarks across shards without starving any — the property that
+// makes fleet mode a speedup at all.
+func TestRingSpread(t *testing.T) {
+	targets := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(targets, 0)
+	counts := make([]int, len(targets))
+	for _, key := range fig8Names() {
+		counts[r.owner(key)]++
+	}
+	for si, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d owns no benchmarks (split %v); virtual nodes too few or hash degenerate", si, counts)
+		}
+	}
+}
+
+// TestRingConsistency asserts removing one shard only moves the keys
+// it owned: every other benchmark keeps its owner, which is what
+// preserves the surviving shards' plan-cache locality through a
+// failure.
+func TestRingConsistency(t *testing.T) {
+	full := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	reduced := []string{"http://a:1", "http://b:1", "http://c:1"} // d removed
+	rFull := newRing(full, 0)
+	rRed := newRing(reduced, 0)
+	moved := 0
+	for _, key := range fig8Names() {
+		was := rFull.owner(key)
+		now := rRed.owner(key)
+		if was < 3 && now != was {
+			t.Fatalf("benchmark %q moved from surviving shard %d to %d when an unrelated shard left", key, was, now)
+		}
+		if was == 3 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Skip("no benchmark hashed to the removed shard; spread test covers ownership")
+	}
+}
+
+// TestRingCandidatesManyShards exercises the >64-shard fallback path
+// of the dedup in candidates.
+func TestRingCandidatesManyShards(t *testing.T) {
+	var targets []string
+	for i := 0; i < 70; i++ {
+		targets = append(targets, "http://shard:"+string(rune('0'+i/10))+string(rune('0'+i%10)))
+	}
+	r := newRing(targets, 8)
+	cands := r.candidates("SLU", nil)
+	if len(cands) != 70 {
+		t.Fatalf("candidates over 70 shards returned %d entries, want all 70", len(cands))
+	}
+	seen := make(map[int]bool)
+	for _, si := range cands {
+		if seen[si] {
+			t.Fatalf("duplicate shard %d in candidates", si)
+		}
+		seen[si] = true
+	}
+}

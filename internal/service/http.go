@@ -27,7 +27,11 @@
 //	             → cancels a running job (cooperative, unit-granular:
 //	               queued units are dropped, in-flight ones finish) or
 //	               evicts a finished one; returns the final status
-//	GET  /healthz  → {plans_cached, requests, jobs, schedulers, benchmarks}
+//	GET  /healthz  → {plans_cached, requests, jobs, queued_units,
+//	               inflight_units, draining, schedulers, benchmarks} —
+//	               jobs/queued_units/inflight_units are the live
+//	               dispatch load, which fleet coordinators use to route
+//	               toward the least-loaded shard
 //
 // share_plans defaults to true on the wire (a *bool left null): the
 // daemon exists to serve warm plans, and a second request for kernels
@@ -608,13 +612,16 @@ func NewHandler(s *Session) http.Handler {
 		for _, c := range workloads.Fig8Configs() {
 			names = append(names, c.Name)
 		}
+		jobs, queuedUnits, inflightUnits := s.Load()
 		writeJSON(w, http.StatusOK, map[string]any{
-			"plans_cached": s.Plans().Len(),
-			"requests":     s.Requests(),
-			"jobs":         len(s.JobIDs()),
-			"draining":     s.Draining(),
-			"schedulers":   SchedulerCatalog,
-			"benchmarks":   names,
+			"plans_cached":   s.Plans().Len(),
+			"requests":       s.Requests(),
+			"jobs":           jobs,
+			"queued_units":   queuedUnits,
+			"inflight_units": inflightUnits,
+			"draining":       s.Draining(),
+			"schedulers":     SchedulerCatalog,
+			"benchmarks":     names,
 		})
 	})
 

@@ -121,14 +121,23 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var health struct {
-		PlansCached int `json:"plans_cached"`
-		Requests    int `json:"requests"`
+		PlansCached   int  `json:"plans_cached"`
+		Requests      int  `json:"requests"`
+		Jobs          int  `json:"jobs"`
+		QueuedUnits   int  `json:"queued_units"`
+		InflightUnits int  `json:"inflight_units"`
+		Draining      bool `json:"draining"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
 	if health.PlansCached == 0 || health.Requests < 4 {
 		t.Errorf("healthz = %+v, want cached plans and >= 4 requests", health)
+	}
+	// The shard-load fields a fleet coordinator routes on: an idle
+	// session advertises zero load and no drain.
+	if health.Jobs != 0 || health.QueuedUnits != 0 || health.InflightUnits != 0 || health.Draining {
+		t.Errorf("healthz load = %+v, want idle undraining session", health)
 	}
 }
 

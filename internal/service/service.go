@@ -267,6 +267,14 @@ func (s *Session) StartDrain() { s.draining.Store(true) }
 // Draining reports whether StartDrain has been called.
 func (s *Session) Draining() bool { return s.draining.Load() }
 
+// Load reports the session's dispatch load: jobs in flight, queued
+// (undispatched) units, and units executing right now. /healthz
+// advertises it so a fleet coordinator can route toward the
+// least-loaded shard.
+func (s *Session) Load() (jobs, queuedUnits, inflightUnits int) {
+	return s.pool.Load()
+}
+
 // WaitIdle blocks until every registered job has finished. Combined
 // with StartDrain (no new admissions) this is the daemon's graceful
 // shutdown barrier for fire-and-forget async jobs, which no HTTP
