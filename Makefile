@@ -4,7 +4,7 @@ GO ?= go
 
 # PERF_BASELINE is the committed BENCH_*.json the perf gate compares
 # against; update it when a PR intentionally moves the baseline.
-PERF_BASELINE ?= BENCH_20260807T151451.json
+PERF_BASELINE ?= BENCH_20260807T164648.json
 
 .PHONY: tier1 fmt vet build test chaos bench bench-json perfgate clean
 
@@ -37,10 +37,10 @@ test:
 # pass.
 chaos:
 	$(GO) test -race -count=3 \
-		-run 'TestSessionOverloadStormByteIdentical|TestSessionCancelInterruptsInFlight|TestSessionDrain|TestSessionJobJournalReplay|TestHTTPOverloadAndDrain|TestCrashRecoverySIGKILL' \
+		-run 'TestSessionOverloadStormByteIdentical|TestSessionCancelInterruptsInFlight|TestSessionDrain|TestSessionJobJournalReplay|TestSessionBatchFallbackProbeStorm|TestHTTPOverloadAndDrain|TestCrashRecoverySIGKILL' \
 		./internal/service
 	$(GO) test -race -count=3 ./internal/jobstore
-	$(GO) test -race -count=3 -run 'TestCancel' ./internal/taskrt
+	$(GO) test -race -count=3 -run 'TestCancel|TestRunBatch' ./internal/taskrt
 	$(GO) test -race -count=3 \
 		-run 'TestFleetSIGKILLDrill|TestFleetShardDeathFailover|TestFleetDrainSpillover|TestFleet429Spillover|TestFleetAllShardsDownDegradedError' \
 		./internal/fleet

@@ -173,39 +173,66 @@ func runBench(outPath string, reuse bool) error {
 
 		// The service path end to end on a warm session: request
 		// admission, cost-aware fair-share dispatch, pool execution and
-		// per-cell merge. Tracking this row (tasks/s plus the *Warm
-		// alloc gates) keeps the dispatcher's per-request overhead from
-		// creeping on top of the runtime numbers above.
+		// per-cell merge. Two rows share one repeat-heavy multi-workload
+		// request — the shape where per-repeat setup hurts most, because
+		// parallel scalar workers ping-pong between cells and re-pay the
+		// graph rebuild and the oracle's kernel memo on each switch.
+		// SessionSweepWarm forces the scalar path (one dispatcher unit
+		// per repeat); BatchedSweepWarm lets the dispatcher hand each
+		// cell's repeats to one worker as lockstep lanes of a single
+		// runtime. Results are bit-identical either way, so the gap
+		// between the rows is pure dispatch-granularity overhead. The
+		// load-bearing signal is allocs/op — batching roughly halves it,
+		// deterministically — while the tasks/s gap is at the mercy of
+		// the host's core count (see PERF.md); perfgate gates the alloc
+		// ratio hard and the throughput ratio loosely.
 		sess := e.Session()
-		const sweepRepeats = 2
-		sweepReq := func() service.SweepRequest {
+		const sweepRepeats = 3
+		var sweepJobs []service.Job
+		for _, c := range workloads.Fig8Configs() {
+			switch c.Name {
+			case "SLU", "MM_256_dop4", "HT_Small", "ST_2048_dop16":
+				c := c
+				sweepJobs = append(sweepJobs, service.Job{Workload: c, Label: "GRWS",
+					Make: func() taskrt.Scheduler { return sess.NewScheduler("GRWS") }})
+			}
+		}
+		sweepReq := func(noBatch bool) service.SweepRequest {
 			return service.SweepRequest{
-				Jobs: []service.Job{{Workload: slu, Label: "GRWS",
-					Make: func() taskrt.Scheduler { return sess.NewScheduler("GRWS") }}},
+				Jobs:     sweepJobs,
 				Scale:    0.05,
 				Seed:     1,
 				Repeats:  sweepRepeats,
 				Parallel: 2,
+				NoBatch:  noBatch,
 			}
 		}
-		sess.Submit(sweepReq()) // warm the pool, arenas and schedulers
-		add("SessionSweepWarm", func(testing.BenchmarkResult) map[string]float64 {
+		// Warm the pool, arenas and schedulers on both claim
+		// granularities so neither row pays first-touch costs.
+		sess.Submit(sweepReq(true))
+		sess.Submit(sweepReq(false))
+		sweepBench := func(noBatch bool) func(b *testing.B) {
+			return func(b *testing.B) {
+				totalTasks = 0
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					res, _ := sess.Submit(sweepReq(noBatch))
+					for _, m := range res.Reports {
+						for _, rep := range m {
+							totalTasks += rep.Stats.TasksExecuted * sweepRepeats
+						}
+					}
+				}
+				elapsed = time.Since(start)
+			}
+		}
+		tasksMetric := func(testing.BenchmarkResult) map[string]float64 {
 			return map[string]float64{
 				"tasks_per_s": float64(totalTasks) / elapsed.Seconds(),
 			}
-		}, func(b *testing.B) {
-			totalTasks = 0
-			start := time.Now()
-			for i := 0; i < b.N; i++ {
-				res, _ := sess.Submit(sweepReq())
-				for _, m := range res.Reports {
-					for _, rep := range m {
-						totalTasks += rep.Stats.TasksExecuted * sweepRepeats
-					}
-				}
-			}
-			elapsed = time.Since(start)
-		})
+		}
+		add("SessionSweepWarm", tasksMetric, sweepBench(true))
+		add("BatchedSweepWarm", tasksMetric, sweepBench(false))
 
 		// The Figure 8 sweep with every reuse lever on: worker-pool
 		// runtimes plus the cross-sweep plan cache. Same trained

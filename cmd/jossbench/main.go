@@ -4,7 +4,9 @@
 // Usage:
 //
 //	jossbench [-scale F] [-parallel N] [-csv] [-shareplans] [-planstore FILE]
-//	          [-sensorperiod S] [-nosensor] [-reuse] fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|bench|all
+//	          [-sensorperiod S] [-nosensor] [-batch=BOOL] [-reuse]
+//	          [-cpuprofile FILE] [-memprofile FILE]
+//	          fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|bench|all
 //
 // Each subcommand prints the corresponding experiment's rows (see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for measured
@@ -22,10 +24,18 @@ import (
 	"time"
 
 	"joss/internal/exp"
+	"joss/internal/profiling"
 	"joss/internal/workloads"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is the whole program; it returns the exit code instead of calling
+// os.Exit so the deferred profile flush (-cpuprofile/-memprofile)
+// happens on every path.
+func run() (code int) {
 	scale := flag.Float64("scale", workloads.DefaultScale,
 		"workload task-count scale (1 = paper-sized DAGs)")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
@@ -39,10 +49,14 @@ func main() {
 		"power sensor sampling period in seconds (0 = the paper's 5 ms); coarser periods cut simulation events on large sweeps")
 	noSensor := flag.Bool("nosensor", false,
 		"disable the sampled power sensor for throughput sweeps; energies fall back to the event-exact integral")
+	batch := flag.Bool("batch", true,
+		"run each cell's repeats as batched lockstep lanes of one runtime (bit-identical results; -batch=false benchmarks the scalar path)")
 	benchOut := flag.String("benchout", "",
 		"bench mode: output path (default BENCH_<timestamp>.json)")
 	benchReuse := flag.Bool("reuse", false,
 		"bench mode: also run warm-worker variants (Reset-reused runtime, recycled graph arenas) so the report captures cold and warm numbers")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: jossbench [flags] fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|bench|all\n")
 		flag.PrintDefaults()
@@ -50,50 +64,66 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	// Reject invalid sweep parameters up front rather than clamping
 	// them somewhere deep inside a sweep (-parallel 0 means GOMAXPROCS
 	// and is the flag default; negative is an error).
 	if *repeats < 1 {
 		fmt.Fprintf(os.Stderr, "jossbench: -repeats must be >= 1, got %d\n", *repeats)
-		os.Exit(2)
+		return 2
 	}
 	if *parallel < 0 {
 		fmt.Fprintf(os.Stderr, "jossbench: -parallel must be >= 0, got %d\n", *parallel)
-		os.Exit(2)
+		return 2
 	}
 	if *sensorPeriod < 0 {
 		fmt.Fprintf(os.Stderr, "jossbench: -sensorperiod must be >= 0, got %g\n", *sensorPeriod)
-		os.Exit(2)
+		return 2
 	}
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jossbench:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "jossbench:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	// bench builds its own fixed-scale environment; dispatch before
 	// paying the full-scale profile-and-train below. Sweep-only knobs
-	// are rejected rather than silently ignored.
+	// are rejected rather than silently ignored (-batch is exercised by
+	// the bench rows themselves, which measure both paths).
 	if flag.Arg(0) == "bench" {
 		if *planStore != "" || *sensorPeriod != 0 || *noSensor {
 			fmt.Fprintln(os.Stderr,
 				"jossbench: -planstore/-sensorperiod/-nosensor apply to sweeps, not the bench subcommand")
-			os.Exit(2)
+			return 2
 		}
 		if err := runBench(*benchOut, *benchReuse); err != nil {
 			fmt.Fprintln(os.Stderr, "jossbench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	e, err := exp.NewEnv(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jossbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	if *parallel > 0 {
 		e.Parallel = *parallel
 	}
 	e.Repeats = *repeats
 	e.SharePlans = *sharePlans
+	e.NoBatch = !*batch
 	e.SensorPeriodSec = *sensorPeriod
 	e.SensorOff = *noSensor
 	if *planStore != "" {
@@ -101,7 +131,7 @@ func main() {
 		n, err := e.LoadPlanStore(*planStore)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jossbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		if !*csv {
 			fmt.Printf("[plan store: %d plans loaded from %s]\n", n, *planStore)
@@ -116,7 +146,7 @@ func main() {
 		}
 	}
 
-	run := func(name string) {
+	run := func(name string) bool {
 		start := time.Now()
 		switch name {
 		case "table1":
@@ -145,35 +175,46 @@ func main() {
 			emit(e.Fig8Split())
 		default:
 			fmt.Fprintf(os.Stderr, "jossbench: unknown experiment %q\n", name)
-			os.Exit(2)
+			return false
 		}
 		if !*csv {
 			fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 		}
+		return true
 	}
 
 	// flushPlans writes the merged plan store back once the sweeps are
 	// done, so the next -planstore process starts warm.
-	flushPlans := func() {
+	flushPlans := func() bool {
 		if *planStore == "" {
-			return
+			return true
 		}
 		if err := e.SavePlanStore(*planStore); err != nil {
 			fmt.Fprintln(os.Stderr, "jossbench:", err)
-			os.Exit(1)
+			return false
 		}
 		if !*csv {
 			fmt.Printf("[plan store: %d plans saved to %s]\n", e.Plans.Len(), *planStore)
 		}
+		return true
 	}
 
 	if flag.Arg(0) == "all" {
 		for _, name := range []string{"table1", "fig1", "fig2", "fig5", "fig8", "fig8split", "fig9", "fig10", "overhead", "extras", "dopsweep", "slu"} {
-			run(name)
+			if !run(name) {
+				return 2
+			}
 		}
-		flushPlans()
-		return
+		if !flushPlans() {
+			return 1
+		}
+		return 0
 	}
-	run(flag.Arg(0))
-	flushPlans()
+	if !run(flag.Arg(0)) {
+		return 2
+	}
+	if !flushPlans() {
+		return 1
+	}
+	return 0
 }

@@ -14,15 +14,38 @@ import (
 
 	"joss/internal/models"
 	"joss/internal/platform"
+	"joss/internal/profiling"
 	"joss/internal/synth"
 	"joss/internal/xval"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run returns the exit code instead of calling os.Exit so the deferred
+// profile flush (-cpuprofile/-memprofile) happens on every path.
+func run() (code int) {
 	verbose := flag.Bool("v", false, "also dump model coefficients")
 	out := flag.String("o", "", "write the trained model set as JSON to this file")
 	kfold := flag.Int("xval", 0, "also run k-fold cross-validation with this k (e.g. 5)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jossprofile:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "jossprofile:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	o := platform.DefaultOracle()
 	fmt.Printf("profiling %d synthetic benchmarks x %d configurations...\n",
@@ -33,7 +56,7 @@ func main() {
 	set, err := models.Train(o, rows)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jossprofile:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	var pls []platform.Placement
@@ -73,16 +96,16 @@ func main() {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jossprofile:", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := set.Save(f); err != nil {
 			f.Close()
 			fmt.Fprintln(os.Stderr, "jossprofile:", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "jossprofile:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("\nmodel set written to %s\n", *out)
 	}
@@ -92,7 +115,7 @@ func main() {
 		rep, err := xval.Run(o, *kfold)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jossprofile:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("%-6s %-12s %-12s %-12s %s\n", "fold", "performance", "CPU power", "mem power", "examples")
 		for _, f := range rep.Folds {
@@ -109,4 +132,5 @@ func main() {
 				pl.String(), pm.Perf.Coef, pm.CPUPow.Coef, pm.MemPow.Coef)
 		}
 	}
+	return 0
 }

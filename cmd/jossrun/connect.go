@@ -66,10 +66,20 @@ func decodeOrError(resp *http.Response, okCode int, out any) error {
 	return nil
 }
 
+// batchField maps the -batch flag to its wire form: batching is the
+// daemon-side default, so only an explicit opt-out travels.
+func batchField(batch bool) *bool {
+	if batch {
+		return nil
+	}
+	off := false
+	return &off
+}
+
 // asyncRemote enqueues one run as a fire-and-forget job on the daemon
 // (POST /jobs) and prints the job id — the handle for `jossrun
 // -connect ... -watch ID` or plain curl polling.
-func asyncRemote(target, bench, schedName string, speedup, scale float64, seed int64, repeats, retries int) error {
+func asyncRemote(target, bench, schedName string, speedup, scale float64, seed int64, repeats, retries int, batch bool) error {
 	r, err := newRemote(target, retries)
 	if err != nil {
 		return err
@@ -80,6 +90,7 @@ func asyncRemote(target, bench, schedName string, speedup, scale float64, seed i
 		Scale:      scale,
 		Seed:       &seed,
 		Repeats:    repeats,
+		Batch:      batchField(batch),
 	})
 	if err != nil {
 		return err
@@ -150,7 +161,7 @@ func watchRemote(target, jobID string, retries int) error {
 
 // runRemote posts one run request to a jossd daemon and prints the
 // served report.
-func runRemote(target, bench, schedName string, speedup, scale float64, seed int64, repeats, retries int) error {
+func runRemote(target, bench, schedName string, speedup, scale float64, seed int64, repeats, retries int, batch bool) error {
 	r, err := newRemote(target, retries)
 	if err != nil {
 		return err
@@ -161,6 +172,7 @@ func runRemote(target, bench, schedName string, speedup, scale float64, seed int
 		Scale:   scale,
 		Seed:    &seed, // pointer on the wire so seed 0 survives the trip
 		Repeats: repeats,
+		Batch:   batchField(batch),
 	})
 	if err != nil {
 		return err

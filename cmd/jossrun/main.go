@@ -82,6 +82,8 @@ func main() {
 	repeats := flag.Int("repeats", 1, "with -connect: seeds per cell, averaged on the daemon")
 	retries := flag.Int("retries", 4,
 		"with -connect: retries for transient failures (dial errors, 429 overload, 5xx), with jittered exponential backoff honouring Retry-After")
+	batch := flag.Bool("batch", true,
+		"with -connect/-fleet: run each cell's repeats as batched lockstep lanes of one daemon runtime (bit-identical results; -batch=false forces the scalar path)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file")
 	gantt := flag.Bool("gantt", false, "print a text Gantt chart of the run")
 	dotOut := flag.String("dot", "", "write the task DAG in Graphviz DOT format (truncated to 400 tasks)")
@@ -105,7 +107,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "jossrun: -fleet wants a comma-separated list of daemon targets")
 			os.Exit(exitUsage)
 		}
-		if err := fleetSweep(targets, *benchName, *schedName, *speedup, *scale, *seed, *repeats); err != nil {
+		if err := fleetSweep(targets, *benchName, *schedName, *speedup, *scale, *seed, *repeats, *batch); err != nil {
 			fmt.Fprintln(os.Stderr, "jossrun:", err)
 			os.Exit(exitCode(err))
 		}
@@ -127,9 +129,9 @@ func main() {
 		case *watch != "":
 			err = watchRemote(*connect, *watch, *retries)
 		case *async:
-			err = asyncRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *repeats, *retries)
+			err = asyncRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *repeats, *retries, *batch)
 		default:
-			err = runRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *repeats, *retries)
+			err = runRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *repeats, *retries, *batch)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jossrun:", err)

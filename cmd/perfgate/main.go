@@ -8,10 +8,21 @@
 // throughput is not, so the memory gates catch regressions that hide
 // inside tasks/s variance.
 //
+// The gate additionally holds the batched-lockstep rows against each
+// other inside the candidate report: BatchedSweepWarm runs the exact
+// request SessionSweepWarm runs, with batched claims instead of scalar
+// ⟨cell, repeat⟩ units. Batching must keep allocs/op well under the
+// scalar row (-batchallocratio) — a silent fall-back to scalar units
+// would converge the two rows and trips this first — and must not fall
+// meaningfully behind it in tasks/s (-batchspeedup, a loose floor
+// because single-core CI runners hide the cell ping-pong batching
+// removes; see PERF.md).
+//
 // Usage:
 //
 //	perfgate -baseline BASELINE.json [-threshold 0.20]
-//	         [-allocthreshold 0.10] [-bytesthreshold 0.30] [CANDIDATE.json]
+//	         [-allocthreshold 0.10] [-bytesthreshold 0.30]
+//	         [-batchspeedup 0.85] [-batchallocratio 0.75] [CANDIDATE.json]
 //
 // Without an explicit candidate, the newest BENCH_*.json in the
 // working directory that is not the baseline is compared.
@@ -80,6 +91,10 @@ func main() {
 		"maximum tolerated fractional allocs/op growth on warm rows (*Warm benchmarks)")
 	bytesThreshold := flag.Float64("bytesthreshold", 0.30,
 		"maximum tolerated fractional B/op growth on warm rows (*Warm benchmarks)")
+	batchSpeedup := flag.Float64("batchspeedup", 0.85,
+		"minimum BatchedSweepWarm/SessionSweepWarm tasks/s ratio in the candidate")
+	batchAllocRatio := flag.Float64("batchallocratio", 0.75,
+		"maximum BatchedSweepWarm/SessionSweepWarm allocs/op ratio in the candidate")
 	flag.Parse()
 	if *baseline == "" || flag.NArg() > 1 {
 		fmt.Fprintln(os.Stderr, "usage: perfgate -baseline BASELINE.json [-threshold F] [CANDIDATE.json]")
@@ -182,6 +197,45 @@ func main() {
 		}
 		memGate("allocs/op", b.AllocsPerOp, c.AllocsPerOp, *allocThreshold)
 		memGate("B/op", b.BytesPerOp, c.BytesPerOp, *bytesThreshold)
+	}
+	// Batched-vs-scalar pair gate, entirely inside the candidate: the
+	// two rows run the identical sweep request, so their ratio is free
+	// of cross-machine variance. Gated only when the baseline carries
+	// both rows (reports from before the batched executor pass
+	// untouched); a candidate missing either row was already failed by
+	// the per-row loop above.
+	baseHasPair := 0
+	for _, b := range base.Benchmarks {
+		if b.Name == "SessionSweepWarm" || b.Name == "BatchedSweepWarm" {
+			baseHasPair++
+		}
+	}
+	scalarRow, haveScalar := candBy["SessionSweepWarm"]
+	batchedRow, haveBatched := candBy["BatchedSweepWarm"]
+	if baseHasPair == 2 && haveScalar && haveBatched {
+		scalarRate, batchedRate := scalarRow.Metrics["tasks_per_s"], batchedRow.Metrics["tasks_per_s"]
+		if scalarRate > 0 && batchedRate > 0 {
+			compared++
+			ratio := batchedRate / scalarRate
+			status := "ok  "
+			if ratio < *batchSpeedup {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("  %s %-24s %.2fx scalar tasks/s (floor %.2fx)\n",
+				status, "batched/scalar rate", ratio, *batchSpeedup)
+		}
+		if scalarRow.AllocsPerOp != nil && *scalarRow.AllocsPerOp > 0 && batchedRow.AllocsPerOp != nil {
+			compared++
+			ratio := float64(*batchedRow.AllocsPerOp) / float64(*scalarRow.AllocsPerOp)
+			status := "ok  "
+			if ratio > *batchAllocRatio {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("  %s %-24s %.2fx scalar allocs/op (ceiling %.2fx)\n",
+				status, "batched/scalar allocs", ratio, *batchAllocRatio)
+		}
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "perfgate: baseline carries no tasks_per_s metrics")

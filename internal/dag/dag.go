@@ -81,6 +81,16 @@ type Graph struct {
 	taskUsed   int // tasks handed out across all chunks
 	edgeChunks [][]*Task
 	edgeUsed   int // edge-arena slots handed out across all chunks
+
+	// baseNpred/baseRoots cache the graph's initial ready-state — the
+	// per-task predecessor counts and the root set — so every execution
+	// lane starts from an O(tasks) array copy instead of re-walking the
+	// edge lists. Derived from the immutable Preds structure (never from
+	// the mutable npred counters), recomputed lazily after any
+	// structural change.
+	baseNpred []int32
+	baseRoots []*Task
+	baseValid bool
 }
 
 // taskChunk and edgeChunkSlots size the arena chunks; initialEdgeCap is
@@ -159,6 +169,7 @@ func (g *Graph) Reuse(name string) {
 	clear(g.kernelCount)
 	g.taskUsed = 0
 	g.edgeUsed = 0
+	g.baseValid = false
 }
 
 // Renew returns g rewound (via Reuse) and renamed when g is non-nil,
@@ -190,6 +201,7 @@ func (g *Graph) KernelByName(name string) *Kernel { return g.kernelByName[name] 
 // AddTask creates a task of kernel k with the given predecessor tasks.
 func (g *Graph) AddTask(k *Kernel, preds ...*Task) *Task {
 	t := g.newTask()
+	g.baseValid = false
 	t.ID = len(g.Tasks)
 	t.Kernel = k
 	t.Seq = g.kernelCount[k]
@@ -208,6 +220,7 @@ func (g *Graph) AddDep(pred, succ *Task) {
 	if pred.ID >= succ.ID {
 		panic(fmt.Sprintf("dag: dependency %d -> %d violates creation order", pred.ID, succ.ID))
 	}
+	g.baseValid = false
 	if pred.Succs == nil {
 		pred.Succs = g.newEdgeSlice()
 	}
@@ -228,6 +241,32 @@ func (g *Graph) Roots() []*Task {
 		}
 	}
 	return out
+}
+
+// BaseState returns the graph's initial per-task predecessor counts
+// (indexed by Task.ID) and its root set. Both are cached on the graph
+// and derived from the immutable edge structure — not from the mutable
+// npred counters — so the result is valid no matter how many executions
+// have consumed the graph since it was built. Callers must treat both
+// slices as read-only; they are invalidated by the next structural
+// change (AddTask/AddDep/Reuse).
+func (g *Graph) BaseState() ([]int32, []*Task) {
+	if !g.baseValid {
+		if cap(g.baseNpred) < len(g.Tasks) {
+			g.baseNpred = make([]int32, len(g.Tasks))
+		}
+		g.baseNpred = g.baseNpred[:len(g.Tasks)]
+		g.baseRoots = g.baseRoots[:0]
+		for i, t := range g.Tasks {
+			n := len(t.Preds)
+			g.baseNpred[i] = int32(n)
+			if n == 0 {
+				g.baseRoots = append(g.baseRoots, t)
+			}
+		}
+		g.baseValid = true
+	}
+	return g.baseNpred, g.baseRoots
 }
 
 // NumTasks returns the task count.

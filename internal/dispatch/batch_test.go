@@ -1,0 +1,179 @@
+package dispatch
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBatchClaimsWholeCells: an uncontended batch-capable job hands
+// whole cells to workers until fewer whole cells remain than Width,
+// then falls back to scalar units so the tail spreads over workers.
+// With one worker the claim sequence is fully deterministic.
+func TestBatchClaimsWholeCells(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var mu sync.Mutex
+	var batched []int
+	var scalar []Unit
+	var cellsDone []int
+	j := mustAdmit(t, p, Spec{
+		Cells:   3,
+		Repeats: 4,
+		Costs:   []int{10, 10, 10},
+		Width:   2,
+		Run: func(_ int, u Unit) {
+			mu.Lock()
+			scalar = append(scalar, u)
+			mu.Unlock()
+		},
+		RunBatch: func(_ int, cell int) int {
+			mu.Lock()
+			batched = append(batched, cell)
+			mu.Unlock()
+			return 4
+		},
+		OnCellDone: func(cell int) {
+			mu.Lock()
+			cellsDone = append(cellsDone, cell)
+			mu.Unlock()
+		},
+	})
+	j.Wait()
+	// 3 whole cells pending ≥ Width 2 → batch cell 0; 2 ≥ 2 → batch
+	// cell 1; then 1 < 2 → cell 2 runs as 4 scalar units.
+	if want := []int{0, 1}; len(batched) != 2 || batched[0] != 0 || batched[1] != 1 {
+		t.Errorf("batched cells = %v, want %v", batched, want)
+	}
+	if len(scalar) != 4 {
+		t.Errorf("scalar units = %v, want cell 2's four repeats", scalar)
+	}
+	for i, u := range scalar {
+		if u.Cell != 2 || u.Repeat != i {
+			t.Errorf("scalar unit %d = %+v, want {Cell:2 Repeat:%d}", i, u, i)
+		}
+	}
+	if len(cellsDone) != 3 {
+		t.Errorf("OnCellDone fired for %v, want all 3 cells", cellsDone)
+	}
+	pr := j.Progress()
+	if !pr.Finished || pr.Done != 12 || pr.Dropped != 0 || pr.InFlight != 0 {
+		t.Errorf("progress = %+v, want 12 done, finished", pr)
+	}
+}
+
+// TestBatchFallsBackUnderContention: while another job has pending
+// units, a batch-capable job receives scalar units only (small-probe
+// overtaking is preserved); once the pool is uncontended again, its
+// remaining whole cells batch.
+func TestBatchFallsBackUnderContention(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	var mu sync.Mutex
+	var batched []int
+	var scalar []Unit
+	a := mustAdmit(t, p, Spec{
+		Cells:   3,
+		Repeats: 2,
+		Costs:   []int{10, 10, 10},
+		Width:   1,
+		Run: func(_ int, u Unit) {
+			mu.Lock()
+			scalar = append(scalar, u)
+			mu.Unlock()
+		},
+		RunBatch: func(_ int, cell int) int {
+			mu.Lock()
+			batched = append(batched, cell)
+			mu.Unlock()
+			return 2
+		},
+	})
+	b := mustAdmit(t, p, Spec{
+		Cells:   2,
+		Repeats: 1,
+		Costs:   []int{10, 10},
+		Width:   1,
+		Run:     func(_ int, u Unit) {},
+	})
+	// Single worker, both jobs queued: the claim sequence under the
+	// fair-share policy is b(u0) [newest wins the tie], a scalar {0,0}
+	// [b still pending → contention], b(u1) [tie, newest] draining b,
+	// a scalar {0,1} [cell 0 no longer whole], then batch cells 1, 2.
+	p.Grow(1)
+	a.Wait()
+	b.Wait()
+	wantScalar := []Unit{{0, 0}, {0, 1}}
+	if len(scalar) != 2 || scalar[0] != wantScalar[0] || scalar[1] != wantScalar[1] {
+		t.Errorf("scalar units for a = %v, want %v", scalar, wantScalar)
+	}
+	if len(batched) != 2 || batched[0] != 1 || batched[1] != 2 {
+		t.Errorf("batched cells for a = %v, want [1 2]", batched)
+	}
+}
+
+// TestBatchAbortAccounting: a batched claim stopped early by the
+// caller (RunBatch returns fewer than Repeats) counts the executed
+// lanes done and the unrun remainder dropped; the short cell's
+// OnCellDone does not fire, and the job still finishes.
+func TestBatchAbortAccounting(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var mu sync.Mutex
+	var cellsDone []int
+	j := mustAdmit(t, p, Spec{
+		Cells:   1,
+		Repeats: 4,
+		Costs:   []int{10},
+		Width:   1,
+		Run:     func(_ int, u Unit) { t.Error("scalar Run called on a batchable sole-cell job") },
+		RunBatch: func(_ int, cell int) int {
+			return 2 // abort after two lanes
+		},
+		OnCellDone: func(cell int) {
+			mu.Lock()
+			cellsDone = append(cellsDone, cell)
+			mu.Unlock()
+		},
+	})
+	j.Wait()
+	pr := j.Progress()
+	if !pr.Finished || pr.Done != 2 || pr.Dropped != 2 || pr.InFlight != 0 {
+		t.Errorf("progress = %+v, want 2 done + 2 dropped, finished", pr)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(cellsDone) != 0 {
+		t.Errorf("OnCellDone fired for aborted cell: %v", cellsDone)
+	}
+}
+
+// TestBatchSkippedForSingleRepeat: with Repeats == 1 a batched claim
+// would be a scalar unit with extra bookkeeping; the dispatcher uses
+// Run even when RunBatch is provided.
+func TestBatchSkippedForSingleRepeat(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var mu sync.Mutex
+	var scalar int
+	j := mustAdmit(t, p, Spec{
+		Cells:   3,
+		Repeats: 1,
+		Costs:   []int{10, 10, 10},
+		Width:   1,
+		Run: func(_ int, u Unit) {
+			mu.Lock()
+			scalar++
+			mu.Unlock()
+		},
+		RunBatch: func(_ int, cell int) int {
+			t.Error("RunBatch called for a Repeats=1 job")
+			return 1
+		},
+	})
+	j.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if scalar != 3 {
+		t.Errorf("scalar units = %d, want 3", scalar)
+	}
+}

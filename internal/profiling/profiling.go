@@ -1,0 +1,54 @@
+// Package profiling wires the command-line tools' -cpuprofile and
+// -memprofile flags to runtime/pprof, so a slow sweep or bench run can
+// be inspected with `go tool pprof` without ad-hoc instrumentation.
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and returns a
+// stop function that ends the CPU profile and, when memPath is
+// non-empty, writes a heap profile there. Either path may be empty;
+// with both empty the returned stop is a no-op. Callers must invoke
+// stop on the exit paths that should yield usable profiles — a bare
+// os.Exit skips deferred calls, so mains that profile return an exit
+// code instead.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		// Flush recently freed objects out of the live set so the
+		// profile reflects steady-state retention, not GC timing.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
+}

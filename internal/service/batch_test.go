@@ -1,0 +1,106 @@
+package service
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSessionBatchedMatchesScalar is the tentpole correctness bar at
+// the service layer: for every scheduler in the catalog and a spread
+// of repeat counts, a batched sweep (all repeats of a cell as lockstep
+// lanes of one runtime) must reproduce the scalar sweep byte for byte
+// — reports and plan-search evaluations alike.
+func TestSessionBatchedMatchesScalar(t *testing.T) {
+	s := newTestSession(t)
+	for _, repeats := range []int{1, 2, 3, 8} {
+		req := func(noBatch bool) SweepRequest {
+			return SweepRequest{
+				Jobs:     jobsFor(s, []string{"SLU", "MM_256_dop4"}, SchedulerNames),
+				Scale:    0.02,
+				Seed:     1,
+				Repeats:  repeats,
+				Parallel: 2,
+				NoBatch:  noBatch,
+			}
+		}
+		scalar := mustSubmit(t, s, req(true))
+		batched := mustSubmit(t, s, req(false))
+		if !reflect.DeepEqual(scalar.Reports, batched.Reports) {
+			t.Errorf("repeats=%d: batched sweep diverged from scalar:\nscalar:  %+v\nbatched: %+v",
+				repeats, scalar.Reports, batched.Reports)
+		}
+		if scalar.PlanEvals != batched.PlanEvals {
+			t.Errorf("repeats=%d: batched sweep performed %d plan evals, scalar %d",
+				repeats, batched.PlanEvals, scalar.PlanEvals)
+		}
+		if scalar.Units != batched.Units || scalar.UnitsDone != batched.UnitsDone {
+			t.Errorf("repeats=%d: unit accounting differs: scalar %d/%d, batched %d/%d",
+				repeats, scalar.UnitsDone, scalar.Units, batched.UnitsDone, batched.Units)
+		}
+	}
+}
+
+// TestSessionBatchFallbackProbeStorm drives the scalar-fallback
+// boundary: while a batched sweep drains, a storm of 1-unit probes
+// keeps forcing the dispatcher into contention, so the sweep's claims
+// flip between batched cells and scalar units mid-flight. The merged
+// sweep report must stay byte-identical to an uncontended run, and the
+// probes must keep overtaking (each returns the same report as on a
+// quiet session).
+func TestSessionBatchFallbackProbeStorm(t *testing.T) {
+	sweepReq := func(s *Session) SweepRequest {
+		return SweepRequest{
+			Jobs:     jobsFor(s, []string{"HT_Small", "HT_Big", "MM_512_dop16", "ST_2048_dop16"}, []string{"GRWS", "JOSS"}),
+			Scale:    0.02,
+			Seed:     1,
+			Repeats:  3,
+			Parallel: 2,
+		}
+	}
+	probeReq := func(s *Session) SweepRequest {
+		return SweepRequest{
+			Jobs:     jobsFor(s, []string{"SLU"}, []string{"GRWS"}),
+			Scale:    0.02,
+			Seed:     1,
+			Parallel: 1,
+		}
+	}
+
+	quiet := newTestSession(t)
+	wantSweep := mustSubmit(t, quiet, sweepReq(quiet))
+	wantProbe := mustSubmit(t, quiet, probeReq(quiet))
+
+	s := newTestSession(t)
+	h := mustEnqueue(t, s, sweepReq(s))
+	probes := 0
+	for {
+		select {
+		case <-h.Done():
+		default:
+			probe := mustSubmit(t, s, probeReq(s))
+			probes++
+			if !reflect.DeepEqual(probe.Reports, wantProbe.Reports) {
+				t.Fatalf("probe %d diverged under the batched sweep:\n got %+v\nwant %+v",
+					probes, probe.Reports, wantProbe.Reports)
+			}
+			continue
+		}
+		break
+	}
+	res := h.Wait()
+	if probes == 0 {
+		t.Fatal("sweep finished before a single probe ran; the storm exercised nothing")
+	}
+	if res.Cancelled || res.UnitsDone != res.Units {
+		t.Fatalf("stormed sweep incomplete: %+v", res)
+	}
+	if !reflect.DeepEqual(res.Reports, wantSweep.Reports) {
+		t.Errorf("probe storm changed the batched sweep's reports:\n got %+v\nwant %+v",
+			res.Reports, wantSweep.Reports)
+	}
+	if res.PlanEvals != wantSweep.PlanEvals {
+		t.Errorf("probe storm changed the sweep's plan evals: %d vs %d",
+			res.PlanEvals, wantSweep.PlanEvals)
+	}
+	t.Logf("storm: %d probes interleaved with the sweep", probes)
+}

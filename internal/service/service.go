@@ -337,6 +337,18 @@ type SweepRequest struct {
 	// run samples afresh and results are bit-reproducible regardless
 	// of request history and co-resident requests.
 	SharePlans bool
+	// NoBatch disables batched claims for this request. With batching
+	// on (the default — the zero value), the dispatcher may hand all
+	// Repeats of one cell to a single worker, which runs them as lanes
+	// of one runtime (taskrt.RunBatch): one DAG build, one warm oracle
+	// memo and one Reset-recycled scheduler serve every repeat, instead
+	// of each repeat paying them on whichever worker it lands on.
+	// Batching is a density policy only — lane reports are bit-identical
+	// to scalar ⟨cell, repeat⟩ units, and the dispatcher falls back to
+	// scalar units under contention (so small probes still overtake)
+	// and near a request's tail (so the last cells' repeats spread over
+	// workers). The wire field is `batch` (null = true).
+	NoBatch bool
 	// SensorPeriodSec overrides the simulated INA3221's 5 ms sampling
 	// period (0 = paper default); SensorOff removes the sensor.
 	SensorPeriodSec float64
@@ -387,8 +399,10 @@ type SweepResult struct {
 	Cancelled bool
 	// Interrupted counts run units aborted mid-simulation by the
 	// cooperative cancel (Cancelled requests only; dropped queued
-	// units are counted in Units−UnitsDone instead). Aborted units
-	// produce no report and their cells are absent from Reports.
+	// units — including the never-started lanes of a cancelled
+	// batched claim — are counted in Units−UnitsDone instead).
+	// Aborted units produce no report and their cells are absent
+	// from Reports.
 	Interrupted int
 	// PlanStoreErr records a failed plan-store flush (the sweep itself
 	// succeeded; callers decide whether that is fatal).
@@ -410,6 +424,7 @@ type worker struct {
 	lastJob  int64
 	lastCell int
 	scheds   map[string]taskrt.Scheduler
+	seeds    []int64 // recycled RunBatch seed buffer
 }
 
 // workerAt returns the state slot for a dispatch worker id, growing
@@ -515,9 +530,10 @@ func (s *Session) schedulerFor(w *worker, j Job, req *SweepRequest, plans *sched
 // plan-search evaluations the unit performed, and whether the run was
 // aborted mid-simulation by the job's cancel flag. The workload is
 // rebuilt into the worker's arenas only when the unit belongs to a
-// different ⟨job, cell⟩ than the worker's previous one (Runtime.Run
-// rewinds predecessor counters itself, so same-cell units re-run the
-// built DAG).
+// different ⟨job, cell⟩ than the worker's previous one (execution
+// never mutates the graph — per-run task state lives in the runtime's
+// lane — so same-cell units re-run the built DAG as-is, even after an
+// aborted run).
 func (s *Session) runUnit(w *worker, h *JobHandle, cell, repeat int) (taskrt.Report, int, bool) {
 	req := &h.req
 	j := req.Jobs[cell]
@@ -542,12 +558,65 @@ func (s *Session) runUnit(w *worker, h *JobHandle, cell, repeat int) (taskrt.Rep
 		evals = ms.TotalEvals
 	}
 	if w.rt.Interrupted() {
-		// The arenas hold a half-executed graph; invalidate the
-		// ⟨job, cell⟩ key so the next unit rebuilds from scratch.
-		w.lastJob = -1
 		return taskrt.Report{}, evals, true
 	}
 	return rep, evals, false
+}
+
+// runBatch is runUnit's batched sibling: it executes all Repeats of
+// one cell as lanes of the worker's runtime (taskrt.RunBatch), writing
+// each completed lane's report into out[repeat]. The cell's DAG is
+// built once, the worker's warm oracle memo serves every lane, and the
+// cell's scheduler is recycled across lanes through schedulerFor's
+// reset contracts — exactly the per-repeat costs the scalar path pays
+// per ⟨worker, cell⟩ encounter. Lane reports are bit-identical to the
+// scalar path's because each lane performs the same Reset+Run sequence
+// under the same seed. Returns the lanes completed (fewer than Repeats
+// only when the job's cancel flag interrupted the batch) and the
+// plan-search evaluations performed across all lanes.
+func (s *Session) runBatch(w *worker, h *JobHandle, cell int, out []taskrt.Report) (int, int) {
+	req := &h.req
+	j := req.Jobs[cell]
+	if w.g == nil || w.lastJob != h.seq || w.lastCell != cell {
+		w.g = j.Workload.BuildReuse(w.g, req.Scale)
+		w.lastJob, w.lastCell = h.seq, cell
+	}
+	opt := runOptions(req, req.Seed)
+	opt.Cancel = &h.cancel
+	if w.rt == nil {
+		w.rt = taskrt.New(s.oracle, nil, opt)
+	} else {
+		w.rt.Opt = opt
+	}
+	if cap(w.seeds) < req.Repeats {
+		w.seeds = make([]int64, req.Repeats)
+	}
+	seeds := w.seeds[:req.Repeats]
+	for r := range seeds {
+		seeds[r] = req.Seed + int64(r)
+	}
+	// schedulerFor resets the recycled scheduler (clearing TotalEvals),
+	// so the previous lane's evaluations are read just before each
+	// handoff and once more after the last lane.
+	evals := 0
+	var cur taskrt.Scheduler
+	next := func(lane int) taskrt.Scheduler {
+		if lane > 0 {
+			// Lanes [0, lane) are complete; publish the in-flight
+			// progress the dispatcher cannot see until the claim returns.
+			h.laneDone[cell].Store(int32(lane))
+		}
+		if ms, ok := cur.(*sched.ModelSched); ok {
+			evals += ms.TotalEvals
+		}
+		cur = s.schedulerFor(w, j, req, h.plans)
+		return cur
+	}
+	done := w.rt.RunBatch(w.g, seeds, next, out)
+	if ms, ok := cur.(*sched.ModelSched); ok {
+		evals += ms.TotalEvals
+	}
+	return done, evals
 }
 
 // Submit executes one sweep request and returns the per-cell mean

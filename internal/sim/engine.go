@@ -73,7 +73,9 @@ func New() *Engine { return &Engine{} }
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// Processed returns the number of events executed so far.
+// Processed returns the number of events processed so far: fired live
+// events plus reaped cancelled ones — every event that left the queue,
+// each counted exactly once.
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of events currently scheduled (including
@@ -238,29 +240,33 @@ func (e *Engine) Reset() {
 	e.processed = 0
 }
 
-// Step executes the next event, advancing the clock. It returns false
-// if no events remain.
+// Step processes the next queued event and returns false if no events
+// remain. A live event advances the clock and fires its callback; a
+// cancelled event is reaped (released without firing, clock
+// unchanged). Both count as exactly one processed step — one pop, one
+// event — so Processed is a pure function of the schedule/cancel
+// sequence the simulation produced, never of which loop (Run,
+// RunLimit, RunUntil) happened to drain the queue. That is what makes
+// event counts comparable between scalar runs and RunBatch lanes.
 func (e *Engine) Step() bool {
-	for {
-		ev := e.pop()
-		if ev == nil {
-			return false
-		}
-		if ev.cancelled {
-			e.release(ev)
-			continue
-		}
-		e.now = ev.at
-		e.processed++
-		fn, h, i0, p0 := ev.fn, ev.h, ev.i0, ev.p0
+	ev := e.pop()
+	if ev == nil {
+		return false
+	}
+	e.processed++
+	if ev.cancelled {
 		e.release(ev)
-		if h != nil {
-			h.OnEvent(i0, p0)
-		} else {
-			fn()
-		}
 		return true
 	}
+	e.now = ev.at
+	fn, h, i0, p0 := ev.fn, ev.h, ev.i0, ev.p0
+	e.release(ev)
+	if h != nil {
+		h.OnEvent(i0, p0)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run executes events until the queue is empty.
@@ -284,8 +290,10 @@ func (e *Engine) RunUntil(t float64) {
 	}
 }
 
-// RunLimit executes at most n events; it returns the number executed.
-// Useful as a runaway guard in tests.
+// RunLimit processes at most n events (cancelled reaps included, like
+// Step); it returns the number processed. The runtime's cooperative
+// cancel poll uses it as a bounded work quantum; tests use it as a
+// runaway guard.
 func (e *Engine) RunLimit(n uint64) uint64 {
 	var done uint64
 	for done < n && e.Step() {
@@ -297,6 +305,10 @@ func (e *Engine) RunLimit(n uint64) uint64 {
 func (e *Engine) peek() *Event {
 	for len(e.pq) > 0 {
 		if e.pq[0].cancelled {
+			// Reaping here is the same unit of work as reaping in Step;
+			// count it so Processed does not depend on whether a peek
+			// or a Step drained the cancelled head.
+			e.processed++
 			e.release(e.pop())
 			continue
 		}

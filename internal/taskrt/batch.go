@@ -1,0 +1,58 @@
+// Batched lockstep repeats: one runtime, one built DAG, one warm
+// oracle memo — N seeded state lanes.
+//
+// The repeats of one sweep cell are identical simulations except for
+// their seed. RunBatch exploits that by running all of them on a
+// single Runtime against a single built graph:
+//
+//   - Shared across lanes (paid once per batch, not once per repeat):
+//     the DAG build and its cached base state (initial predecessor
+//     counters + root set, one memcpy per lane instead of an O(V+E)
+//     rewind walk), the task/edge arenas, the oracle memo — the
+//     kcache/demandCache slabs holding the oracle's seed-independent
+//     transcendental ⟨demand, config⟩ answers — the event/execState/
+//     decision pools, and the recycled scheduler scratch
+//     (sched.ModelSched.Reset between lanes).
+//   - Per lane (forked state): the RNG stream, the event timeline, the
+//     ready deques, the meter/energy accumulators and the stats. The
+//     very first dispatch consults the lane's seeded RNG for core
+//     placement, so lane timelines diverge immediately — they fork to
+//     private event sequences over the shared memo and arena rather
+//     than sharing heap operations.
+//
+// Because each lane performs exactly the Reset+Run sequence the scalar
+// ⟨cell, repeat⟩ unit performs, lane reports are bit-identical to the
+// scalar path's — the property the differential tests pin for every
+// scheduler, including Stats.Events (one lane-step = one event).
+package taskrt
+
+import "joss/internal/dag"
+
+// RunBatch executes len(seeds) lanes of graph g, writing each
+// completed lane's report to out[lane] and returning the number of
+// lanes that completed. next is consulted before each lane for the
+// lane's scheduler — callers recycle one scheduler across lanes via
+// the reset contracts (the service does ModelSched.Reset per lane) or
+// construct fresh ones. Lane i runs with Opt.Seed = seeds[i]; the rest
+// of Opt applies to every lane.
+//
+// A cooperative cancel (Options.Cancel) stops the batch at the lane it
+// interrupts: RunBatch returns the count of lanes that finished before
+// it, out beyond that count is untouched, and Interrupted() reports
+// true. len(out) must be >= len(seeds).
+func (rt *Runtime) RunBatch(g *dag.Graph, seeds []int64, next func(lane int) Scheduler, out []Report) int {
+	if len(out) < len(seeds) {
+		panic("taskrt: RunBatch output buffer shorter than seeds")
+	}
+	for lane, seed := range seeds {
+		rt.Sched = next(lane)
+		rt.Opt.Seed = seed
+		rt.Reset(g)
+		rep := rt.Run(g)
+		if rt.interrupted {
+			return lane
+		}
+		out[lane] = rep
+	}
+	return len(seeds)
+}

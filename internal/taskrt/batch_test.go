@@ -1,0 +1,135 @@
+package taskrt
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"joss/internal/dag"
+	"joss/internal/platform"
+)
+
+// TestRunBatchMatchesScalar is the tentpole correctness bar at the
+// runtime layer: the lanes of one RunBatch call — one runtime, one
+// built graph, shared pools and oracle memo — must reproduce byte for
+// byte the reports of fresh per-seed runtimes, including Stats.Events
+// (one lane-step = one engine event, so the counts are comparable).
+func TestRunBatchMatchesScalar(t *testing.T) {
+	g := dag.Chains("batch-diff", demand(5e6, 5e5), 6, 20)
+	seeds := []int64{3, 4, 5, 6, 7, 8, 9, 10}
+
+	want := make([]Report, len(seeds))
+	for i, seed := range seeds {
+		opt := DefaultOptions()
+		opt.Seed = seed
+		rt := New(platform.DefaultOracle(), &fixedSched{dec: maxDec(platform.A57, 2)}, opt)
+		want[i] = rt.Run(dag.Chains("batch-diff", demand(5e6, 5e5), 6, 20))
+	}
+
+	rt := New(platform.DefaultOracle(), nil, DefaultOptions())
+	got := make([]Report, len(seeds))
+	n := rt.RunBatch(g, seeds, func(lane int) Scheduler {
+		return &fixedSched{dec: maxDec(platform.A57, 2)}
+	}, got)
+	if n != len(seeds) {
+		t.Fatalf("RunBatch completed %d lanes, want %d", n, len(seeds))
+	}
+	for i := range seeds {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("lane %d (seed %d) diverged from scalar run:\n got %+v\nwant %+v",
+				i, seeds[i], got[i], want[i])
+		}
+		if got[i].Stats.Events == 0 {
+			t.Errorf("lane %d reports zero events", i)
+		}
+	}
+}
+
+// attachHook lets a test schedule events once a lane's Run has reset
+// the engine (RunBatch calls next before Reset, so events scheduled
+// from next itself would be drained).
+type attachHook struct {
+	*fixedSched
+	onAttach func(rt *Runtime)
+}
+
+func (s *attachHook) Attach(rt *Runtime) {
+	s.fixedSched.Attach(rt)
+	if s.onAttach != nil {
+		s.onAttach(rt)
+	}
+}
+
+// TestRunBatchInterrupted: a cooperative cancel stops the batch at the
+// lane it interrupts; completed lanes keep their reports, the rest of
+// the output buffer is untouched, and the runtime stays Reset-able.
+func TestRunBatchInterrupted(t *testing.T) {
+	g := cancelGraph("batch-cancel")
+	seeds := []int64{1, 2, 3, 4}
+
+	// Reference: the makespan of one full lane, to time the trip.
+	ref := New(platform.DefaultOracle(), &fixedSched{dec: maxDec(platform.A57, 1)}, DefaultOptions()).
+		Run(cancelGraph("batch-cancel"))
+
+	var flag atomic.Bool
+	rt := New(platform.DefaultOracle(), nil, cancelOptions(&flag))
+	out := make([]Report, len(seeds))
+	n := rt.RunBatch(g, seeds, func(lane int) Scheduler {
+		s := &attachHook{fixedSched: &fixedSched{dec: maxDec(platform.A57, 1)}}
+		if lane == 2 {
+			// Trip the flag mid-simulation of lane 2.
+			s.onAttach = func(rt *Runtime) {
+				rt.After(ref.MakespanSec/2, func() { flag.Store(true) })
+			}
+		}
+		return s
+	}, out)
+	if n != 2 {
+		t.Fatalf("interrupted batch completed %d lanes, want 2", n)
+	}
+	if !rt.Interrupted() {
+		t.Fatal("runtime not marked interrupted")
+	}
+	for i := 0; i < 2; i++ {
+		if out[i].MakespanSec == 0 {
+			t.Errorf("completed lane %d has empty report", i)
+		}
+	}
+	for i := 2; i < len(seeds); i++ {
+		if !reflect.DeepEqual(out[i], Report{}) {
+			t.Errorf("lane %d beyond the interruption was written: %+v", i, out[i])
+		}
+	}
+
+	// The aborted batch left no residue: a fresh batch on the same
+	// runtime reproduces scalar reports byte for byte.
+	flag.Store(false)
+	redo := make([]Report, len(seeds))
+	if m := rt.RunBatch(g, seeds, func(int) Scheduler {
+		return &fixedSched{dec: maxDec(platform.A57, 1)}
+	}, redo); m != len(seeds) {
+		t.Fatalf("rerun batch completed %d lanes, want %d", m, len(seeds))
+	}
+	opt := DefaultOptions()
+	opt.Seed = seeds[0]
+	want := New(platform.DefaultOracle(), &fixedSched{dec: maxDec(platform.A57, 1)}, opt).
+		Run(cancelGraph("batch-cancel"))
+	if !reflect.DeepEqual(redo[0], want) {
+		t.Errorf("post-abort batch lane 0 diverged:\n got %+v\nwant %+v", redo[0], want)
+	}
+}
+
+// TestRunBatchOutputBufferTooShort: a short output buffer is a caller
+// bug and panics rather than truncating silently.
+func TestRunBatchOutputBufferTooShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunBatch accepted an output buffer shorter than seeds")
+		}
+	}()
+	rt := New(platform.DefaultOracle(), nil, DefaultOptions())
+	g := dag.Chains("batch-short", demand(1e6, 1e5), 2, 2)
+	rt.RunBatch(g, []int64{1, 2}, func(int) Scheduler {
+		return &fixedSched{dec: maxDec(platform.A57, 1)}
+	}, make([]Report, 1))
+}

@@ -154,6 +154,14 @@ type Stats struct {
 	TransitionsMem int
 	// TasksByType[tc] counts tasks executed per core type.
 	TasksByType [platform.NumCoreTypes]int
+	// Events is the number of simulation events the engine processed
+	// over the whole run (trailing scheduler timers included), captured
+	// from sim.Engine.Processed when the event loop drains. One
+	// lane-step is one event: a seeded run reports the same count
+	// whether it executed as a scalar ⟨cell, repeat⟩ unit or as a lane
+	// of RunBatch — the comparability contract the batched differential
+	// tests assert.
+	Events int
 	// Kernels counts task executions per kernel per core type, in
 	// graph kernel order (kernels that executed no task are omitted).
 	// The dense slice replaces the per-run map the report used to
@@ -373,6 +381,16 @@ type Runtime struct {
 	finished    bool
 	interrupted bool
 
+	// Per-run task-state lane (structure-of-arrays, indexed by
+	// Task.ID): the unfinished-predecessor counters and pending
+	// scheduler decisions of the current execution. Keeping them here —
+	// not on dag.Task — leaves the graph immutable during execution, so
+	// one built DAG serves any number of lanes (RunBatch) or repeated
+	// runs without per-run Graph.ResetRuntimeState walks: starting a
+	// lane is one memcpy of the graph's cached base counters.
+	npred []int32
+	decs  []*Decision
+
 	// Pools and caches keeping the steady-state hot path
 	// allocation-free.
 	esPool      []*execState
@@ -584,20 +602,35 @@ func (rt *Runtime) newSlab() *demandCache {
 
 // Run executes the graph to completion and returns the report. A
 // finished Runtime must be rewound with Reset before it can Run again.
+// Execution never mutates g: per-run predecessor counters and pending
+// decisions live in the runtime's own task-state lane, seeded from the
+// graph's cached base state, so the same built graph can back any
+// number of runs (or RunBatch lanes) concurrently across runtimes.
 func (rt *Runtime) Run(g *dag.Graph) Report {
 	if rt.finished {
 		panic("taskrt: Runtime has finished a run; call Reset before reusing it")
 	}
-	g.ResetRuntimeState()
+	base, roots := g.BaseState()
+	n := g.NumTasks()
+	if cap(rt.npred) < n {
+		rt.npred = make([]int32, n)
+	}
+	rt.npred = rt.npred[:n]
+	copy(rt.npred, base)
+	if cap(rt.decs) < n {
+		rt.decs = make([]*Decision, n)
+	}
+	rt.decs = rt.decs[:n]
+	clear(rt.decs) // drops (does not recycle) boxes left by an aborted run
 	rt.graph = g
-	rt.remaining = g.NumTasks()
+	rt.remaining = n
 	rt.prepareCaches(g)
 	rt.Sched.Attach(rt)
 	rt.M.Meter.ConfigureSensor(rt.Opt.SensorPeriodSec, rt.Opt.SensorOff)
 	rt.M.Meter.Reset()
 	rt.M.Meter.StartSensor()
 
-	for _, t := range g.Roots() {
+	for _, t := range roots {
 		rt.dispatch(t)
 	}
 	// Run until all tasks completed; the sensor stops itself when the
@@ -626,6 +659,7 @@ func (rt *Runtime) Run(g *dag.Graph) Report {
 
 	rt.stats.TransitionsCPU = rt.M.TransitionsCPU
 	rt.stats.TransitionsMem = rt.M.TransitionsMem
+	rt.stats.Events = int(rt.Eng.Processed())
 	for i, k := range g.Kernels {
 		counts := rt.kernelStats[i]
 		total := 0
@@ -652,9 +686,9 @@ func (rt *Runtime) Run(g *dag.Graph) Report {
 // stopped, the runtime is marked finished and Interrupted, and a
 // zero-measurement Report is returned. Nothing else is torn down here
 // — Reset already rewinds the engine's pending events, the per-core
-// deques, the machine and the meter, and Graph.ResetRuntimeState
-// clears the task scratch on the next Run — so an aborted runtime is
-// reusable exactly like a finished one. Pooled Decision/execState
+// deques, the machine and the meter, and the next Run re-seeds the
+// task-state lane from the graph's base state — so an aborted runtime
+// is reusable exactly like a finished one. Pooled Decision/execState
 // boxes still referenced by the abandoned run are simply not
 // recycled; fresh ones are allocated on demand.
 func (rt *Runtime) abort(g *dag.Graph) Report {
@@ -707,7 +741,7 @@ func (rt *Runtime) dispatch(t *dag.Task) {
 	target := ids[rt.rng.Intn(len(ids))]
 	pd := rt.newDecision()
 	*pd = dec
-	t.Decision = pd
+	rt.decs[t.ID] = pd
 	delay := dec.OverheadSec + rt.Opt.DispatchOverheadSec
 	if delay > 0 {
 		rt.Eng.AfterEvent(delay, &rt.enqH, target, t)
@@ -799,10 +833,10 @@ func (rt *Runtime) fetch(id int) {
 // start begins executing task t on core `lead`, recruiting idle
 // same-cluster cores for moldable execution.
 func (rt *Runtime) start(lead int, t *dag.Task) {
-	pd := t.Decision.(*Decision)
+	pd := rt.decs[t.ID]
 	dec := *pd
 	rt.freeDecision(pd)
-	t.Decision = nil
+	rt.decs[t.ID] = nil
 	c := rt.cores[lead]
 	cluster := c.cluster
 
@@ -1065,7 +1099,8 @@ func (rt *Runtime) complete(es *execState) {
 	rt.Sched.TaskDone(rec)
 
 	for _, s := range task.Succs {
-		if s.DecrementPred() {
+		rt.npred[s.ID]--
+		if rt.npred[s.ID] == 0 {
 			rt.dispatch(s)
 		}
 	}
