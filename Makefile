@@ -4,7 +4,7 @@ GO ?= go
 
 # PERF_BASELINE is the committed BENCH_*.json the perf gate compares
 # against; update it when a PR intentionally moves the baseline.
-PERF_BASELINE ?= BENCH_20260807T164648.json
+PERF_BASELINE ?= BENCH_20260807T174109.json
 
 .PHONY: tier1 fmt vet build test chaos bench bench-json perfgate clean
 
@@ -31,18 +31,19 @@ test:
 
 # chaos repeats the failure-path suite under the race detector:
 # overload storms, mid-run cancellation, drain refusals, SIGKILL crash
-# recovery, journal replay and the fleet fault drills (multi-daemon
-# shard kill, drain spillover, 429 storm) — the tests most sensitive
-# to timing, so they get extra iterations beyond the single tier-1
-# pass.
+# recovery, journal replay, the train-vs-lazy differential with its
+# concurrent-train storm, and the fleet fault drills (multi-daemon
+# shard kill, drain spillover, 429 storm, ring-slice warm-up) — the
+# tests most sensitive to timing, so they get extra iterations beyond
+# the single tier-1 pass.
 chaos:
 	$(GO) test -race -count=3 \
-		-run 'TestSessionOverloadStormByteIdentical|TestSessionCancelInterruptsInFlight|TestSessionDrain|TestSessionJobJournalReplay|TestSessionBatchFallbackProbeStorm|TestHTTPOverloadAndDrain|TestCrashRecoverySIGKILL' \
+		-run 'TestSessionOverloadStormByteIdentical|TestSessionCancelInterruptsInFlight|TestSessionDrain|TestSessionJobJournalReplay|TestSessionBatchFallbackProbeStorm|TestHTTPOverloadAndDrain|TestCrashRecoverySIGKILL|TestTrainThenSweepMatchesLazy|TestTrainConcurrentStorm' \
 		./internal/service
 	$(GO) test -race -count=3 ./internal/jobstore
 	$(GO) test -race -count=3 -run 'TestCancel|TestRunBatch' ./internal/taskrt
 	$(GO) test -race -count=3 \
-		-run 'TestFleetSIGKILLDrill|TestFleetShardDeathFailover|TestFleetDrainSpillover|TestFleet429Spillover|TestFleetAllShardsDownDegradedError' \
+		-run 'TestFleetSIGKILLDrill|TestFleetShardDeathFailover|TestFleetDrainSpillover|TestFleet429Spillover|TestFleetAllShardsDownDegradedError|TestFleetWarmupDrill' \
 		./internal/fleet
 
 # bench runs the perf-tracking benchmarks with allocation stats.

@@ -234,6 +234,75 @@ func runBench(outPath string, reuse bool) error {
 		add("SessionSweepWarm", tasksMetric, sweepBench(true))
 		add("BatchedSweepWarm", tasksMetric, sweepBench(false))
 
+		// Plan pre-training, measured as the pair perfgate gates: the
+		// same JOSS sweep served cold (a fresh plan cache every
+		// iteration, so every cell pays sampling and configuration
+		// search) and pre-trained (Session.Train warmed the cache once,
+		// so every iteration adopts resident plans and performs zero
+		// searches). Both rows share the session, workloads, scale and
+		// seed. The load-bearing column is plan_evals_per_op — 0 on the
+		// pre-trained row proves adoption; the ns/op gap is the search
+		// and sampling work /train removes from serving, a few percent
+		// here (see PERF.md PR 9 for why a 1-vCPU runner hides most of
+		// it).
+		var jossJobs []service.Job
+		for _, c := range workloads.Fig8Configs() {
+			switch c.Name {
+			case "SLU", "MM_256_dop4", "HT_Small", "ST_2048_dop16":
+				c := c
+				jossJobs = append(jossJobs, service.Job{Workload: c, Label: "JOSS",
+					Make: func() taskrt.Scheduler { return sess.NewScheduler("JOSS") }})
+			}
+		}
+		jossReq := func(pc *sched.PlanCache) service.SweepRequest {
+			return service.SweepRequest{
+				Jobs:       jossJobs,
+				Scale:      0.05,
+				Seed:       1,
+				Repeats:    1,
+				Parallel:   2,
+				SharePlans: true,
+				Plans:      pc,
+			}
+		}
+		var planEvals int
+		add("ColdSweep", func(testing.BenchmarkResult) map[string]float64 {
+			return map[string]float64{"plan_evals_per_op": float64(planEvals)}
+		}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sess.Submit(jossReq(sched.NewPlanCache()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				planEvals = res.PlanEvals
+			}
+		})
+		trained := sched.NewPlanCache()
+		benchNames := make([]string, 0, len(jossJobs))
+		for _, j := range jossJobs {
+			benchNames = append(benchNames, j.Workload.Name)
+		}
+		if _, err := sess.Train(service.TrainRequest{
+			Benchmarks: benchNames,
+			Schedulers: []string{"JOSS"},
+			Scale:      0.05,
+			Seed:       1,
+			Plans:      trained,
+		}); err != nil {
+			return err
+		}
+		add("PretrainedSweep", func(testing.BenchmarkResult) map[string]float64 {
+			return map[string]float64{"plan_evals_per_op": float64(planEvals)}
+		}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sess.Submit(jossReq(trained))
+				if err != nil {
+					b.Fatal(err)
+				}
+				planEvals = res.PlanEvals
+			}
+		})
+
 		// The Figure 8 sweep with every reuse lever on: worker-pool
 		// runtimes plus the cross-sweep plan cache. Same trained
 		// environment as the cold benchmarks (the oracle and model set

@@ -6,6 +6,7 @@
 //	jossbench [-scale F] [-parallel N] [-csv] [-shareplans] [-planstore FILE]
 //	          [-sensorperiod S] [-nosensor] [-batch=BOOL] [-reuse]
 //	          [-cpuprofile FILE] [-memprofile FILE]
+//	          [-mutexprofile FILE] [-blockprofile FILE]
 //	          fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|bench|all
 //
 // Each subcommand prints the corresponding experiment's rows (see
@@ -57,6 +58,8 @@ func run() (code int) {
 		"bench mode: also run warm-worker variants (Reset-reused runtime, recycled graph arenas) so the report captures cold and warm numbers")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a contended-mutex profile to this file on exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: jossbench [flags] fig1|fig2|fig5|fig8|fig8split|fig9|fig10|overhead|extras|dopsweep|slu|table1|bench|all\n")
 		flag.PrintDefaults()
@@ -82,7 +85,9 @@ func run() (code int) {
 		return 2
 	}
 
-	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	stopProf, err := profiling.StartProfiles(profiling.Profiles{
+		CPU: *cpuProfile, Mem: *memProfile, Mutex: *mutexProfile, Block: *blockProfile,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jossbench:", err)
 		return 1

@@ -14,8 +14,18 @@
 // Usage:
 //
 //	jossd [-listen ADDR] [-socket PATH] [-parallel N]
-//	      [-planstore FILE] [-saveevery N] [-retainjobs N]
+//	      [-planstore FILE] [-saveevery N] [-flushevery DUR]
+//	      [-pretrain GRID] [-retainjobs N]
 //	      [-maxjobs N] [-maxqueue N] [-jobstore FILE]
+//
+// -pretrain "bench,...:sched,..." pre-trains the named grid's plans
+// before the daemon starts serving — claim-based single-flight
+// training through the same dispatcher requests use, so the first
+// client sweep over those cells performs zero plan searches. Either
+// side of the colon may be "all" or empty for the full set; a bare
+// "all" pre-trains everything. -flushevery publishes the plan store on
+// a timer (in addition to the request-count cadence of -saveevery), so
+// fleet peers see freshly trained plans without waiting for traffic.
 //
 // -maxjobs/-maxqueue bound admission: excess requests get 429 Too Many
 // Requests with a Retry-After hint instead of queueing without bound.
@@ -31,11 +41,12 @@
 //	POST   /sweep           run a benchmark × scheduler sweep
 //	POST   /sweep?stream=1  same, streaming per-cell NDJSON frames
 //	POST   /run             run one benchmark under one scheduler
+//	POST   /train           pre-train a grid's plans (?async=1 -> job)
 //	POST   /jobs            enqueue a sweep as a fire-and-forget job
-//	GET    /jobs            list jobs
+//	GET    /jobs            list jobs (sweeps and training runs)
 //	GET    /jobs/{id}       poll per-cell progress; result once done
 //	DELETE /jobs/{id}       cancel (cooperative) or evict when done
-//	GET    /healthz         liveness, plan/request/job counts
+//	GET    /healthz         liveness, plan/request/job/training counts
 //
 // Clients: `jossrun -connect http://host:port [-async|-watch ID] ...`
 // or plain curl:
@@ -53,6 +64,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,6 +78,10 @@ func main() {
 	planStore := flag.String("planstore", "",
 		"persistent plan store shared with other jossd/jossbench/jossrun processes: loaded at startup, flushed lock-and-merge after requests")
 	saveEvery := flag.Int("saveevery", 1, "flush the plan store every N requests")
+	flushEvery := flag.Duration("flushevery", 0,
+		"also publish the plan store on this period when it has unsaved plans (0 = request-count cadence only)")
+	pretrain := flag.String("pretrain", "",
+		"pre-train plans before serving: \"bench,...:sched,...\" ('all' or empty side = full set)")
 	retainJobs := flag.Int("retainjobs", 0, "finished jobs kept for /jobs/{id} polling (0 = default 256)")
 	maxJobs := flag.Int("maxjobs", 0, "admission bound on concurrently admitted jobs (0 = unbounded); excess requests get 429")
 	maxQueue := flag.Int("maxqueue", 0, "admission bound on queued run units across all jobs (0 = unbounded); excess requests get 429")
@@ -73,11 +89,16 @@ func main() {
 		"crash-durable job journal: specs recorded at admission, results on completion, replayed at startup")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: jossd [-listen ADDR] [-socket PATH] [-parallel N] [-planstore FILE] [-saveevery N] [-retainjobs N] [-maxjobs N] [-maxqueue N] [-jobstore FILE]")
+		fmt.Fprintln(os.Stderr, "usage: jossd [-listen ADDR] [-socket PATH] [-parallel N] [-planstore FILE] [-saveevery N] [-flushevery DUR] [-pretrain GRID] [-retainjobs N] [-maxjobs N] [-maxqueue N] [-jobstore FILE]")
 		os.Exit(2)
 	}
-	if *parallel < 0 || *saveEvery < 1 || *retainJobs < 0 || *maxJobs < 0 || *maxQueue < 0 {
-		fmt.Fprintln(os.Stderr, "jossd: -parallel must be >= 0, -saveevery >= 1 and -retainjobs/-maxjobs/-maxqueue >= 0")
+	if *parallel < 0 || *saveEvery < 1 || *retainJobs < 0 || *maxJobs < 0 || *maxQueue < 0 || *flushEvery < 0 {
+		fmt.Fprintln(os.Stderr, "jossd: -parallel must be >= 0, -saveevery >= 1 and -retainjobs/-maxjobs/-maxqueue/-flushevery >= 0")
+		os.Exit(2)
+	}
+	preBenches, preScheds, preOK := parsePretrain(*pretrain)
+	if !preOK {
+		fmt.Fprintln(os.Stderr, "jossd: -pretrain wants \"bench,...:sched,...\" (either side 'all' or empty), e.g. -pretrain SLU,VG:JOSS or -pretrain all")
 		os.Exit(2)
 	}
 
@@ -95,6 +116,7 @@ func main() {
 	cfg.MaxJobs = *maxJobs
 	cfg.MaxQueuedUnits = *maxQueue
 	cfg.JobStorePath = *jobStore
+	cfg.PlanFlushPeriod = *flushEvery
 	sess, err := service.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jossd:", err)
@@ -108,6 +130,25 @@ func main() {
 	if *jobStore != "" {
 		if n := len(sess.RestoredSummaries()); n > 0 {
 			fmt.Printf("jossd: %d jobs replayed from %s\n", n, *jobStore)
+		}
+	}
+	if *pretrain != "" {
+		fmt.Println("jossd: pre-training plans before serving...")
+		t0 := time.Now()
+		res, terr := sess.Train(service.TrainRequest{
+			Benchmarks: preBenches,
+			Schedulers: preScheds,
+			Seed:       1,
+		})
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "jossd: pre-training:", terr)
+			os.Exit(1)
+		}
+		fmt.Printf("jossd: pre-trained %d of %d plan keys (%d cached, %d early-stopped runs) in %v; %d plans resident\n",
+			res.Trained, res.Keys, res.Cached, res.EarlyStopped,
+			time.Since(t0).Round(time.Millisecond), sess.Plans().Len())
+		if res.PlanStoreErr != nil {
+			fmt.Fprintln(os.Stderr, "jossd: pre-training plan-store flush:", res.PlanStoreErr)
 		}
 	}
 
@@ -181,4 +222,34 @@ func main() {
 		os.Exit(1)
 	}
 	<-done
+}
+
+// parsePretrain splits a "bench,...:sched,..." grid spec. Either side
+// may be "all" or empty (nil list = full set); a bare "all" (no colon)
+// selects everything. Name validation is left to the training request,
+// which knows the benchmark and scheduler registries.
+func parsePretrain(spec string) (benches, scheds []string, ok bool) {
+	if spec == "" {
+		return nil, nil, true
+	}
+	side := func(s string) []string {
+		if s == "" || strings.EqualFold(s, "all") {
+			return nil
+		}
+		var out []string
+		for _, v := range strings.Split(s, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	b, s, found := strings.Cut(spec, ":")
+	if !found {
+		if strings.EqualFold(spec, "all") {
+			return nil, nil, true
+		}
+		return nil, nil, false
+	}
+	return side(b), side(s), true
 }

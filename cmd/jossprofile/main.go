@@ -31,9 +31,13 @@ func run() (code int) {
 	kfold := flag.Int("xval", 0, "also run k-fold cross-validation with this k (e.g. 5)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a contended-mutex profile to this file on exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	stopProf, err := profiling.StartProfiles(profiling.Profiles{
+		CPU: *cpuProfile, Mem: *memProfile, Mutex: *mutexProfile, Block: *blockProfile,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jossprofile:", err)
 		return 1

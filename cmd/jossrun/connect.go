@@ -159,6 +159,61 @@ func watchRemote(target, jobID string, retries int) error {
 	}
 }
 
+// trainRemote posts a pre-training request (POST /train) for the
+// -bench/-sched grid and prints the outcome. -bench/-sched accept
+// comma lists or "all" in this mode, like -fleet.
+func trainRemote(target, benchList, schedList string, speedup, scale float64, seed int64, retries int) error {
+	r, err := newRemote(target, retries)
+	if err != nil {
+		return err
+	}
+	scheds := splitList(schedList)
+	if speedup > 1 {
+		if len(scheds) != 0 {
+			return fmt.Errorf("-speedup picks the constrained JOSS scheduler; drop -sched or -speedup")
+		}
+		scheds = []string{constrainedName("JOSS", speedup)}
+	}
+	reqBody, err := json.Marshal(service.WireTrainRequest{
+		Benchmarks: splitList(benchList),
+		Schedulers: scheds,
+		Scale:      scale,
+		Seed:       &seed,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	resp, err := r.Do(context.Background(), http.MethodPost, "/train", reqBody)
+	if err != nil {
+		return err
+	}
+	var res service.WireTrainResult
+	if err := decodeOrError(resp, http.StatusOK, &res); err != nil {
+		return err
+	}
+	printTrainResult(target, res, time.Since(start))
+	if res.Error != "" {
+		return fmt.Errorf("training ended early: %s", res.Error)
+	}
+	return nil
+}
+
+// printTrainResult renders one daemon's training outcome.
+func printTrainResult(target string, res service.WireTrainResult, wall time.Duration) {
+	fmt.Printf("trained by %s in %v (%.3f s on the daemon)\n",
+		target, wall.Round(time.Millisecond), res.ElapsedSec)
+	fmt.Printf("plan keys       %d in the grid: %d trained, %d already cached, %d skipped (another trainer holds them), %d failed\n",
+		res.Keys, res.Trained, res.Cached, res.Skipped, res.Failed)
+	fmt.Printf("trainer runs    %d cells over %d rounds, %d stopped early once every kernel was planned\n",
+		res.Cells, res.Rounds, res.EarlyStopped)
+	fmt.Printf("plan searches   %d evaluations; daemon now holds %d plans\n",
+		res.PlanEvals, res.PlansTrained)
+	if res.PlanStoreError != "" {
+		fmt.Printf("warning: daemon could not flush its plan store: %s\n", res.PlanStoreError)
+	}
+}
+
 // runRemote posts one run request to a jossd daemon and prints the
 // served report.
 func runRemote(target, bench, schedName string, speedup, scale float64, seed int64, repeats, retries int, batch bool) error {

@@ -111,6 +111,54 @@ func printFleetResult(res service.WireSweepResult, deg fleet.Degradation) {
 	fmt.Printf("  survivors: %s\n", strings.Join(deg.Survivors, ", "))
 }
 
+// fleetWarmup pre-trains each shard's ring slice in parallel so a
+// following fleet sweep over the same grid, scale and seed performs
+// zero plan searches on every shard. A failed shard's slice stays cold
+// (trained lazily by the next sweep) and maps to the retriable exit.
+func fleetWarmup(targets []string, benchList, schedList string, speedup, scale float64, seed int64) error {
+	scheds := splitList(schedList)
+	if speedup > 1 {
+		if len(scheds) != 0 {
+			return fmt.Errorf("-speedup picks the constrained JOSS scheduler; drop -sched or -speedup")
+		}
+		scheds = []string{constrainedName("JOSS", speedup)}
+	}
+	coord, err := fleet.New(fleet.Config{
+		Shards: targets,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "jossrun: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	res, err := coord.Warmup(service.WireTrainRequest{
+		Benchmarks: splitList(benchList),
+		Schedulers: scheds,
+		Scale:      scale,
+		Seed:       &seed,
+	})
+	for _, sw := range res.Shards {
+		if sw.Err != "" {
+			fmt.Printf("shard %s: FAILED (%s); its %d benches stay cold\n", sw.Shard, sw.Err, len(sw.Benchmarks))
+			continue
+		}
+		r := sw.Result
+		fmt.Printf("shard %s: %d benches, %d keys (%d trained, %d cached, %d skipped, %d failed), %d early-stopped runs\n",
+			sw.Shard, len(sw.Benchmarks), r.Keys, r.Trained, r.Cached, r.Skipped, r.Failed, r.EarlyStopped)
+	}
+	fmt.Printf("\nfleet warm-up   %d keys over %d shards in %.3f s: %d trained, %d cached, %d skipped, %d failed\n",
+		res.Keys, len(res.Shards), res.ElapsedSec, res.Trained, res.Cached, res.Skipped, res.Failed)
+	if err != nil {
+		// Warm-up is an optimisation: a cold slice trains lazily, so an
+		// incomplete pass is retriable, not fatal.
+		return &fleet.TransientError{Code: 0, Err: err}
+	}
+	return nil
+}
+
 func isCatalogSched(name string) bool {
 	for _, s := range service.SchedulerNames {
 		if s == name {

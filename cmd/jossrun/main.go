@@ -8,7 +8,9 @@
 //	jossrun -connect URL [-retries N] [-scale F] [-seed N] [-repeats N] [-speedup S] -bench NAME -sched NAME
 //	jossrun -connect URL -async [-retries N] [-scale F] [-seed N] [-repeats N] -bench NAME -sched NAME
 //	jossrun -connect URL -watch JOBID
+//	jossrun -connect URL -train [-scale F] [-seed N] [-bench A,B|all] [-sched X,Y|all]
 //	jossrun -fleet URL1,URL2,... [-scale F] [-seed N] [-repeats N] [-bench A,B|all] [-sched X,Y|all]
+//	jossrun -fleet URL1,URL2,... -train [-scale F] [-seed N] [-bench A,B|all] [-sched X,Y|all]
 //
 // Benchmarks: the 21 Figure 8 configurations (e.g. SLU, MM_256_dop4).
 // Schedulers: GRWS, ERASE, Aequitas, STEER, JOSS, JOSS_NoMemDVFS,
@@ -26,6 +28,14 @@
 // dispatcher interleaves it with other requests, and -watch JOBID
 // attaches later — polling GET /jobs/JOBID with progress lines until
 // the result is served (or the job is cancelled via DELETE).
+//
+// -train pre-trains plans instead of running anything: with -connect
+// it posts the -bench/-sched grid (comma lists or "all") to the
+// daemon's /train endpoint — claim-based single-flight training, so
+// concurrent trainers and sweeps never search the same plan twice —
+// and with -fleet it warms every shard's ring slice in parallel, so a
+// following fleet sweep over the same grid, scale and seed performs
+// zero plan searches on every shard.
 //
 // Transient failures — the daemon unreachable, 429 when its admission
 // bounds are full, 5xx while it drains — are retried up to -retries
@@ -79,6 +89,8 @@ func main() {
 		"with -connect: enqueue the run as a daemon job (POST /jobs) and print its id instead of waiting")
 	watch := flag.String("watch", "",
 		"with -connect: attach to an existing daemon job by id, poll its progress and print the result")
+	train := flag.Bool("train", false,
+		"with -connect: pre-train the -bench/-sched grid's plans on the daemon (POST /train); with -fleet: warm every shard's ring slice")
 	repeats := flag.Int("repeats", 1, "with -connect: seeds per cell, averaged on the daemon")
 	retries := flag.Int("retries", 4,
 		"with -connect: retries for transient failures (dial errors, 429 overload, 5xx), with jittered exponential backoff honouring Retry-After")
@@ -91,6 +103,14 @@ func main() {
 
 	if *connect == "" && (*async || *watch != "") {
 		fmt.Fprintln(os.Stderr, "jossrun: -async and -watch are -connect modes (the job lives on a daemon)")
+		os.Exit(exitUsage)
+	}
+	if *train && *connect == "" && *fleetList == "" {
+		fmt.Fprintln(os.Stderr, "jossrun: -train needs -connect (train one daemon) or -fleet (warm every shard's ring slice); local runs train lazily")
+		os.Exit(exitUsage)
+	}
+	if *train && (*async || *watch != "") {
+		fmt.Fprintln(os.Stderr, "jossrun: -train does not combine with -async/-watch (poll its job via curl /train?async=1 instead)")
 		os.Exit(exitUsage)
 	}
 	if *fleetList != "" {
@@ -106,6 +126,13 @@ func main() {
 		if len(targets) == 0 {
 			fmt.Fprintln(os.Stderr, "jossrun: -fleet wants a comma-separated list of daemon targets")
 			os.Exit(exitUsage)
+		}
+		if *train {
+			if err := fleetWarmup(targets, *benchName, *schedName, *speedup, *scale, *seed); err != nil {
+				fmt.Fprintln(os.Stderr, "jossrun:", err)
+				os.Exit(exitCode(err))
+			}
+			return
 		}
 		if err := fleetSweep(targets, *benchName, *schedName, *speedup, *scale, *seed, *repeats, *batch); err != nil {
 			fmt.Fprintln(os.Stderr, "jossrun:", err)
@@ -126,6 +153,8 @@ func main() {
 		switch {
 		case *async && *watch != "":
 			err = fmt.Errorf("-async enqueues a new job, -watch attaches to an existing one; pick one")
+		case *train:
+			err = trainRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *retries)
 		case *watch != "":
 			err = watchRemote(*connect, *watch, *retries)
 		case *async:

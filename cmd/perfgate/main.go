@@ -18,11 +18,22 @@
 // because single-core CI runners hide the cell ping-pong batching
 // removes; see PERF.md).
 //
+// A second candidate-internal pair holds plan pre-training to its
+// contract: PretrainedSweep (the ColdSweep request over a Train-warmed
+// plan cache) must report zero plan evaluations — the deterministic
+// proof that trained plans are adopted instead of re-searched — and
+// must stay within -pretrainratio of ColdSweep's ns/op, a loose
+// parity ceiling: single-core runners hide most of the search cost
+// the warm path deletes (see PERF.md PR 9), so the time gate only
+// catches the rows diverging wildly, and the evals gate is the
+// contract.
+//
 // Usage:
 //
 //	perfgate -baseline BASELINE.json [-threshold 0.20]
 //	         [-allocthreshold 0.10] [-bytesthreshold 0.30]
-//	         [-batchspeedup 0.85] [-batchallocratio 0.75] [CANDIDATE.json]
+//	         [-batchspeedup 0.85] [-batchallocratio 0.75]
+//	         [-pretrainratio 1.10] [CANDIDATE.json]
 //
 // Without an explicit candidate, the newest BENCH_*.json in the
 // working directory that is not the baseline is compared.
@@ -50,6 +61,7 @@ type benchFile struct {
 // renamed key) is distinguishable from a legitimate measured zero.
 type benchEntry struct {
 	Name        string             `json:"name"`
+	NsPerOp     *float64           `json:"ns_per_op"`
 	AllocsPerOp *int64             `json:"allocs_per_op"`
 	BytesPerOp  *int64             `json:"bytes_per_op"`
 	Metrics     map[string]float64 `json:"metrics"`
@@ -95,6 +107,8 @@ func main() {
 		"minimum BatchedSweepWarm/SessionSweepWarm tasks/s ratio in the candidate")
 	batchAllocRatio := flag.Float64("batchallocratio", 0.75,
 		"maximum BatchedSweepWarm/SessionSweepWarm allocs/op ratio in the candidate")
+	pretrainRatio := flag.Float64("pretrainratio", 1.10,
+		"maximum PretrainedSweep/ColdSweep ns/op ratio in the candidate")
 	flag.Parse()
 	if *baseline == "" || flag.NArg() > 1 {
 		fmt.Fprintln(os.Stderr, "usage: perfgate -baseline BASELINE.json [-threshold F] [CANDIDATE.json]")
@@ -235,6 +249,43 @@ func main() {
 			}
 			fmt.Printf("  %s %-24s %.2fx scalar allocs/op (ceiling %.2fx)\n",
 				status, "batched/scalar allocs", ratio, *batchAllocRatio)
+		}
+	}
+	// Pre-trained-vs-cold pair gate, also candidate-internal:
+	// PretrainedSweep runs the identical JOSS sweep ColdSweep runs,
+	// over a Train-warmed plan cache instead of a fresh one. The hard
+	// invariant is zero plan evaluations on the pre-trained row — a
+	// claim API that re-searched trained keys (or a trainer that
+	// stopped publishing plans) makes it non-zero and fails. The ns/op
+	// ceiling is a loose parity guard on top: the rows differ only by
+	// search and sampling work, so they must not diverge wildly, but
+	// on a single-core runner the deleted work is a few percent of the
+	// sweep and inside run-to-run noise (see PERF.md PR 9), so the
+	// ceiling sits above 1. Gated only when the baseline carries both
+	// rows, like the batched pair.
+	baseHasTrainPair := 0
+	for _, b := range base.Benchmarks {
+		if b.Name == "ColdSweep" || b.Name == "PretrainedSweep" {
+			baseHasTrainPair++
+		}
+	}
+	coldRow, haveCold := candBy["ColdSweep"]
+	preRow, havePre := candBy["PretrainedSweep"]
+	if baseHasTrainPair == 2 && haveCold && havePre &&
+		coldRow.NsPerOp != nil && *coldRow.NsPerOp > 0 && preRow.NsPerOp != nil {
+		compared++
+		ratio := *preRow.NsPerOp / *coldRow.NsPerOp
+		status := "ok  "
+		if ratio > *pretrainRatio {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("  %s %-24s %.2fx cold ns/op (ceiling %.2fx)\n",
+			status, "pretrained/cold time", ratio, *pretrainRatio)
+		if evals, ok := preRow.Metrics["plan_evals_per_op"]; ok && evals != 0 {
+			fmt.Printf("  FAIL %-24s %g plan evaluations per pre-trained sweep (want 0)\n",
+				"pretrained searches", evals)
+			failed = true
 		}
 	}
 	if compared == 0 {

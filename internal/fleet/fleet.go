@@ -110,6 +110,11 @@ type ShardHealth struct {
 	ConsecutiveFailures int    `json:"consecutive_failures"`
 	InflightUnits       int    `json:"inflight_units"`
 	QueuedUnits         int    `json:"queued_units"`
+	// PlansTrained/Training pass through the shard's /healthz training
+	// telemetry: resident plans and in-flight training claims. A
+	// Warmup() caller can watch them converge across the fleet.
+	PlansTrained int `json:"plans_trained"`
+	Training     int `json:"training"`
 }
 
 // ShardFailure is one shard's failure within a sweep.
@@ -172,6 +177,8 @@ type shard struct {
 	draining bool
 	inflight int
 	queued   int
+	plans    int // plans_trained from the last beat
+	training int // in-flight training claims from the last beat
 }
 
 // usable reports whether routing should offer the shard new cells.
@@ -210,6 +217,8 @@ type wireHealth struct {
 	Draining      bool `json:"draining"`
 	InflightUnits int  `json:"inflight_units"`
 	QueuedUnits   int  `json:"queued_units"`
+	PlansTrained  int  `json:"plans_trained"`
+	Training      int  `json:"training"`
 }
 
 // noteBeat records a successful health probe.
@@ -221,6 +230,8 @@ func (sh *shard) noteBeat(h wireHealth) {
 	sh.draining = h.Draining
 	sh.inflight = h.InflightUnits
 	sh.queued = h.QueuedUnits
+	sh.plans = h.PlansTrained
+	sh.training = h.Training
 }
 
 func (sh *shard) snapshot() ShardHealth {
@@ -233,6 +244,8 @@ func (sh *shard) snapshot() ShardHealth {
 		ConsecutiveFailures: sh.fails,
 		InflightUnits:       sh.inflight,
 		QueuedUnits:         sh.queued,
+		PlansTrained:        sh.plans,
+		Training:            sh.training,
 	}
 }
 

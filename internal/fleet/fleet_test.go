@@ -468,3 +468,95 @@ func TestFleetPermanentErrorAborts(t *testing.T) {
 		t.Errorf("bad request dispatched %d times, want exactly 1", hits.Load())
 	}
 }
+
+// TestFleetWarmupDrill is the fleet warm-up acceptance drill: a
+// 3-shard Warmup over the drill grid must partition the benchmarks
+// exactly as Sweep's ring placement does and pre-train each shard's
+// slice, so that the follow-up fleet sweep — same benchmarks,
+// schedulers, scale and seed, adopting each session's resident plan
+// cache — performs zero plan searches on every shard.
+func TestFleetWarmupDrill(t *testing.T) {
+	var targets []string
+	var sessions []*service.Session
+	for i := 0; i < 3; i++ {
+		srv, sess := newShard(t, nil)
+		targets = append(targets, srv.URL)
+		sessions = append(sessions, sess)
+	}
+	c := newCoordinator(t, Config{Shards: targets, HeartbeatPeriod: -1})
+
+	sweepReq := testRequest()
+	sweepReq.SharePlans = nil // adopt each shard's resident cache (null = true)
+	seed := int64(1)
+	wres, err := c.Warmup(service.WireTrainRequest{
+		Benchmarks: sweepReq.Benchmarks,
+		Schedulers: sweepReq.Schedulers,
+		Scale:      sweepReq.Scale,
+		Seed:       &seed,
+	})
+	if err != nil {
+		t.Fatalf("Warmup: %v (%+v)", err, wres)
+	}
+	if wres.Keys == 0 || wres.Trained == 0 {
+		t.Fatalf("warm-up trained nothing: %+v", wres)
+	}
+	if got := wres.Trained + wres.Cached + wres.Skipped + wres.Failed; got != wres.Keys {
+		t.Fatalf("warm-up accounted for %d of %d keys: %+v", got, wres.Keys, wres)
+	}
+	trained := 0
+	for _, sw := range wres.Shards {
+		if sw.Result == nil {
+			t.Fatalf("healthy shard %s reported no result: %+v", sw.Shard, sw)
+		}
+		if len(sw.Benchmarks) == 0 {
+			t.Errorf("shard %s was assigned an empty ring slice", sw.Shard)
+		}
+	}
+	for _, sess := range sessions {
+		trained += sess.Plans().Len()
+		if n := sess.Plans().Training(); n != 0 {
+			t.Errorf("a shard leaked %d claims after warm-up", n)
+		}
+	}
+	if trained != wres.Trained {
+		t.Errorf("shards hold %d plans, warm-up reported %d trained", trained, wres.Trained)
+	}
+
+	// The follow-up sweep: every shard's slice is warm, so the fleet
+	// performs zero plan searches, and the merged result matches the
+	// lazily warmed single daemon byte for byte. The reference is the
+	// SECOND single-daemon sweep — the first trains in-run, and a
+	// mid-run plan adoption schedules differently from plans held since
+	// dispatch, which is exactly the cold/warm gap warm-up deletes.
+	res, deg, err := c.Sweep(sweepReq)
+	if err != nil {
+		t.Fatalf("post-warm-up Sweep: %v", err)
+	}
+	if deg.Degraded {
+		t.Fatalf("healthy fleet degraded: %+v", deg)
+	}
+	if res.PlanEvals != 0 {
+		t.Errorf("warmed fleet sweep performed %d plan searches, want 0", res.PlanEvals)
+	}
+	ref, _ := newShard(t, nil)
+	refSweep(t, ref, sweepReq) // cold lazy pass warms ref's cache
+	requireByteIdentical(t, res, refSweep(t, ref, sweepReq))
+}
+
+// refSweep posts one /sweep to a specific shard and returns the
+// decoded result (baseline() always stands up a fresh cold shard, which
+// is the wrong reference for warmed-path identity).
+func refSweep(t *testing.T, srv *httptest.Server, req service.WireSweepRequest) service.WireSweepResult {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("ref /sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	var res service.WireSweepResult
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&res) != nil {
+		t.Fatalf("ref /sweep: status %d", resp.StatusCode)
+	}
+	return res
+}

@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"joss/internal/service"
+	"joss/internal/workloads"
+)
+
+// ShardWarmup is one shard's slice of a fleet warm-up pass.
+type ShardWarmup struct {
+	Shard string `json:"shard"`
+	// Benchmarks is the ring slice the shard was asked to pre-train —
+	// exactly the benches a subsequent Sweep would route to it.
+	Benchmarks []string                 `json:"benchmarks"`
+	Result     *service.WireTrainResult `json:"result,omitempty"`
+	Err        string                   `json:"error,omitempty"`
+}
+
+// WarmupResult aggregates a fleet warm-up: per-shard outcomes plus
+// fleet-wide counters summed over the shards that answered.
+type WarmupResult struct {
+	Shards       []ShardWarmup `json:"shards"`
+	Keys         int           `json:"keys"`
+	Trained      int           `json:"trained"`
+	Cached       int           `json:"cached"`
+	Skipped      int           `json:"skipped,omitempty"`
+	Failed       int           `json:"failed,omitempty"`
+	EarlyStopped int           `json:"early_stopped"`
+	ElapsedSec   float64       `json:"elapsed_sec"`
+}
+
+// Warmup pre-trains each shard's ring slice: the fleet's benchmarks are
+// partitioned by the same consistent-hash placement Sweep uses (ring
+// owner, or its first usable successor), and each shard receives a
+// POST /train for exactly its slice, in parallel. After a clean warm-up
+// a fleet sweep over the same benchmarks, schedulers, scale and seed
+// performs zero plan searches on every shard.
+//
+// Warmup does not fail over: a shard that refuses or dies leaves its
+// slice cold (reported in its ShardWarmup entry and the returned
+// error), and the next Sweep trains those plans lazily — warm-up is an
+// optimisation, never a correctness gate. Req's Benchmarks default to
+// the Fig8 workload set; Schedulers, Scale and Seed pass through to
+// each shard unchanged, so they must match the sweeps the warm-up is
+// meant to serve.
+func (c *Coordinator) Warmup(req service.WireTrainRequest) (WarmupResult, error) {
+	start := time.Now()
+	benches := req.Benchmarks
+	if len(benches) == 0 {
+		for _, wl := range workloads.Fig8Configs() {
+			benches = append(benches, wl.Name)
+		}
+	}
+
+	// Same initial placement as Sweep: ring owner, first usable
+	// successor as fallback, all of a bench's cells together.
+	byShard := make(map[int][]string)
+	var cands []int
+	for _, b := range benches {
+		cands = c.ring.candidates(b, cands[:0])
+		target := cands[0]
+		for _, si := range cands {
+			if c.shards[si].usable() {
+				target = si
+				break
+			}
+		}
+		byShard[target] = append(byShard[target], b)
+	}
+	order := make([]int, 0, len(byShard))
+	for si := range byShard {
+		order = append(order, si)
+	}
+	sort.Ints(order)
+
+	res := WarmupResult{Shards: make([]ShardWarmup, len(order))}
+	var wg sync.WaitGroup
+	for i, si := range order {
+		wr := req // copy; per-shard bench slice
+		wr.Benchmarks = byShard[si]
+		res.Shards[i] = ShardWarmup{Shard: c.shards[si].target, Benchmarks: wr.Benchmarks}
+		wg.Add(1)
+		go func(out *ShardWarmup, sh *shard, wr service.WireTrainRequest) {
+			defer wg.Done()
+			tr, err := c.trainShard(sh, wr)
+			if err != nil {
+				out.Err = err.Error()
+				return
+			}
+			out.Result = tr
+		}(&res.Shards[i], c.shards[si], wr)
+	}
+	wg.Wait()
+
+	var failed []string
+	for i := range res.Shards {
+		sw := &res.Shards[i]
+		if sw.Result == nil {
+			failed = append(failed, sw.Shard)
+			continue
+		}
+		res.Keys += sw.Result.Keys
+		res.Trained += sw.Result.Trained
+		res.Cached += sw.Result.Cached
+		res.Skipped += sw.Result.Skipped
+		res.Failed += sw.Result.Failed
+		res.EarlyStopped += sw.Result.EarlyStopped
+		if sw.Result.Error != "" && !contains(failed, sw.Shard) {
+			failed = append(failed, sw.Shard)
+		}
+	}
+	res.ElapsedSec = time.Since(start).Seconds()
+	if len(failed) > 0 {
+		return res, fmt.Errorf("fleet: warm-up incomplete on %d of %d shards (%s); their slices stay cold and train lazily",
+			len(failed), len(order), strings.Join(failed, ", "))
+	}
+	return res, nil
+}
+
+// trainShard POSTs one shard's training slice and decodes the result.
+// The stall timeout bounds the call — training is a real run, so the
+// short heartbeat timeout would cut it off.
+func (c *Coordinator) trainShard(sh *shard, wr service.WireTrainRequest) (*service.WireTrainResult, error) {
+	body, err := json.Marshal(wr)
+	if err != nil {
+		return nil, fmt.Errorf("encoding train request: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.StreamStallTimeout)
+	defer cancel()
+	resp, err := sh.client.Do(ctx, http.MethodPost, "/train", body)
+	if err != nil {
+		sh.noteFail(c.cfg.FailureThreshold)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var tr service.WireTrainResult
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return nil, fmt.Errorf("shard %s refused training: %s", sh.target, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("decoding train result from %s: %w", sh.target, err)
+	}
+	c.logf("fleet: shard %s warm: %d trained, %d cached of %d keys (%d benches)",
+		sh.target, tr.Trained, tr.Cached, tr.Keys, len(wr.Benchmarks))
+	return &tr, nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -107,6 +107,14 @@ type JobHandle struct {
 	cellAborted []atomic.Bool
 	aborted     atomic.Int64
 
+	// trainCancel is allocated only for trainer jobs
+	// (SweepRequest.trainer): one cooperative abort flag per cell, so
+	// each trainer cell stops on its own completion hook without
+	// cutting sibling cells short. earlyStopped counts the cells whose
+	// hook fired (they skipped their remaining makespan).
+	trainCancel  []atomic.Bool
+	earlyStopped atomic.Int64
+
 	// laneDone[cell] counts the lanes an in-flight batched claim has
 	// completed so far: the dispatcher books a batched claim's units
 	// only when the whole claim returns, so without this overlay a
@@ -181,6 +189,9 @@ func (s *Session) Enqueue(req SweepRequest) (*JobHandle, error) {
 		cells:       make(chan CellResult, nCells),
 		start:       time.Now(),
 		doneCh:      make(chan struct{}),
+	}
+	if req.trainer {
+		h.trainCancel = make([]atomic.Bool, nCells)
 	}
 
 	// A relative deadline becomes absolute at admission, in
@@ -435,6 +446,11 @@ func (h *JobHandle) Cells() <-chan CellResult { return h.cells }
 // result. Safe to call repeatedly and after completion.
 func (h *JobHandle) Cancel() {
 	h.cancel.Store(true)
+	// Trainer units poll per-cell flags instead of the job-wide one;
+	// flip them all so a cancelled training round unwinds just as fast.
+	for i := range h.trainCancel {
+		h.trainCancel[i].Store(true)
+	}
 	h.d.Cancel()
 }
 

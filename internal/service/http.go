@@ -28,11 +28,25 @@
 //	             → cancels a running job (cooperative, unit-granular:
 //	               queued units are dropped, in-flight ones finish) or
 //	               evicts a finished one; returns the final status
-//	GET  /healthz  → {plans_cached, requests, jobs, queued_units,
-//	               inflight_units, draining, schedulers, benchmarks} —
-//	               jobs/queued_units/inflight_units are the live
-//	               dispatch load, which fleet coordinators use to route
-//	               toward the least-loaded shard
+//	POST /train    {benchmarks, schedulers, scale, seed, parallel,
+//	               weight, sensor_period_sec, sensor_off}
+//	             → {keys, trained, cached, skipped, failed, cells,
+//	                rounds, early_stopped, plan_evals, plans_trained,
+//	                elapsed_sec} — pre-trains the grid's plans
+//	                synchronously (claim-based single-flight, results
+//	                discarded, see Session.Train)
+//	POST /train?async=1
+//	             → 202 {job_id: "tN", state, keys, cells, poll} — the
+//	               training run then shows up in GET /jobs and is
+//	               pollable/cancellable at /jobs/tN like a sweep job
+//	GET  /healthz  → {plans_cached, plans_trained, training, requests,
+//	               jobs, queued_units, inflight_units, draining,
+//	               schedulers, benchmarks} — jobs/queued_units/
+//	               inflight_units are the live dispatch load, which
+//	               fleet coordinators use to route toward the
+//	               least-loaded shard; plans_trained/training expose
+//	               the plan cache's size and in-flight training claims
+//	               so fleet warm-up progress is observable
 //
 // share_plans defaults to true on the wire (a *bool left null): the
 // daemon exists to serve warm plans, and a second request for kernels
@@ -176,6 +190,64 @@ type WireJobStatus struct {
 	Result        *WireSweepResult `json:"result,omitempty"`
 }
 
+// WireTrainRequest is the JSON form of a pre-training request
+// (POST /train).
+type WireTrainRequest struct {
+	Benchmarks      []string `json:"benchmarks,omitempty"`
+	Schedulers      []string `json:"schedulers,omitempty"`
+	Scale           float64  `json:"scale,omitempty"`
+	Seed            *int64   `json:"seed,omitempty"` // null = 1; 0 is a valid seed
+	Parallel        int      `json:"parallel,omitempty"`
+	Weight          float64  `json:"weight,omitempty"` // 0 = DefaultTrainWeight
+	SensorPeriodSec float64  `json:"sensor_period_sec,omitempty"`
+	SensorOff       bool     `json:"sensor_off,omitempty"`
+}
+
+// WireTrainResult is the JSON form of a training outcome.
+type WireTrainResult struct {
+	Keys         int  `json:"keys"`
+	Trained      int  `json:"trained"`
+	Cached       int  `json:"cached"`
+	Skipped      int  `json:"skipped,omitempty"`
+	Failed       int  `json:"failed,omitempty"`
+	Cells        int  `json:"cells"`
+	Rounds       int  `json:"rounds"`
+	EarlyStopped int  `json:"early_stopped"`
+	PlanEvals    int  `json:"plan_evals"`
+	Cancelled    bool `json:"cancelled,omitempty"`
+	// PlansTrained is the resident cache size after training — the
+	// same number /healthz reports as plans_trained.
+	PlansTrained int     `json:"plans_trained"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	// PlanStoreError mirrors WireSweepResult.PlanStoreError.
+	PlanStoreError string `json:"plan_store_error,omitempty"`
+	// Error reports a round admission failure that ended training
+	// early (the per-key counts still reflect what ran).
+	Error string `json:"error,omitempty"`
+}
+
+// WireTrainCreated is the 202 response of POST /train?async=1.
+type WireTrainCreated struct {
+	JobID string `json:"job_id"`
+	State string `json:"state"`
+	Keys  int    `json:"keys"`
+	Cells int    `json:"cells"`
+	Poll  string `json:"poll"`
+}
+
+// WireTrainStatus is the GET /jobs/{id} response for a training run
+// ("t…" ids). Result appears once training is done.
+type WireTrainStatus struct {
+	JobID      string           `json:"job_id"`
+	State      string           `json:"state"`
+	Keys       int              `json:"keys"`
+	Trained    int              `json:"trained"`
+	Cells      int              `json:"cells"`
+	Rounds     int              `json:"rounds"`
+	ElapsedSec float64          `json:"elapsed_sec"`
+	Result     *WireTrainResult `json:"result,omitempty"`
+}
+
 // WireJobSummary is one row of the GET /jobs listing.
 type WireJobSummary struct {
 	JobID      string `json:"job_id"`
@@ -259,6 +331,97 @@ func wireJobStatus(st JobStatus) WireJobStatus {
 		}
 	}
 	return out
+}
+
+// wireTrainResult converts a training outcome for the wire.
+func (s *Session) wireTrainResult(res TrainResult, elapsedSec float64, err error) WireTrainResult {
+	out := WireTrainResult{
+		Keys:         res.Keys,
+		Trained:      res.Trained,
+		Cached:       res.Cached,
+		Skipped:      res.Skipped,
+		Failed:       res.Failed,
+		Cells:        res.Cells,
+		Rounds:       res.Rounds,
+		EarlyStopped: res.EarlyStopped,
+		PlanEvals:    res.PlanEvals,
+		Cancelled:    res.Cancelled,
+		PlansTrained: s.Plans().Len(),
+		ElapsedSec:   elapsedSec,
+	}
+	if res.PlanStoreErr != nil {
+		out.PlanStoreError = res.PlanStoreErr.Error()
+	}
+	if err != nil {
+		out.Error = err.Error()
+	}
+	return out
+}
+
+// wireTrainStatus snapshots a training handle for the wire.
+func (s *Session) wireTrainStatus(h *TrainHandle) WireTrainStatus {
+	p := h.Progress()
+	st := WireTrainStatus{
+		JobID:      h.ID(),
+		State:      h.TrainState(),
+		Keys:       p.Keys,
+		Trained:    p.Trained,
+		Cells:      p.Cells,
+		Rounds:     p.Rounds,
+		ElapsedSec: h.Elapsed().Seconds(),
+	}
+	select {
+	case <-h.Done():
+		res, err := h.Wait()
+		wr := s.wireTrainResult(res, st.ElapsedSec, err)
+		st.Result = &wr
+	default:
+	}
+	return st
+}
+
+// buildTrainRequest validates a wire training request against the
+// wire bounds and fills defaults. Benchmark/scheduler names resolve
+// inside EnqueueTrain.
+func buildTrainRequest(wr WireTrainRequest) (TrainRequest, error) {
+	req := TrainRequest{
+		Benchmarks:      wr.Benchmarks,
+		Schedulers:      wr.Schedulers,
+		Scale:           wr.Scale,
+		Seed:            1,
+		Parallel:        wr.Parallel,
+		Weight:          wr.Weight,
+		SensorPeriodSec: wr.SensorPeriodSec,
+		SensorOff:       wr.SensorOff,
+	}
+	if wr.Seed != nil {
+		req.Seed = *wr.Seed
+	}
+	if req.Scale < 0 || req.Scale > maxWireScale {
+		return TrainRequest{}, fmt.Errorf("scale %g outside (0, %d]", req.Scale, maxWireScale)
+	}
+	if req.Parallel < 0 || req.SensorPeriodSec < 0 {
+		return TrainRequest{}, fmt.Errorf("parallel and sensor_period_sec must be >= 0")
+	}
+	if req.Parallel > maxWireParallel {
+		return TrainRequest{}, fmt.Errorf("parallel %d exceeds the wire limit %d", req.Parallel, maxWireParallel)
+	}
+	if req.Weight < 0 || req.Weight > maxWireWeight {
+		return TrainRequest{}, fmt.Errorf("weight %g outside [0, %d]", req.Weight, maxWireWeight)
+	}
+	nBench := len(wr.Benchmarks)
+	if nBench == 0 {
+		nBench = len(workloads.Fig8Configs())
+	}
+	nSched := len(wr.Schedulers)
+	if nSched == 0 {
+		nSched = len(SchedulerNames)
+	}
+	if nBench*nSched > maxWireJobs {
+		return TrainRequest{}, fmt.Errorf("%d benchmarks × %d schedulers = %d cells exceeds the wire limit %d",
+			nBench, nSched, nBench*nSched, maxWireJobs)
+	}
+	return req, nil
 }
 
 // Wire-level resource bounds: the daemon may face untrusted clients,
@@ -476,6 +639,49 @@ func NewHandler(s *Session) http.Handler {
 		writeJSON(w, http.StatusOK, s.wireSweepResult(res, time.Since(start).Seconds()))
 	})
 
+	mux.HandleFunc("/train", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+			return
+		}
+		var wr WireTrainRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxWireBodySize)).Decode(&wr); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		treq, err := buildTrainRequest(wr)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		start := time.Now()
+		h, err := s.EnqueueTrain(treq)
+		if err != nil {
+			// EnqueueTrain fails on a draining session (503 like any
+			// admission) or on names/shapes the grid cannot resolve
+			// (400); it never sees the dispatcher, so overload cannot
+			// surface here — rounds report it through Wait instead.
+			if errors.Is(err, ErrDraining) {
+				writeAdmitErr(w, err)
+			} else {
+				writeErr(w, http.StatusBadRequest, err)
+			}
+			return
+		}
+		if r.URL.Query().Get("async") == "1" {
+			writeJSON(w, http.StatusAccepted, WireTrainCreated{
+				JobID: h.ID(),
+				State: h.TrainState(),
+				Keys:  h.keys,
+				Cells: len(h.cells),
+				Poll:  "/jobs/" + h.ID(),
+			})
+			return
+		}
+		res, terr := h.Wait()
+		writeJSON(w, http.StatusOK, s.wireTrainResult(res, time.Since(start).Seconds(), terr))
+	})
+
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		req, ok := decodeSweep(w, r)
 		if !ok {
@@ -508,6 +714,15 @@ func NewHandler(s *Session) http.Handler {
 					UnitsDone: st.UnitsDone, UnitsTotal: st.UnitsTotal})
 			}
 		}
+		// Training runs close the listing; their "units" are grid keys
+		// (resolved / total), the granularity training progresses at.
+		for _, id := range s.TrainIDs() {
+			if th, ok := s.TrainJob(id); ok {
+				p := th.Progress()
+				jobs = append(jobs, WireJobSummary{JobID: th.ID(), State: th.TrainState(),
+					UnitsDone: p.Trained + p.Cached + p.Skipped + p.Failed, UnitsTotal: p.Keys})
+			}
+		}
 		writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
 	})
 
@@ -517,6 +732,10 @@ func NewHandler(s *Session) http.Handler {
 		if !ok {
 			if st, ok := s.RestoredStatus(id); ok {
 				writeJSON(w, http.StatusOK, st)
+				return
+			}
+			if th, ok := s.TrainJob(id); ok {
+				writeJSON(w, http.StatusOK, s.wireTrainStatus(th))
 				return
 			}
 			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
@@ -547,6 +766,16 @@ func NewHandler(s *Session) http.Handler {
 			if st, ok := s.RestoredStatus(id); ok {
 				s.RemoveRestored(id)
 				writeJSON(w, http.StatusOK, st)
+				return
+			}
+			if th, ok := s.TrainJob(id); ok {
+				select {
+				case <-th.Done():
+					s.RemoveTrain(id)
+				default:
+					th.Cancel()
+				}
+				writeJSON(w, http.StatusOK, s.wireTrainStatus(th))
 				return
 			}
 			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
@@ -622,7 +851,13 @@ func NewHandler(s *Session) http.Handler {
 		}
 		jobs, queuedUnits, inflightUnits := s.Load()
 		writeJSON(w, http.StatusOK, map[string]any{
-			"plans_cached":   s.Plans().Len(),
+			"plans_cached": s.Plans().Len(),
+			// plans_trained is plans_cached under its training-era name
+			// (the explicit-training surface reports it); training is
+			// the number of in-flight training claims, so a fleet
+			// coordinator can watch a shard's Warmup progress.
+			"plans_trained":  s.Plans().Len(),
+			"training":       s.Plans().Training(),
 			"requests":       s.Requests(),
 			"jobs":           jobs,
 			"queued_units":   queuedUnits,

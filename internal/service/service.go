@@ -92,6 +92,14 @@ type Config struct {
 	// into the restored-job registry, and Close closes the journal. A
 	// session owns its journal exclusively (flock) from New to Close.
 	JobStorePath string
+	// PlanFlushPeriod, when positive (and PlanStorePath is set), adds a
+	// timer to the plan-store publication cadence: a background loop
+	// flushes the resident cache (lock-and-merge) whenever it has
+	// outgrown the store since the last flush, even while no requests
+	// complete — so plans trained by a long-running job or an explicit
+	// Train reach sibling fleet shards without waiting for the next
+	// per-request flush. Stopped by Close.
+	PlanFlushPeriod time.Duration
 }
 
 // DefaultConfig profiles the simulated TX2 and trains the JOSS models
@@ -129,12 +137,13 @@ type Session struct {
 	workerMu sync.Mutex
 	workers  []*worker
 
-	// costMu guards the ⟨workload name, scale⟩ → task-count memo and
-	// its scratch graph; a distinct workload pays one scratch DAG
-	// build per session, after which dispatch planning is
+	// costMu guards the ⟨workload name, scale⟩ → cell-info memo (task
+	// count for dispatch costing, kernel identities for plan-key
+	// enumeration) and its scratch graph; a distinct workload pays one
+	// scratch DAG build per session, after which dispatch planning is
 	// allocation-free.
 	costMu sync.Mutex
-	costs  map[costKey]int
+	costs  map[costKey]cellInfo
 	costG  *dag.Graph
 
 	// jobMu guards the job registry (id → handle, admission order)
@@ -161,6 +170,20 @@ type Session struct {
 	sinceSave  int
 	flushedLen int
 
+	// flushStop ends the Config.PlanFlushPeriod timer loop (nil when no
+	// timer runs); flushWG waits it out in Close.
+	flushStop chan struct{}
+	flushOnce sync.Once
+	flushWG   sync.WaitGroup
+
+	// trainMu guards the explicit-training registry: TrainHandles by id
+	// ("t1", "t2", …), in admission order, bounded like the job
+	// registry.
+	trainMu    sync.Mutex
+	trainSeq   int64
+	trainsByID map[string]*TrainHandle
+	trainOrder []*TrainHandle
+
 	requests atomic.Int64
 }
 
@@ -172,19 +195,20 @@ func New(cfg Config) (*Session, error) {
 		return nil, fmt.Errorf("service: Config needs a non-nil Oracle and Set")
 	}
 	s := &Session{
-		oracle:    cfg.Oracle,
-		set:       cfg.Set,
-		erase:     cfg.ERASE,
-		plans:     cfg.Plans,
-		parallel:  cfg.Parallel,
-		storePath: cfg.PlanStorePath,
-		saveEvery: cfg.SaveEvery,
-		retain:    cfg.RetainJobs,
-		pool:      dispatch.NewPool(0),
-		costs:     make(map[costKey]int),
-		jobsByID:  make(map[string]*JobHandle),
-		restored:  make(map[string]*restoredJob),
-		epoch:     time.Now(),
+		oracle:     cfg.Oracle,
+		set:        cfg.Set,
+		erase:      cfg.ERASE,
+		plans:      cfg.Plans,
+		parallel:   cfg.Parallel,
+		storePath:  cfg.PlanStorePath,
+		saveEvery:  cfg.SaveEvery,
+		retain:     cfg.RetainJobs,
+		pool:       dispatch.NewPool(0),
+		costs:      make(map[costKey]cellInfo),
+		jobsByID:   make(map[string]*JobHandle),
+		restored:   make(map[string]*restoredJob),
+		trainsByID: make(map[string]*TrainHandle),
+		epoch:      time.Now(),
 	}
 	s.pool.SetLimits(dispatch.Limits{
 		MaxJobs:        cfg.MaxJobs,
@@ -215,7 +239,57 @@ func New(cfg Config) (*Session, error) {
 			return nil, err
 		}
 	}
+	if cfg.PlanFlushPeriod > 0 && s.storePath != "" {
+		s.flushStop = make(chan struct{})
+		s.flushWG.Add(1)
+		go s.flushLoop(cfg.PlanFlushPeriod)
+	}
 	return s, nil
+}
+
+// flushLoop is the timer half of the plan-store publication cadence:
+// every period it flushes the resident cache if it has outgrown the
+// store since the last flush (from any source — completed jobs,
+// explicit training, or merges by sibling processes are all visible as
+// cache growth). Errors are ignored here; the per-request flush path
+// reports them on its next attempt.
+func (s *Session) flushLoop(period time.Duration) {
+	defer s.flushWG.Done()
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = s.flushIfStale()
+		case <-s.flushStop:
+			return
+		}
+	}
+}
+
+// flushIfStale flushes the resident plan cache to the store when (and
+// only when) the cache has grown past what the store last saw,
+// updating the cadence bookkeeping. No-op without a store path.
+func (s *Session) flushIfStale() error {
+	if s.storePath == "" {
+		return nil
+	}
+	s.saveMu.Lock()
+	stale := s.plans.Len() != s.flushedLen
+	s.saveMu.Unlock()
+	if !stale {
+		return nil
+	}
+	// The flush itself runs outside saveMu (SaveFileMerged may wait up
+	// to 10 s on a contended flock); the post-save length update mirrors
+	// finalize's.
+	if err := s.plans.SaveFileMerged(s.storePath); err != nil {
+		return err
+	}
+	s.saveMu.Lock()
+	s.flushedLen = s.plans.Len()
+	s.saveMu.Unlock()
+	return nil
 }
 
 // Plans returns the session's resident plan cache.
@@ -250,6 +324,10 @@ func (s *Session) SavePlanStore() error {
 // store stays usable after Close (a flush point, not a teardown);
 // one with a job store must not admit further work afterwards.
 func (s *Session) Close() error {
+	if s.flushStop != nil {
+		s.flushOnce.Do(func() { close(s.flushStop) })
+		s.flushWG.Wait()
+	}
 	err := s.SavePlanStore()
 	if s.store != nil {
 		if cerr := s.store.Close(); err == nil {
@@ -374,6 +452,13 @@ type SweepRequest struct {
 	// admission so the job can be reported after a crash. The HTTP
 	// layer sets it; Go-API callers normally leave it nil.
 	WireSpec json.RawMessage
+	// trainer marks the request as a results-discarded training round
+	// (set only by Session.Train's driver): its units run under
+	// per-cell cancel flags, and model schedulers get a completion hook
+	// that trips the cell's flag once every kernel holds a selected
+	// plan — the run's remaining makespan produces nothing the trainer
+	// wants, so it is abandoned at the next cancel poll.
+	trainer bool
 }
 
 // SweepResult carries a request's reports plus the service-level
@@ -445,18 +530,34 @@ func (s *Session) ensureWorkers(n int) {
 	s.pool.Grow(n)
 }
 
-// costKey memoizes DAG task counts per ⟨workload name, scale⟩.
+// costKey memoizes per-⟨workload name, scale⟩ cell facts.
 type costKey struct {
 	name  string
 	scale float64
 }
 
-// taskCount returns the workload's DAG task count at the given scale —
-// the dispatch cost of one of its run units. The first lookup per
-// ⟨name, scale⟩ pays one scratch build into a session-resident
-// recycled arena; every later one is a map hit, so admission-time
-// planning allocates nothing once the session has seen its workloads.
-func (s *Session) taskCount(wl workloads.Config, scale float64) int {
+// kernelIdent is a kernel's cache-relevant identity — the two fields
+// sched.PlanKey reads from a dag.Kernel — detached from any built
+// graph so the memo survives arena reuse.
+type kernelIdent struct {
+	name   string
+	demand platform.TaskDemand
+}
+
+// cellInfo is the memoized shape of one ⟨workload, scale⟩ cell: the
+// DAG task count (its dispatch cost) and its kernel identities (what
+// plan-key enumeration needs).
+type cellInfo struct {
+	tasks   int
+	kernels []kernelIdent
+}
+
+// cellFacts returns the workload's memoized cell info at the given
+// scale. The first lookup per ⟨name, scale⟩ pays one scratch build
+// into a session-resident recycled arena; every later one is a map
+// hit, so admission-time planning allocates nothing once the session
+// has seen its workloads.
+func (s *Session) cellFacts(wl workloads.Config, scale float64) cellInfo {
 	k := costKey{wl.Name, scale}
 	s.costMu.Lock()
 	defer s.costMu.Unlock()
@@ -464,9 +565,21 @@ func (s *Session) taskCount(wl workloads.Config, scale float64) int {
 		return c
 	}
 	s.costG = wl.BuildReuse(s.costG, scale)
-	c := s.costG.NumTasks()
+	c := cellInfo{
+		tasks:   s.costG.NumTasks(),
+		kernels: make([]kernelIdent, 0, len(s.costG.Kernels)),
+	}
+	for _, kn := range s.costG.Kernels {
+		c.kernels = append(c.kernels, kernelIdent{kn.Name, kn.Demand})
+	}
 	s.costs[k] = c
 	return c
+}
+
+// taskCount returns the workload's DAG task count at the given scale —
+// the dispatch cost of one of its run units.
+func (s *Session) taskCount(wl workloads.Config, scale float64) int {
+	return s.cellFacts(wl, scale).tasks
 }
 
 // cellCosts appends each cell's dispatch cost to buf and returns it.
@@ -545,6 +658,23 @@ func (s *Session) runUnit(w *worker, h *JobHandle, cell, repeat int) (taskrt.Rep
 	seed := req.Seed + int64(repeat)
 	opt := runOptions(req, seed)
 	opt.Cancel = &h.cancel
+	if req.trainer {
+		// Trainer units poll a per-cell flag instead of the job-wide
+		// one, so each cell stops independently the moment its model
+		// scheduler has selected every kernel's plan (the completion
+		// hook below). All plan-cache Stores happen at selection time,
+		// strictly before the hook fires, so an early-stopped trainer
+		// publishes exactly the plans a full run would. Cancel() still
+		// works: it sets every trainCancel flag too.
+		opt.Cancel = &h.trainCancel[cell]
+		if ms, ok := sc.(*sched.ModelSched); ok {
+			ms.SetCompletionHook(func() {
+				if h.trainCancel[cell].CompareAndSwap(false, true) {
+					h.earlyStopped.Add(1)
+				}
+			})
+		}
+	}
 	if w.rt == nil {
 		w.rt = taskrt.New(s.oracle, sc, opt)
 	} else {
