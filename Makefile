@@ -32,10 +32,11 @@ test:
 # chaos repeats the failure-path suite under the race detector:
 # overload storms, mid-run cancellation, drain refusals, SIGKILL crash
 # recovery, journal replay, the train-vs-lazy differential with its
-# concurrent-train storm, and the fleet fault drills (multi-daemon
-# shard kill, drain spillover, 429 storm, ring-slice warm-up) — the
-# tests most sensitive to timing, so they get extra iterations beyond
-# the single tier-1 pass.
+# concurrent-train storm, the fleet fault drills (multi-daemon shard
+# kill, drain spillover, 429 storm, ring-slice warm-up) and the metrics
+# registry storm (concurrent updates racing a scraper) — the tests most
+# sensitive to timing, so they get extra iterations beyond the single
+# tier-1 pass.
 chaos:
 	$(GO) test -race -count=3 \
 		-run 'TestSessionOverloadStormByteIdentical|TestSessionCancelInterruptsInFlight|TestSessionDrain|TestSessionJobJournalReplay|TestSessionBatchFallbackProbeStorm|TestHTTPOverloadAndDrain|TestCrashRecoverySIGKILL|TestTrainThenSweepMatchesLazy|TestTrainConcurrentStorm' \
@@ -43,8 +44,9 @@ chaos:
 	$(GO) test -race -count=3 ./internal/jobstore
 	$(GO) test -race -count=3 -run 'TestCancel|TestRunBatch' ./internal/taskrt
 	$(GO) test -race -count=3 \
-		-run 'TestFleetSIGKILLDrill|TestFleetShardDeathFailover|TestFleetDrainSpillover|TestFleet429Spillover|TestFleetAllShardsDownDegradedError|TestFleetWarmupDrill' \
+		-run 'TestFleetSIGKILLDrill|TestFleetShardDeathFailover|TestFleetDrainSpillover|TestFleet429Spillover|TestFleetAllShardsDownDegradedError|TestFleetWarmupDrill|TestFleetHealthPassthroughAndMetrics' \
 		./internal/fleet
+	$(GO) test -race -count=3 -run 'TestRegistryStorm' ./internal/obs
 
 # bench runs the perf-tracking benchmarks with allocation stats.
 bench:

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"joss/internal/exp"
+	"joss/internal/obs"
 	"joss/internal/sched"
 	"joss/internal/service"
 	"joss/internal/taskrt"
@@ -114,6 +115,21 @@ func runBench(outPath string, reuse bool) error {
 	add("JOSSRun", nil, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e.Run("JOSS", workloads.SLU(0.05))
+		}
+	})
+
+	// The metrics hot path in isolation: one counter increment plus one
+	// histogram observation — the cost every instrumented dispatch
+	// claim pays. The load-bearing column is allocs/op, which perfgate
+	// asserts is exactly 0: instrumentation must never put allocations
+	// on the serving path.
+	obsReg := obs.NewRegistry()
+	obsCtr := obsReg.NewCounter("bench_ops_total", "Hot-path benchmark counter.", nil)
+	obsHist := obsReg.NewHistogram("bench_latency_seconds", "Hot-path benchmark histogram.", nil, nil)
+	add("MetricsHotPath", nil, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			obsCtr.Inc()
+			obsHist.Observe(0.0042)
 		}
 	})
 

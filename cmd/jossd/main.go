@@ -17,6 +17,7 @@
 //	      [-planstore FILE] [-saveevery N] [-flushevery DUR]
 //	      [-pretrain GRID] [-retainjobs N]
 //	      [-maxjobs N] [-maxqueue N] [-jobstore FILE]
+//	      [-loglevel LEVEL] [-logformat text|json] [-debugaddr ADDR]
 //
 // -pretrain "bench,...:sched,..." pre-trains the named grid's plans
 // before the daemon starts serving — claim-based single-flight
@@ -36,6 +37,19 @@
 // daemon drains: admission stops (503 + Retry-After), in-flight jobs
 // finish, stores flush, then the process exits.
 //
+// Logging is structured (log/slog): every line carries a level and
+// keyed fields, every HTTP request is logged with a process-unique
+// request id (echoed to the client as X-Request-Id), and rejections
+// surface at warn (4xx, including 429 admission-control storms) or
+// error (5xx) so an overloaded or failing daemon is visible by level
+// filter alone. -loglevel debug adds a line per request regardless of
+// status; -logformat json emits machine-parseable records for log
+// shippers.
+//
+// -debugaddr starts a second, opt-in listener serving net/http/pprof
+// (/debug/pprof/...) so live profiles can be pulled from a serving
+// daemon without exposing the profiler on the public endpoint.
+//
 // Endpoints (see internal/service/http.go for the schema):
 //
 //	POST   /sweep           run a benchmark × scheduler sweep
@@ -46,7 +60,8 @@
 //	GET    /jobs            list jobs (sweeps and training runs)
 //	GET    /jobs/{id}       poll per-cell progress; result once done
 //	DELETE /jobs/{id}       cancel (cooperative) or evict when done
-//	GET    /healthz         liveness, plan/request/job/training counts
+//	GET    /healthz         liveness, uptime, workers, build identity
+//	GET    /metrics         Prometheus text exposition (?format=json)
 //
 // Clients: `jossrun -connect http://host:port [-async|-watch ID] ...`
 // or plain curl:
@@ -60,14 +75,18 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"joss/internal/buildinfo"
 	"joss/internal/service"
 )
 
@@ -87,9 +106,13 @@ func main() {
 	maxQueue := flag.Int("maxqueue", 0, "admission bound on queued run units across all jobs (0 = unbounded); excess requests get 429")
 	jobStore := flag.String("jobstore", "",
 		"crash-durable job journal: specs recorded at admission, results on completion, replayed at startup")
+	logLevel := flag.String("loglevel", "info", "log level: debug, info, warn or error (debug logs every request)")
+	logFormat := flag.String("logformat", "text", "log format: text or json")
+	debugAddr := flag.String("debugaddr", "",
+		"opt-in address for a second listener serving net/http/pprof under /debug/pprof/ (empty = off)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: jossd [-listen ADDR] [-socket PATH] [-parallel N] [-planstore FILE] [-saveevery N] [-flushevery DUR] [-pretrain GRID] [-retainjobs N] [-maxjobs N] [-maxqueue N] [-jobstore FILE]")
+		fmt.Fprintln(os.Stderr, "usage: jossd [-listen ADDR] [-socket PATH] [-parallel N] [-planstore FILE] [-saveevery N] [-flushevery DUR] [-pretrain GRID] [-retainjobs N] [-maxjobs N] [-maxqueue N] [-jobstore FILE] [-loglevel LEVEL] [-logformat text|json] [-debugaddr ADDR]")
 		os.Exit(2)
 	}
 	if *parallel < 0 || *saveEvery < 1 || *retainJobs < 0 || *maxJobs < 0 || *maxQueue < 0 || *flushEvery < 0 {
@@ -101,12 +124,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jossd: -pretrain wants \"bench,...:sched,...\" (either side 'all' or empty), e.g. -pretrain SLU,VG:JOSS or -pretrain all")
 		os.Exit(2)
 	}
-
-	start := time.Now()
-	fmt.Println("jossd: profiling platform and training models (once per process)...")
-	cfg, err := service.DefaultConfig()
+	log, err := newLogger(*logLevel, *logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jossd:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(log)
+
+	start := time.Now()
+	log.Info("starting", "version", buildinfo.String(), "pid", os.Getpid())
+	log.Info("profiling platform and training models (once per process)")
+	cfg, err := service.DefaultConfig()
+	if err != nil {
+		log.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
 	cfg.Parallel = *parallel
@@ -119,21 +149,21 @@ func main() {
 	cfg.PlanFlushPeriod = *flushEvery
 	sess, err := service.New(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "jossd:", err)
+		log.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
-	fmt.Printf("jossd: trained in %v", time.Since(start).Round(time.Millisecond))
+	trained := []any{"elapsed", time.Since(start).Round(time.Millisecond)}
 	if *planStore != "" {
-		fmt.Printf(", %d plans loaded from %s", sess.Plans().Len(), *planStore)
+		trained = append(trained, "plans_loaded", sess.Plans().Len(), "planstore", *planStore)
 	}
-	fmt.Println()
+	log.Info("trained", trained...)
 	if *jobStore != "" {
 		if n := len(sess.RestoredSummaries()); n > 0 {
-			fmt.Printf("jossd: %d jobs replayed from %s\n", n, *jobStore)
+			log.Info("jobs replayed", "jobs", n, "jobstore", *jobStore)
 		}
 	}
 	if *pretrain != "" {
-		fmt.Println("jossd: pre-training plans before serving...")
+		log.Info("pre-training plans before serving", "grid", *pretrain)
 		t0 := time.Now()
 		res, terr := sess.Train(service.TrainRequest{
 			Benchmarks: preBenches,
@@ -141,14 +171,16 @@ func main() {
 			Seed:       1,
 		})
 		if terr != nil {
-			fmt.Fprintln(os.Stderr, "jossd: pre-training:", terr)
+			log.Error("pre-training failed", "err", terr)
 			os.Exit(1)
 		}
-		fmt.Printf("jossd: pre-trained %d of %d plan keys (%d cached, %d early-stopped runs) in %v; %d plans resident\n",
-			res.Trained, res.Keys, res.Cached, res.EarlyStopped,
-			time.Since(t0).Round(time.Millisecond), sess.Plans().Len())
+		log.Info("pre-trained",
+			"trained", res.Trained, "keys", res.Keys, "cached", res.Cached,
+			"early_stopped", res.EarlyStopped,
+			"elapsed", time.Since(t0).Round(time.Millisecond),
+			"plans_resident", sess.Plans().Len())
 		if res.PlanStoreErr != nil {
-			fmt.Fprintln(os.Stderr, "jossd: pre-training plan-store flush:", res.PlanStoreErr)
+			log.Error("pre-training plan-store flush failed", "err", res.PlanStoreErr)
 		}
 	}
 
@@ -159,7 +191,7 @@ func main() {
 		// steal its traffic instead of failing with address-in-use.
 		if c, derr := net.DialTimeout("unix", *socket, time.Second); derr == nil {
 			c.Close()
-			fmt.Fprintf(os.Stderr, "jossd: %s is served by a live daemon\n", *socket)
+			log.Error("socket is served by a live daemon", "socket", *socket)
 			os.Exit(1)
 		}
 		os.Remove(*socket)
@@ -168,10 +200,14 @@ func main() {
 		ln, err = net.Listen("tcp", *listen)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "jossd:", err)
+		log.Error("listen failed", "err", err)
 		os.Exit(1)
 	}
-	fmt.Printf("jossd: serving on %s\n", ln.Addr())
+	log.Info("serving", "addr", ln.Addr().String())
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, log)
+	}
 
 	// The server is hardened against slow or stalled clients: a client
 	// must deliver its headers within 10 s and its (<= 1 MiB) body
@@ -180,7 +216,7 @@ func main() {
 	// holds a response open for the length of a large sweep — it bounds
 	// a dead client, not a slow sweep.
 	srv := &http.Server{
-		Handler:           service.NewHandler(sess),
+		Handler:           logRequests(log, service.NewHandler(sess)),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		WriteTimeout:      30 * time.Minute,
@@ -199,29 +235,134 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		fmt.Println("jossd: draining in-flight requests (signal again to force exit)...")
+		log.Info("draining in-flight requests (signal again to force exit)")
 		go func() {
 			<-sig
-			fmt.Fprintln(os.Stderr, "jossd: forced exit")
+			log.Error("forced exit")
 			os.Exit(1)
 		}()
 		sess.StartDrain()
 		srv.Shutdown(context.Background())
 		sess.WaitIdle()
 		if err := sess.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "jossd: final store flush:", err)
+			log.Error("final store flush failed", "err", err)
 		}
 		if *socket != "" {
 			os.Remove(*socket)
 		}
+		log.Info("stopped")
 		close(done)
 	}()
 
 	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintln(os.Stderr, "jossd:", err)
+		log.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
 	<-done
+}
+
+// newLogger builds the process logger from the -loglevel/-logformat
+// flags. Records go to stderr so output piped from scripts driving the
+// daemon never interleaves with log lines.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-loglevel wants debug, info, warn or error, got %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-logformat wants text or json, got %q", format)
+	}
+}
+
+// reqSeq numbers requests for X-Request-Id; process-unique is enough
+// because the id's job is correlating one response with its log line.
+var reqSeq atomic.Int64
+
+// logCapture records the status code for the request log. Flush passes
+// through so /sweep?stream=1 keeps flushing per NDJSON frame.
+type logCapture struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *logCapture) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *logCapture) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *logCapture) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logRequests wraps next so every request is visible by log level:
+// 5xx at error, 4xx at warn (a 429 admission-control storm shows up as
+// a warn storm), everything else at debug. Each request is assigned a
+// process-unique id, echoed in the X-Request-Id response header and
+// carried on the log line for correlation.
+func logRequests(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := fmt.Sprintf("r%06d", reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", rid)
+		lw := &logCapture{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(lw, r)
+		code := lw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		lvl := slog.LevelDebug
+		switch {
+		case code >= 500:
+			lvl = slog.LevelError
+		case code >= 400:
+			lvl = slog.LevelWarn
+		}
+		log.Log(r.Context(), lvl, "request",
+			"req", rid, "method", r.Method, "path", r.URL.Path,
+			"status", code, "elapsed", time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// serveDebug runs the opt-in pprof listener. The profiler mounts on
+// its own mux and address so operators can firewall it independently
+// of the serving endpoint; nothing else is registered there.
+func serveDebug(addr string, log *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Info("debug listener serving pprof", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Error("debug listener failed", "err", err)
+	}
 }
 
 // parsePretrain splits a "bench,...:sched,..." grid spec. Either side

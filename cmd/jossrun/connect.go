@@ -215,8 +215,11 @@ func printTrainResult(target string, res service.WireTrainResult, wall time.Dura
 }
 
 // runRemote posts one run request to a jossd daemon and prints the
-// served report.
-func runRemote(target, bench, schedName string, speedup, scale float64, seed int64, repeats, retries int, batch bool) error {
+// served report. A non-empty traceOut requests the run with ?trace=1
+// — the daemon records a Chrome trace of the simulation (observer-only;
+// the report stays byte-identical) and runRemote writes the returned
+// trace JSON to the file.
+func runRemote(target, bench, schedName string, speedup, scale float64, seed int64, repeats, retries int, batch bool, traceOut string) error {
 	r, err := newRemote(target, retries)
 	if err != nil {
 		return err
@@ -232,15 +235,28 @@ func runRemote(target, bench, schedName string, speedup, scale float64, seed int
 	if err != nil {
 		return err
 	}
+	path := "/run"
+	if traceOut != "" {
+		path = "/run?trace=1"
+	}
 
 	start := time.Now()
-	resp, err := r.Do(context.Background(), http.MethodPost, "/run", reqBody)
+	resp, err := r.Do(context.Background(), http.MethodPost, path, reqBody)
 	if err != nil {
 		return err
 	}
 	var res service.WireRunResult
 	if err := decodeOrError(resp, http.StatusOK, &res); err != nil {
 		return err
+	}
+	if traceOut != "" {
+		if len(res.Trace) == 0 {
+			return fmt.Errorf("daemon returned no trace (is it a pre-trace build?)")
+		}
+		if err := os.WriteFile(traceOut, res.Trace, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d bytes)\n", traceOut, len(res.Trace))
 	}
 
 	fmt.Printf("served by %s in %v (simulated on the daemon's warm session)\n",

@@ -29,7 +29,7 @@ func splitList(s string) []string {
 // merged result plus the degradation report. The merged per-cell
 // reports are byte-identical to a single daemon's /sweep response —
 // failover, spillover and shard deaths change only the telemetry.
-func fleetSweep(targets []string, benchList, schedList string, speedup, scale float64, seed int64, repeats int, batch bool) error {
+func fleetSweep(targets []string, benchList, schedList string, speedup, scale float64, seed int64, repeats int, batch bool, showMetrics bool) error {
 	benches := splitList(benchList)
 	scheds := splitList(schedList)
 	if speedup > 1 {
@@ -62,6 +62,9 @@ func fleetSweep(targets []string, benchList, schedList string, speedup, scale fl
 		Batch:      batchField(batch),
 	})
 	printFleetResult(res, deg)
+	if showMetrics {
+		printFleetMetrics(coord, targets)
+	}
 	return err
 }
 

@@ -5,11 +5,11 @@
 // Usage:
 //
 //	jossrun [-scale F] [-seed N] [-speedup S] [-planstore FILE] -bench NAME -sched NAME
-//	jossrun -connect URL [-retries N] [-scale F] [-seed N] [-repeats N] [-speedup S] -bench NAME -sched NAME
+//	jossrun -connect URL [-retries N] [-scale F] [-seed N] [-repeats N] [-speedup S] [-traceout FILE] -bench NAME -sched NAME
 //	jossrun -connect URL -async [-retries N] [-scale F] [-seed N] [-repeats N] -bench NAME -sched NAME
 //	jossrun -connect URL -watch JOBID
 //	jossrun -connect URL -train [-scale F] [-seed N] [-bench A,B|all] [-sched X,Y|all]
-//	jossrun -fleet URL1,URL2,... [-scale F] [-seed N] [-repeats N] [-bench A,B|all] [-sched X,Y|all]
+//	jossrun -fleet URL1,URL2,... [-scale F] [-seed N] [-repeats N] [-metrics] [-bench A,B|all] [-sched X,Y|all]
 //	jossrun -fleet URL1,URL2,... -train [-scale F] [-seed N] [-bench A,B|all] [-sched X,Y|all]
 //
 // Benchmarks: the 21 Figure 8 configurations (e.g. SLU, MM_256_dop4).
@@ -48,7 +48,14 @@
 // unfinished cells fail over to survivors, an overloaded shard's cells
 // spill to the next ring candidate, and the merged per-cell reports
 // are byte-identical to a single daemon's /sweep response. -bench and
-// -sched accept comma lists or "all" in this mode.
+// -sched accept comma lists or "all" in this mode; -metrics follows
+// the sweep with every shard's /metrics scraped and summed plus the
+// coordinator's own failover counters.
+//
+// -traceout FILE (with -connect) requests the run with ?trace=1: the
+// daemon records a Chrome trace-event log of the simulation — an
+// observer that never perturbs the result — and the trace JSON is
+// written to FILE for chrome://tracing or Perfetto.
 //
 // Remote-mode exit codes: 1 permanent failure (the daemon rejected the
 // request — retrying cannot help), 2 usage error, 3 transient failure
@@ -96,6 +103,10 @@ func main() {
 		"with -connect: retries for transient failures (dial errors, 429 overload, 5xx), with jittered exponential backoff honouring Retry-After")
 	batch := flag.Bool("batch", true,
 		"with -connect/-fleet: run each cell's repeats as batched lockstep lanes of one daemon runtime (bit-identical results; -batch=false forces the scalar path)")
+	traceRemote := flag.String("traceout", "",
+		"with -connect: request the run with ?trace=1 and write the daemon's Chrome trace-event JSON to this file (single run only)")
+	showMetrics := flag.Bool("metrics", false,
+		"with -fleet: after the sweep, scrape every shard's /metrics?format=json and print the summed fleet-wide series plus the coordinator's joss_fleet_* counters")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file")
 	gantt := flag.Bool("gantt", false, "print a text Gantt chart of the run")
 	dotOut := flag.String("dot", "", "write the task DAG in Graphviz DOT format (truncated to 400 tasks)")
@@ -111,6 +122,24 @@ func main() {
 	}
 	if *train && (*async || *watch != "") {
 		fmt.Fprintln(os.Stderr, "jossrun: -train does not combine with -async/-watch (poll its job via curl /train?async=1 instead)")
+		os.Exit(exitUsage)
+	}
+	if *traceRemote != "" {
+		if *connect == "" {
+			fmt.Fprintln(os.Stderr, "jossrun: -traceout is a -connect mode (the daemon records the trace); local runs use -trace")
+			os.Exit(exitUsage)
+		}
+		if *async || *watch != "" || *train {
+			fmt.Fprintln(os.Stderr, "jossrun: -traceout traces a synchronous /run; it does not combine with -async/-watch/-train")
+			os.Exit(exitUsage)
+		}
+		if *repeats != 1 {
+			fmt.Fprintln(os.Stderr, "jossrun: -traceout traces one simulation; use -repeats 1")
+			os.Exit(exitUsage)
+		}
+	}
+	if *showMetrics && *fleetList == "" {
+		fmt.Fprintln(os.Stderr, "jossrun: -metrics aggregates a fleet's shards; it needs -fleet (a single daemon is curl /metrics)")
 		os.Exit(exitUsage)
 	}
 	if *fleetList != "" {
@@ -134,7 +163,7 @@ func main() {
 			}
 			return
 		}
-		if err := fleetSweep(targets, *benchName, *schedName, *speedup, *scale, *seed, *repeats, *batch); err != nil {
+		if err := fleetSweep(targets, *benchName, *schedName, *speedup, *scale, *seed, *repeats, *batch, *showMetrics); err != nil {
 			fmt.Fprintln(os.Stderr, "jossrun:", err)
 			os.Exit(exitCode(err))
 		}
@@ -160,7 +189,7 @@ func main() {
 		case *async:
 			err = asyncRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *repeats, *retries, *batch)
 		default:
-			err = runRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *repeats, *retries, *batch)
+			err = runRemote(*connect, *benchName, *schedName, *speedup, *scale, *seed, *repeats, *retries, *batch, *traceRemote)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jossrun:", err)

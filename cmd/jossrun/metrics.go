@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"joss/internal/fleet"
+	"joss/internal/obs"
+)
+
+// aggPoint is one metric series summed across shards.
+type aggPoint struct {
+	name   string
+	labels string // rendered, sorted; "" for unlabelled series
+	typ    string
+	value  float64 // counter/gauge sum, histogram observation count
+	sum    float64 // histogram sum of observed values
+	shards int     // how many shards reported the series
+}
+
+// fetchShardMetrics scrapes one shard's /metrics?format=json snapshot.
+func fetchShardMetrics(target string) ([]obs.Point, error) {
+	cl, err := fleet.NewClient(target, 0)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := cl.Do(ctx, http.MethodGet, "/metrics?format=json", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", target, resp.Status)
+	}
+	return obs.ParseJSON(resp.Body)
+}
+
+// renderLabels renders a point's labels sorted, matching the
+// exposition order, so identical series from different shards merge.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// mergePoints folds per-shard snapshots into one series → aggregate
+// map: counters, gauges and histogram counts/sums add across shards
+// (a summed gauge reads as fleet capacity — workers, queued units).
+func mergePoints(agg map[string]*aggPoint, pts []obs.Point) {
+	for _, p := range pts {
+		key := p.Name + renderLabels(p.Labels)
+		a := agg[key]
+		if a == nil {
+			a = &aggPoint{name: p.Name, labels: renderLabels(p.Labels), typ: p.Type}
+			agg[key] = a
+		}
+		a.value += p.Value
+		a.sum += p.Sum
+		a.shards++
+	}
+}
+
+// printAgg renders the non-zero aggregated series, sorted by name.
+func printAgg(agg map[string]*aggPoint) {
+	keys := make([]string, 0, len(agg))
+	for k, a := range agg {
+		if a.value != 0 || a.sum != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		a := agg[k]
+		switch a.typ {
+		case "histogram":
+			mean := 0.0
+			if a.value > 0 {
+				mean = a.sum / a.value
+			}
+			fmt.Printf("  %-58s count %.0f, sum %.4fs, mean %.2fms\n", k, a.value, a.sum, mean*1e3)
+		default:
+			fmt.Printf("  %-58s %g\n", k, a.value)
+		}
+	}
+}
+
+// printFleetMetrics scrapes every shard's /metrics?format=json, prints
+// the summed fleet-wide view, then the coordinator's own joss_fleet_*
+// counters (heartbeat RTTs, failovers, spillovers, duplicate frames).
+// A shard that cannot be scraped is reported and skipped — the sweep
+// already finished; the summary degrades like everything else here.
+func printFleetMetrics(coord *fleet.Coordinator, targets []string) {
+	agg := make(map[string]*aggPoint)
+	scraped := 0
+	for _, t := range targets {
+		pts, err := fetchShardMetrics(t)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jossrun: metrics scrape of %s failed: %v\n", t, err)
+			continue
+		}
+		mergePoints(agg, pts)
+		scraped++
+	}
+	fmt.Printf("\nfleet metrics   summed over %d/%d shards (non-zero series):\n", scraped, len(targets))
+	printAgg(agg)
+
+	coordAgg := make(map[string]*aggPoint)
+	mergePoints(coordAgg, coord.Metrics().Snapshot())
+	fmt.Printf("\ncoordinator     joss_fleet_* (this sweep's client-side view):\n")
+	printAgg(coordAgg)
+}

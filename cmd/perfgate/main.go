@@ -28,6 +28,10 @@
 // catches the rows diverging wildly, and the evals gate is the
 // contract.
 //
+// A third candidate-internal check is absolute: the MetricsHotPath row
+// must report exactly 0 allocs/op — the observability layer's standing
+// contract that metric updates never allocate on the serving path.
+//
 // Usage:
 //
 //	perfgate -baseline BASELINE.json [-threshold 0.20]
@@ -287,6 +291,21 @@ func main() {
 				"pretrained searches", evals)
 			failed = true
 		}
+	}
+	// Metrics hot-path gate, candidate-internal and absolute: the
+	// MetricsHotPath row (one counter increment plus one histogram
+	// observation) must report exactly 0 allocs/op — instrumentation
+	// that allocates on the serving path is a regression no matter
+	// what the baseline says. Gated whenever the candidate carries the
+	// row, so reports from before the observability layer pass.
+	if hot, ok := candBy["MetricsHotPath"]; ok && hot.AllocsPerOp != nil {
+		compared++
+		status := "ok  "
+		if *hot.AllocsPerOp != 0 {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("  %s %-24s %d allocs/op (must be 0)\n", status, "metrics hot path", *hot.AllocsPerOp)
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "perfgate: baseline carries no tasks_per_s metrics")

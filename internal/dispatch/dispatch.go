@@ -54,6 +54,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // ErrOverloaded is the sentinel matched (via errors.Is) by admission
@@ -174,7 +175,8 @@ type Job struct {
 	spec Spec
 	seq  uint64
 
-	weight float64 // spec.Weight defaulted to 1; immutable after Admit
+	weight   float64   // spec.Weight defaulted to 1; immutable after Admit
+	admitted time.Time // set under pool.mu at admission; immutable after
 
 	// All fields below are guarded by pool.mu.
 	queue     []Unit // pending units, largest cell first; head is next
@@ -203,6 +205,9 @@ type Pool struct {
 	active  int // admitted, not yet finished (excludes zero-unit jobs)
 	queued  int // undispatched units across all jobs
 	running int // units being executed right now, across all jobs
+	// metrics, when non-nil, receives the dispatch-path observations.
+	// Guarded by mu; workers capture it per claim.
+	metrics *Metrics
 }
 
 // NewPool builds a pool with the given number of workers (more can be
@@ -293,6 +298,12 @@ func (p *Pool) Admit(spec Spec) (*Job, error) {
 	if total == 0 {
 		j.completed = true
 		close(j.finished)
+		p.mu.Lock()
+		m := p.metrics
+		p.mu.Unlock()
+		if m != nil {
+			m.Admitted.Inc()
+		}
 		return j, nil
 	}
 	if spec.Width < 1 {
@@ -336,7 +347,11 @@ func (p *Pool) Admit(spec Spec) (*Job, error) {
 			QueuedUnits:    p.queued + total,
 			MaxQueuedUnits: p.limits.MaxQueuedUnits,
 		}
+		m := p.metrics
 		p.mu.Unlock()
+		if m != nil {
+			m.Rejected.Inc()
+		}
 		return nil, err
 	}
 	j.seq = p.nextSeq
@@ -349,8 +364,15 @@ func (p *Pool) Admit(spec Spec) (*Job, error) {
 	p.active++
 	p.queued += total
 	p.jobs = append(p.jobs, j)
+	m := p.metrics
+	if m != nil {
+		j.admitted = time.Now()
+	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	if m != nil {
+		m.Admitted.Inc()
+	}
 	return j, nil
 }
 
@@ -453,8 +475,19 @@ func (p *Pool) worker(id int) {
 			// Nothing left to dispatch; stop offering the job.
 			p.remove(j)
 		}
+		m := p.metrics
 		p.mu.Unlock()
 
+		var start time.Time
+		if m != nil {
+			start = time.Now()
+			// Jobs admitted before SetMetrics carry no admission stamp;
+			// skip their queue-wait sample rather than observe garbage.
+			if !j.admitted.IsZero() {
+				m.QueueWait.Observe(start.Sub(j.admitted).Seconds())
+			}
+			m.WorkersBusy.Inc()
+		}
 		ran := 1
 		if n == 1 {
 			j.spec.Run(id, u)
@@ -463,6 +496,21 @@ func (p *Pool) worker(id int) {
 			if ran < 0 || ran > n {
 				panic(fmt.Sprintf("dispatch: RunBatch reported %d executed repeats for a claim of %d", ran, n))
 			}
+		}
+		if m != nil {
+			elapsed := time.Since(start).Seconds()
+			if n == 1 {
+				m.ClaimsScalar.Inc()
+				m.ServiceScalar.Observe(elapsed)
+			} else {
+				m.ClaimsBatch.Inc()
+				m.ServiceBatch.Observe(elapsed)
+			}
+			m.UnitsDone.Add(int64(ran))
+			if ran < n {
+				m.UnitsDropped.Add(int64(n - ran))
+			}
+			m.WorkersBusy.Dec()
 		}
 
 		p.mu.Lock()
@@ -520,7 +568,11 @@ func (j *Job) Cancel() {
 		j.completed = true
 		p.active--
 	}
+	m := p.metrics
 	p.mu.Unlock()
+	if m != nil && j.dropped > 0 {
+		m.UnitsDropped.Add(int64(j.dropped))
+	}
 	if finished {
 		close(j.finished)
 	}

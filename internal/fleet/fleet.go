@@ -61,6 +61,7 @@ import (
 	"sync"
 	"time"
 
+	"joss/internal/obs"
 	"joss/internal/service"
 	"joss/internal/workloads"
 )
@@ -115,6 +116,15 @@ type ShardHealth struct {
 	// Warmup() caller can watch them converge across the fleet.
 	PlansTrained int `json:"plans_trained"`
 	Training     int `json:"training"`
+	// UptimeSec, Workers, Version and Commit pass through the shard's
+	// build and capacity identity from /healthz — a fleet operator can
+	// spot a freshly restarted shard (uptime reset), a misconfigured
+	// one (wrong worker count) or a stray dev binary (version "dev")
+	// from one Health() snapshot.
+	UptimeSec float64 `json:"uptime_sec"`
+	Workers   int     `json:"workers"`
+	Version   string  `json:"version,omitempty"`
+	Commit    string  `json:"commit,omitempty"`
 }
 
 // ShardFailure is one shard's failure within a sweep.
@@ -179,6 +189,10 @@ type shard struct {
 	queued   int
 	plans    int // plans_trained from the last beat
 	training int // in-flight training claims from the last beat
+	uptime   float64
+	workers  int
+	version  string
+	commit   string
 }
 
 // usable reports whether routing should offer the shard new cells.
@@ -214,11 +228,15 @@ func (sh *shard) noteDraining() {
 }
 
 type wireHealth struct {
-	Draining      bool `json:"draining"`
-	InflightUnits int  `json:"inflight_units"`
-	QueuedUnits   int  `json:"queued_units"`
-	PlansTrained  int  `json:"plans_trained"`
-	Training      int  `json:"training"`
+	Draining      bool    `json:"draining"`
+	InflightUnits int     `json:"inflight_units"`
+	QueuedUnits   int     `json:"queued_units"`
+	PlansTrained  int     `json:"plans_trained"`
+	Training      int     `json:"training"`
+	UptimeSec     float64 `json:"uptime_sec"`
+	Workers       int     `json:"workers"`
+	Version       string  `json:"version"`
+	Commit        string  `json:"commit"`
 }
 
 // noteBeat records a successful health probe.
@@ -232,6 +250,10 @@ func (sh *shard) noteBeat(h wireHealth) {
 	sh.queued = h.QueuedUnits
 	sh.plans = h.PlansTrained
 	sh.training = h.Training
+	sh.uptime = h.UptimeSec
+	sh.workers = h.Workers
+	sh.version = h.Version
+	sh.commit = h.Commit
 }
 
 func (sh *shard) snapshot() ShardHealth {
@@ -246,14 +268,20 @@ func (sh *shard) snapshot() ShardHealth {
 		QueuedUnits:         sh.queued,
 		PlansTrained:        sh.plans,
 		Training:            sh.training,
+		UptimeSec:           sh.uptime,
+		Workers:             sh.workers,
+		Version:             sh.version,
+		Commit:              sh.commit,
 	}
 }
 
 // Coordinator shards sweeps across a fleet of daemons.
 type Coordinator struct {
-	cfg    Config
-	shards []*shard
-	ring   *ring
+	cfg     Config
+	shards  []*shard
+	ring    *ring
+	reg     *obs.Registry
+	metrics *coordMetrics
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -291,6 +319,8 @@ func New(cfg Config) (*Coordinator, error) {
 		cfg.MaxReassignments = 2 * len(cfg.Shards)
 	}
 	c := &Coordinator{cfg: cfg, ring: newRing(cfg.Shards, cfg.Replicas), stop: make(chan struct{})}
+	c.reg = obs.NewRegistry()
+	c.metrics = newCoordMetrics(c.reg, cfg.Shards)
 	for _, t := range cfg.Shards {
 		cl, err := NewClient(t, 0) // the coordinator reroutes instead of same-shard retrying
 		if err != nil {
@@ -311,6 +341,14 @@ func New(cfg Config) (*Coordinator, error) {
 func (c *Coordinator) Close() {
 	c.stopOnce.Do(func() { close(c.stop) })
 	c.wg.Wait()
+}
+
+// Metrics is the coordinator's joss_fleet_* registry: per-shard
+// heartbeat RTT and failure counts plus per-sweep degradation tallies.
+// jossrun renders it after a fleet sweep alongside the shards' own
+// scraped families.
+func (c *Coordinator) Metrics() *obs.Registry {
+	return c.reg
 }
 
 // Health snapshots every shard's tracked state, in Config.Shards order.
@@ -338,19 +376,26 @@ func (c *Coordinator) heartbeatLoop(sh *shard) {
 }
 
 func (c *Coordinator) beat(sh *shard) {
+	sm := c.metrics.perShard[sh.target]
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RequestTimeout)
 	defer cancel()
+	start := time.Now()
 	resp, err := sh.client.Do(ctx, http.MethodGet, "/healthz", nil)
 	if err != nil {
+		sm.beatFailures.Inc()
 		sh.noteFail(c.cfg.FailureThreshold)
 		return
 	}
 	defer resp.Body.Close()
 	var h wireHealth
 	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&h) != nil {
+		sm.beatFailures.Inc()
 		sh.noteFail(c.cfg.FailureThreshold)
 		return
 	}
+	// RTT includes reading and decoding the body — the probe's full
+	// round trip as routing experiences it, not just the TCP echo.
+	sm.beatRTT.Observe(time.Since(start).Seconds())
 	sh.noteBeat(h)
 }
 
@@ -555,6 +600,7 @@ func (c *Coordinator) Sweep(req service.WireSweepRequest) (service.WireSweepResu
 	}
 	deg.Degraded = len(deg.FailedShards) > 0 || deg.ReassignedCells > 0 ||
 		deg.SpilloverCells > 0 || deg.DuplicateFrames > 0 || len(deg.LostCells) > 0
+	c.metrics.noteSweep(deg)
 
 	if fatal != nil {
 		return res, deg, fatal

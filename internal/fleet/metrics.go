@@ -1,0 +1,69 @@
+// Coordinator observability: the joss_fleet_* metric families, one
+// registry per Coordinator (client-side — the coordinator lives in
+// jossrun, not in a daemon, so these are scraped via Metrics() rather
+// than an HTTP endpoint). Per-shard series are pre-registered at New
+// from Config.Shards, so label cardinality is fixed for the
+// coordinator's lifetime.
+package fleet
+
+import (
+	"joss/internal/obs"
+)
+
+// shardMetrics is one shard's pre-registered series.
+type shardMetrics struct {
+	// beatRTT observes each successful /healthz probe's round-trip
+	// time; beatFailures counts probes that errored, timed out or
+	// decoded badly.
+	beatRTT      *obs.Histogram
+	beatFailures *obs.Counter
+}
+
+// coordMetrics is the coordinator's metric set.
+type coordMetrics struct {
+	sweeps          *obs.Counter
+	degradedSweeps  *obs.Counter
+	shardFailures   *obs.Counter
+	spilloverCells  *obs.Counter
+	reassignedCells *obs.Counter
+	duplicateFrames *obs.Counter
+	lostCells       *obs.Counter
+
+	perShard map[string]*shardMetrics
+}
+
+// newCoordMetrics registers the fleet families on r.
+func newCoordMetrics(r *obs.Registry, targets []string) *coordMetrics {
+	m := &coordMetrics{
+		sweeps:          r.NewCounter("joss_fleet_sweeps_total", "Fleet sweeps coordinated.", nil),
+		degradedSweeps:  r.NewCounter("joss_fleet_degraded_sweeps_total", "Sweeps that survived a failure, spillover or duplicate frame.", nil),
+		shardFailures:   r.NewCounter("joss_fleet_shard_failures_total", "Mid-sweep shard failure events (transport error, stall, bad stream).", nil),
+		spilloverCells:  r.NewCounter("joss_fleet_spillover_cells_total", "Cells rerouted on a 429/503 refusal before any work was lost.", nil),
+		reassignedCells: r.NewCounter("joss_fleet_reassigned_cells_total", "Cells re-dispatched after a shard failure.", nil),
+		duplicateFrames: r.NewCounter("joss_fleet_duplicate_frames_total", "Late frames dropped by cell-identity dedup.", nil),
+		lostCells:       r.NewCounter("joss_fleet_lost_cells_total", "Cells no shard could serve after exhausting failover.", nil),
+		perShard:        make(map[string]*shardMetrics, len(targets)),
+	}
+	for _, t := range targets {
+		m.perShard[t] = &shardMetrics{
+			beatRTT: r.NewHistogram("joss_fleet_heartbeat_rtt_seconds", "Successful /healthz probe round-trip time.",
+				map[string]string{"shard": t}, nil),
+			beatFailures: r.NewCounter("joss_fleet_heartbeat_failures_total", "Failed /healthz probes.",
+				map[string]string{"shard": t}),
+		}
+	}
+	return m
+}
+
+// noteSweep records one finished sweep's degradation tallies.
+func (m *coordMetrics) noteSweep(deg Degradation) {
+	m.sweeps.Inc()
+	if deg.Degraded {
+		m.degradedSweeps.Inc()
+	}
+	m.shardFailures.Add(int64(len(deg.FailedShards)))
+	m.spilloverCells.Add(int64(deg.SpilloverCells))
+	m.reassignedCells.Add(int64(deg.ReassignedCells))
+	m.duplicateFrames.Add(int64(deg.DuplicateFrames))
+	m.lostCells.Add(int64(len(deg.LostCells)))
+}

@@ -1,0 +1,51 @@
+// Journal observability: an optional obs-backed metric set installed
+// with SetMetrics after Open. Appends count per record kind; the
+// replay gauge and the compaction counter report what Open found,
+// applied retroactively at install time since replay runs before the
+// Store exists.
+package jobstore
+
+import (
+	"joss/internal/obs"
+)
+
+// Metrics is the journal's metric set. All fields are non-nil when
+// built via NewMetrics.
+type Metrics struct {
+	AppendsSpec   *obs.Counter
+	AppendsResult *obs.Counter
+	AppendsEvict  *obs.Counter
+	AppendErrors  *obs.Counter
+	Compactions   *obs.Counter
+	// ReplayedEntries is the number of live jobs the startup replay
+	// reconstructed (set once at SetMetrics).
+	ReplayedEntries *obs.Gauge
+}
+
+// NewMetrics registers the joss_jobstore_* family on r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		AppendsSpec:     r.NewCounter("joss_jobstore_appends_total", "Journal appends by record kind.", map[string]string{"kind": "spec"}),
+		AppendsResult:   r.NewCounter("joss_jobstore_appends_total", "Journal appends by record kind.", map[string]string{"kind": "result"}),
+		AppendsEvict:    r.NewCounter("joss_jobstore_appends_total", "Journal appends by record kind.", map[string]string{"kind": "evict"}),
+		AppendErrors:    r.NewCounter("joss_jobstore_append_errors_total", "Journal appends that failed.", nil),
+		Compactions:     r.NewCounter("joss_jobstore_compactions_total", "Journal compactions (startup rewrites that dropped torn tails or evicted jobs).", nil),
+		ReplayedEntries: r.NewGauge("joss_jobstore_replayed_entries", "Live jobs reconstructed by the startup replay.", nil),
+	}
+}
+
+// SetMetrics installs the store's metric set and applies the replay
+// statistics Open collected (replayed entry count; whether the journal
+// was compacted).
+func (s *Store) SetMetrics(m *Metrics) {
+	s.mu.Lock()
+	s.metrics = m
+	s.mu.Unlock()
+	if m == nil {
+		return
+	}
+	m.ReplayedEntries.Set(int64(s.replayed))
+	if s.compacted {
+		m.Compactions.Inc()
+	}
+}

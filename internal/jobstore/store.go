@@ -70,6 +70,12 @@ type Store struct {
 	f      *os.File
 	unlock func()
 	closed bool
+	// metrics, when non-nil, receives append/compaction observations.
+	// Guarded by mu. replayed/compacted record what Open found, for
+	// SetMetrics to apply; immutable after Open.
+	metrics   *Metrics
+	replayed  int
+	compacted bool
 }
 
 // Open locks and replays the journal at path (missing is an empty
@@ -98,7 +104,7 @@ func Open(path string) (*Store, []Entry, error) {
 		unlock()
 		return nil, nil, fmt.Errorf("jobstore: opening journal: %w", err)
 	}
-	return &Store{path: path, f: f, unlock: unlock}, entries, nil
+	return &Store{path: path, f: f, unlock: unlock, replayed: len(entries), compacted: rewrite}, entries, nil
 }
 
 // replay parses the journal into live entries. It reports whether the
@@ -225,7 +231,20 @@ func (s *Store) append(rec record) error {
 		return errors.New("jobstore: store is closed")
 	}
 	if _, err := s.f.Write(append(b, '\n')); err != nil {
+		if s.metrics != nil {
+			s.metrics.AppendErrors.Inc()
+		}
 		return fmt.Errorf("jobstore: appending to journal: %w", err)
+	}
+	if m := s.metrics; m != nil {
+		switch rec.Kind {
+		case kindSpec:
+			m.AppendsSpec.Inc()
+		case kindResult:
+			m.AppendsResult.Inc()
+		case kindEvict:
+			m.AppendsEvict.Inc()
+		}
 	}
 	return nil
 }

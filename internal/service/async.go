@@ -72,6 +72,15 @@ type JobStatus struct {
 	UnitsDropped  int
 	Cells         []CellStatus
 	ElapsedSec    float64
+	// Lifecycle timestamps: AdmittedAt is when Enqueue accepted the
+	// job; StartedAt when its first unit reached a worker (zero while
+	// queued); CompletedAt when the result became available (zero
+	// while running). QueueWaitSec is StartedAt − AdmittedAt once the
+	// job has started.
+	AdmittedAt   time.Time
+	StartedAt    time.Time
+	CompletedAt  time.Time
+	QueueWaitSec float64
 }
 
 // JobHandle is the caller's reference to an admitted request.
@@ -129,6 +138,12 @@ type JobHandle struct {
 	// store; finalize journals their result on completion.
 	journaled bool
 
+	// firstDispatchNS is the UnixNano stamp of the first unit reaching
+	// a worker (0 while queued; CAS-set once). cancelNS stamps the
+	// first Cancel call so finalize can observe cancel→drained latency.
+	firstDispatchNS atomic.Int64
+	cancelNS        atomic.Int64
+
 	cells chan CellResult
 
 	start  time.Time
@@ -164,6 +179,10 @@ func (s *Session) Enqueue(req SweepRequest) (*JobHandle, error) {
 	}
 	if req.DeadlineMS < 0 {
 		panic(fmt.Sprintf("service: SweepRequest.DeadlineMS must be >= 0, got %d", req.DeadlineMS))
+	}
+	if req.Trace != nil && (len(req.Jobs) > 1 || req.Repeats > 1) {
+		panic(fmt.Sprintf("service: SweepRequest.Trace requires a single-unit request, got %d cells × %d repeats",
+			len(req.Jobs), req.Repeats))
 	}
 	if s.draining.Load() {
 		return nil, ErrDraining
@@ -218,9 +237,14 @@ func (s *Session) Enqueue(req SweepRequest) (*JobHandle, error) {
 	var runBatch func(wid, cell int) int
 	if !req.NoBatch {
 		runBatch = func(wid, cell int) int {
+			t0 := h.markDispatched()
 			out := h.unitReports[cell*req.Repeats : (cell+1)*req.Repeats]
 			done, evals := s.runBatch(s.workerAt(wid), h, cell, out)
 			h.evals.Add(int64(evals))
+			if m := s.metrics; m != nil && evals > 0 {
+				m.planEvals.Add(int64(evals))
+				m.planSearch.Observe(time.Since(t0).Seconds())
+			}
 			// The dispatcher books this claim's units the moment we
 			// return; hand progress accounting back to it.
 			h.laneDone[cell].Store(0)
@@ -246,8 +270,13 @@ func (s *Session) Enqueue(req SweepRequest) (*JobHandle, error) {
 		Deadline: deadline,
 		RunBatch: runBatch,
 		Run: func(wid int, u dispatch.Unit) {
+			t0 := h.markDispatched()
 			rep, evals, aborted := s.runUnit(s.workerAt(wid), h, u.Cell, u.Repeat)
 			h.evals.Add(int64(evals))
+			if m := s.metrics; m != nil && evals > 0 {
+				m.planEvals.Add(int64(evals))
+				m.planSearch.Observe(time.Since(t0).Seconds())
+			}
 			if aborted {
 				h.cellAborted[u.Cell].Store(true)
 				h.aborted.Add(1)
@@ -297,6 +326,17 @@ func (s *Session) Enqueue(req SweepRequest) (*JobHandle, error) {
 	}
 	go s.finalize(h)
 	return h, nil
+}
+
+// markDispatched stamps the job's first-unit-dispatch time (idempotent,
+// CAS from zero) and returns the current time, which the unit hooks
+// reuse as their claim start — one clock read serves both.
+func (h *JobHandle) markDispatched() time.Time {
+	now := time.Now()
+	if h.firstDispatchNS.Load() == 0 {
+		h.firstDispatchNS.CompareAndSwap(0, now.UnixNano())
+	}
+	return now
 }
 
 // unregister removes a job admitted by Enqueue whose admission later
@@ -402,6 +442,20 @@ func (s *Session) finalize(h *JobHandle) {
 
 	h.end = time.Now()
 	h.result = res
+	if m := s.metrics; m != nil {
+		if res.Cancelled {
+			m.jobsCancelled.Inc()
+		} else {
+			m.jobsCompleted.Inc()
+		}
+		if fd := h.firstDispatchNS.Load(); fd > 0 {
+			m.jobQueueWait.Observe(float64(fd-h.start.UnixNano()) / 1e9)
+			m.jobService.Observe(float64(h.end.UnixNano()-fd) / 1e9)
+		}
+		if ca := h.cancelNS.Load(); ca > 0 {
+			m.cancelLatency.Observe(float64(h.end.UnixNano()-ca) / 1e9)
+		}
+	}
 	// Journal the result before publishing completion, so a shutdown
 	// ordered on WaitIdle cannot close the store under this append and
 	// a journaled "done" is never observable before it is durable.
@@ -445,6 +499,9 @@ func (h *JobHandle) Cells() <-chan CellResult { return h.cells }
 // their cell to completion. The job then finishes with a partial
 // result. Safe to call repeatedly and after completion.
 func (h *JobHandle) Cancel() {
+	if h.cancelNS.Load() == 0 {
+		h.cancelNS.CompareAndSwap(0, time.Now().UnixNano())
+	}
 	h.cancel.Store(true)
 	// Trainer units poll per-cell flags instead of the job-wide one;
 	// flip them all so a cancelled training round unwinds just as fast.
@@ -490,6 +547,14 @@ func (h *JobHandle) Status() JobStatus {
 	st.UnitsDone = p.Done
 	st.UnitsInFlight = p.InFlight
 	st.UnitsDropped = p.Dropped
+	st.AdmittedAt = h.start
+	if fd := h.firstDispatchNS.Load(); fd > 0 {
+		st.StartedAt = time.Unix(0, fd)
+		st.QueueWaitSec = float64(fd-h.start.UnixNano()) / 1e9
+	}
+	if done {
+		st.CompletedAt = h.end
+	}
 	cellDone := h.d.CellProgress(make([]int, 0, len(h.req.Jobs)))
 	st.Cells = make([]CellStatus, len(h.req.Jobs))
 	for i, j := range h.req.Jobs {

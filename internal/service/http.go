@@ -41,12 +41,22 @@
 //	               pollable/cancellable at /jobs/tN like a sweep job
 //	GET  /healthz  → {plans_cached, plans_trained, training, requests,
 //	               jobs, queued_units, inflight_units, draining,
-//	               schedulers, benchmarks} — jobs/queued_units/
-//	               inflight_units are the live dispatch load, which
-//	               fleet coordinators use to route toward the
-//	               least-loaded shard; plans_trained/training expose
-//	               the plan cache's size and in-flight training claims
-//	               so fleet warm-up progress is observable
+//	               schedulers, benchmarks, uptime_sec, workers,
+//	               version, commit} — jobs/queued_units/inflight_units
+//	               are the live dispatch load, which fleet
+//	               coordinators use to route toward the least-loaded
+//	               shard; plans_trained/training expose the plan
+//	               cache's size and in-flight training claims so fleet
+//	               warm-up progress is observable; uptime/workers/
+//	               version identify the process (buildinfo ldflags)
+//	GET  /metrics  → the session's metric registry in Prometheus text
+//	               exposition format (joss_dispatch_*, joss_service_*,
+//	               joss_http_*, joss_jobstore_* families);
+//	               ?format=json returns the structured snapshot the
+//	               fleet client aggregates
+//	POST /run?trace=1
+//	             → the run response plus {trace: <Chrome trace-event
+//	               JSON>} (observer-only recording; repeats <= 1 only)
 //
 // share_plans defaults to true on the wire (a *bool left null): the
 // daemon exists to serve warm plans, and a second request for kernels
@@ -62,6 +72,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -69,8 +80,11 @@ import (
 	"strconv"
 	"time"
 
+	"joss/internal/buildinfo"
 	"joss/internal/dispatch"
+	"joss/internal/obs"
 	"joss/internal/taskrt"
+	"joss/internal/trace"
 	"joss/internal/workloads"
 )
 
@@ -153,6 +167,11 @@ type WireRunResult struct {
 	ElapsedSec  float64    `json:"elapsed_sec"`
 	// PlanStoreError mirrors WireSweepResult.PlanStoreError.
 	PlanStoreError string `json:"plan_store_error,omitempty"`
+	// Trace is the run's Chrome trace-event JSON document, present only
+	// on POST /run?trace=1 (load it at chrome://tracing or in Perfetto).
+	// Recording is observer-only: the report is bit-identical with or
+	// without it.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // WireJobCreated is the 202 response of POST /jobs.
@@ -187,7 +206,15 @@ type WireJobStatus struct {
 	UnitsDropped  int              `json:"units_dropped,omitempty"`
 	Cells         []WireCellStatus `json:"cells"`
 	ElapsedSec    float64          `json:"elapsed_sec"`
-	Result        *WireSweepResult `json:"result,omitempty"`
+	// Lifecycle timestamps (RFC 3339, nanosecond precision):
+	// admitted_at is always present; started_at appears once the first
+	// unit reached a worker, completed_at once the result is
+	// available. queue_wait_sec is started_at − admitted_at.
+	AdmittedAt   string           `json:"admitted_at,omitempty"`
+	StartedAt    string           `json:"started_at,omitempty"`
+	CompletedAt  string           `json:"completed_at,omitempty"`
+	QueueWaitSec float64          `json:"queue_wait_sec,omitempty"`
+	Result       *WireSweepResult `json:"result,omitempty"`
 }
 
 // WireTrainRequest is the JSON form of a pre-training request
@@ -320,6 +347,16 @@ func wireJobStatus(st JobStatus) WireJobStatus {
 		UnitsDropped:  st.UnitsDropped,
 		Cells:         make([]WireCellStatus, len(st.Cells)),
 		ElapsedSec:    st.ElapsedSec,
+	}
+	if !st.AdmittedAt.IsZero() {
+		out.AdmittedAt = st.AdmittedAt.Format(time.RFC3339Nano)
+	}
+	if !st.StartedAt.IsZero() {
+		out.StartedAt = st.StartedAt.Format(time.RFC3339Nano)
+		out.QueueWaitSec = st.QueueWaitSec
+	}
+	if !st.CompletedAt.IsZero() {
+		out.CompletedAt = st.CompletedAt.Format(time.RFC3339Nano)
 	}
 	for i, c := range st.Cells {
 		out.Cells[i] = WireCellStatus{
@@ -820,6 +857,17 @@ func NewHandler(s *Session) http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
+		var tr *trace.Trace
+		if r.URL.Query().Get("trace") == "1" {
+			// A trace records one unit's timeline; concurrent repeats
+			// would race on it, so trace runs are single-repeat only.
+			if req.Repeats > 1 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("trace=1 requires repeats <= 1, got %d", req.Repeats))
+				return
+			}
+			tr = &trace.Trace{}
+			req.Trace = tr
+		}
 		start := time.Now()
 		res, err := s.Submit(req)
 		if err != nil {
@@ -840,6 +888,12 @@ func NewHandler(s *Session) http.Handler {
 		}
 		if res.PlanStoreErr != nil {
 			out.PlanStoreError = res.PlanStoreErr.Error()
+		}
+		if tr != nil {
+			var buf bytes.Buffer
+			if terr := tr.WriteChrome(&buf); terr == nil {
+				out.Trace = json.RawMessage(buf.Bytes())
+			}
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
@@ -865,8 +919,32 @@ func NewHandler(s *Session) http.Handler {
 			"draining":       s.Draining(),
 			"schedulers":     SchedulerCatalog,
 			"benchmarks":     names,
+			// Operational identity (PR 10): process age, pool size and
+			// the ldflags-injected build identity, mirrored per shard in
+			// fleet.ShardHealth.
+			"uptime_sec": s.Uptime().Seconds(),
+			"workers":    s.Workers(),
+			"version":    buildinfo.Version,
+			"commit":     buildinfo.Commit,
 		})
 	})
 
-	return mux
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := s.Metrics()
+		if reg == nil {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("metrics are disabled on this session"))
+			return
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", obs.PromContentType)
+		reg.WritePrometheus(w)
+	})
+
+	// The metric middleware wraps the whole mux so every endpoint —
+	// including 404s under "other" — is counted and timed.
+	return s.metrics.instrumentHTTP(mux)
 }

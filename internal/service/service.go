@@ -42,10 +42,12 @@ import (
 	"joss/internal/dispatch"
 	"joss/internal/jobstore"
 	"joss/internal/models"
+	"joss/internal/obs"
 	"joss/internal/platform"
 	"joss/internal/sched"
 	"joss/internal/synth"
 	"joss/internal/taskrt"
+	"joss/internal/trace"
 	"joss/internal/workloads"
 )
 
@@ -100,6 +102,13 @@ type Config struct {
 	// Train reach sibling fleet shards without waiting for the next
 	// per-request flush. Stopped by Close.
 	PlanFlushPeriod time.Duration
+	// DisableMetrics builds the session without its obs.Registry: no
+	// metric families are registered, every instrumentation hook is
+	// skipped, and Metrics() returns nil. Metrics are on by default —
+	// they are allocation-free on the run paths — so this exists for
+	// A/B overhead measurement and the instrumented-vs-bare
+	// differential tests, not for production tuning.
+	DisableMetrics bool
 }
 
 // DefaultConfig profiles the simulated TX2 and trains the JOSS models
@@ -185,6 +194,12 @@ type Session struct {
 	trainOrder []*TrainHandle
 
 	requests atomic.Int64
+
+	// registry/metrics are the session's observability surface (nil
+	// with Config.DisableMetrics): the registry also carries the
+	// dispatcher's and job journal's families, and /metrics serves it.
+	registry *obs.Registry
+	metrics  *sessionMetrics
 }
 
 // New builds a Session from a trained configuration, loading the plan
@@ -226,6 +241,11 @@ func New(cfg Config) (*Session, error) {
 	if s.retain < 1 {
 		s.retain = 256
 	}
+	if !cfg.DisableMetrics {
+		s.registry = obs.NewRegistry()
+		s.metrics = newSessionMetrics(s.registry, s)
+		s.pool.SetMetrics(dispatch.NewMetrics(s.registry, s.pool))
+	}
 	if s.storePath != "" {
 		if _, err := s.plans.LoadFile(s.storePath); err != nil {
 			return nil, err
@@ -237,6 +257,9 @@ func New(cfg Config) (*Session, error) {
 	if cfg.JobStorePath != "" {
 		if err := s.openJobStore(cfg.JobStorePath); err != nil {
 			return nil, err
+		}
+		if s.registry != nil {
+			s.store.SetMetrics(jobstore.NewMetrics(s.registry))
 		}
 	}
 	if cfg.PlanFlushPeriod > 0 && s.storePath != "" {
@@ -308,6 +331,19 @@ func (s *Session) Parallel() int { return s.parallel }
 // lock-free (atomic) so liveness probes never block behind in-flight
 // work.
 func (s *Session) Requests() int { return int(s.requests.Load()) }
+
+// Metrics returns the session's metric registry — the joss_dispatch_*,
+// joss_service_*, joss_http_* and (with a job store) joss_jobstore_*
+// families /metrics serves. Nil when Config.DisableMetrics was set.
+func (s *Session) Metrics() *obs.Registry { return s.registry }
+
+// Workers returns the pool's current worker-goroutine count (the pool
+// grows with admitted requests' Parallel, so this is a high-water
+// mark, not a configuration echo).
+func (s *Session) Workers() int { return s.pool.Workers() }
+
+// Uptime reports the time since the session was built (New).
+func (s *Session) Uptime() time.Duration { return time.Since(s.epoch) }
 
 // SavePlanStore flushes the resident plan cache to the configured
 // store with lock-and-merge semantics; a session without a store path
@@ -452,6 +488,16 @@ type SweepRequest struct {
 	// admission so the job can be reported after a crash. The HTTP
 	// layer sets it; Go-API callers normally leave it nil.
 	WireSpec json.RawMessage
+	// Trace, when non-nil, makes the request's run unit record its
+	// execution timeline (taskrt.Options.Trace): task intervals,
+	// frequency residency and power samples, exportable as Chrome
+	// trace-event JSON. Recording is observer-only — it never touches
+	// the simulation's RNG, so the report is bit-identical with or
+	// without it. Valid only on single-unit requests (at most one cell
+	// and one repeat); Enqueue panics otherwise, since concurrent units
+	// would race on the one Trace. The HTTP layer sets it for
+	// POST /run?trace=1.
+	Trace *trace.Trace
 	// trainer marks the request as a results-discarded training round
 	// (set only by Session.Train's driver): its units run under
 	// per-cell cancel flags, and model schedulers get a completion hook
@@ -596,6 +642,7 @@ func runOptions(req *SweepRequest, seed int64) taskrt.Options {
 	opt.Seed = seed
 	opt.SensorPeriodSec = req.SensorPeriodSec
 	opt.SensorOff = req.SensorOff
+	opt.Trace = req.Trace
 	return opt
 }
 
@@ -680,6 +727,11 @@ func (s *Session) runUnit(w *worker, h *JobHandle, cell, repeat int) (taskrt.Rep
 	} else {
 		w.rt.Sched = sc
 		w.rt.Opt = opt
+		if opt.Trace != nil {
+			// taskrt.New stamps the trace's core count; the recycled
+			// path must do the same for the Gantt/busy views to size.
+			opt.Trace.NumCore = w.rt.M.NumCores()
+		}
 		w.rt.Reset(w.g)
 	}
 	rep := w.rt.Run(w.g)
